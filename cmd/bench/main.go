@@ -1,0 +1,89 @@
+// Command bench regenerates every experiment table of the reproduction
+// (E1–E14 in DESIGN.md/EXPERIMENTS.md), printing them to stdout and
+// optionally writing per-experiment .txt and .csv files.
+//
+// Usage:
+//
+//	bench                 # full workloads
+//	bench -quick          # CI-sized workloads
+//	bench -out results/   # also write results/E1.txt, results/E1.csv, …
+//	bench -run E3,E12     # only selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "use reduced workload sizes")
+		seed   = flag.Uint64("seed", 1, "random seed for all workloads")
+		outDir = flag.String("out", "", "directory for per-experiment .txt/.csv output")
+		run    = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	selected := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	start := time.Now()
+	count := 0
+	for _, exp := range experiments.Registry() {
+		if len(selected) > 0 && !selected[exp.ID] {
+			continue
+		}
+		count++
+		t0 := time.Now()
+		tb := exp.Run(cfg)
+		fmt.Printf("# %s — %s (%.2fs)\n", exp.ID, exp.Desc, time.Since(t0).Seconds())
+		if err := tb.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *outDir != "" {
+			if err := writeFiles(*outDir, exp.ID, tb); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("ran %d experiments in %.2fs\n", count, time.Since(start).Seconds())
+}
+
+func writeFiles(dir, id string, tb *stats.Table) error {
+	txt, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := tb.Render(txt); err != nil {
+		return err
+	}
+	csv, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	return tb.WriteCSV(csv)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

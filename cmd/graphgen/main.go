@@ -1,0 +1,54 @@
+// Command graphgen generates conflict graphs from compact specs and writes
+// them as edge lists (or Graphviz DOT) for use with cmd/holiday.
+//
+// Usage:
+//
+//	graphgen -spec gnp:n=100,p=0.05 -o family.edges
+//	graphgen -spec star:n=9 -dot -o star.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		spec = flag.String("spec", "gnp:n=32,p=0.1", "graph spec (see internal/graph.ParseSpec)")
+		seed = flag.Uint64("seed", 1, "random seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+		dot  = flag.Bool("dot", false, "write Graphviz DOT instead of an edge list")
+	)
+	flag.Parse()
+
+	g, err := graph.ParseSpec(*spec, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *dot {
+		err = graph.WriteDOT(w, g, "conflict")
+	} else {
+		err = graph.WriteEdgeList(w, g)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "graphgen: wrote %v\n", g)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}

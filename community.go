@@ -1,0 +1,83 @@
+package holiday
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Community is a friendly builder for the in-law conflict graph: families
+// are referred to by name and an edge is added per marriage between the
+// children of two families.
+type Community struct {
+	builder *graph.Builder
+	names   []string
+	index   map[string]int
+}
+
+// NewCommunity returns an empty community.
+func NewCommunity() *Community {
+	return &Community{builder: graph.NewBuilder(0), index: make(map[string]int)}
+}
+
+// AddFamily registers a family and returns its node id; adding an existing
+// name returns the existing id.
+func (c *Community) AddFamily(name string) int {
+	if id, ok := c.index[name]; ok {
+		return id
+	}
+	id := len(c.names)
+	c.names = append(c.names, name)
+	c.index[name] = id
+	c.builder.Grow(id + 1)
+	return id
+}
+
+// Marry records a marriage between a child of family a and a child of
+// family b, creating the families as needed. Marrying a family to itself is
+// an error (the paper notes sibling marriages only simplify the problem —
+// they create no conflict).
+func (c *Community) Marry(a, b string) error {
+	if a == b {
+		return fmt.Errorf("holiday: a marriage inside family %q creates no in-law conflict", a)
+	}
+	ia, ib := c.AddFamily(a), c.AddFamily(b)
+	c.builder.AddEdge(ia, ib)
+	return nil
+}
+
+// MustMarry is Marry, panicking on error; for examples and tests.
+func (c *Community) MustMarry(a, b string) {
+	if err := c.Marry(a, b); err != nil {
+		panic(err)
+	}
+}
+
+// Size returns the number of families.
+func (c *Community) Size() int { return len(c.names) }
+
+// Graph freezes the community into the conflict graph.
+func (c *Community) Graph() *Graph { return c.builder.Graph() }
+
+// FamilyName returns the name of node id.
+func (c *Community) FamilyName(id int) string { return c.names[id] }
+
+// FamilyID returns the node of a family name, or -1.
+func (c *Community) FamilyID(name string) int {
+	if id, ok := c.index[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// Names maps node ids to family names, sorted alphabetically — convenient
+// for printing happy sets.
+func (c *Community) Names(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = c.names[id]
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package holiday_test
+
+import (
+	"fmt"
+
+	holiday "repro"
+	"repro/internal/graph"
+)
+
+// The smallest possible community: two couples sharing the Cohen family.
+func ExampleNew() {
+	c := holiday.NewCommunity()
+	c.MustMarry("Cohen", "Levi")
+	c.MustMarry("Cohen", "Mizrahi")
+
+	s, err := holiday.New(c.Graph(), holiday.DegreeBound)
+	if err != nil {
+		panic(err)
+	}
+	for year := 1; year <= 4; year++ {
+		fmt.Printf("year %d: %v\n", year, c.Names(s.Next()))
+	}
+	// Output:
+	// year 1: [Levi Mizrahi]
+	// year 2: []
+	// year 3: [Levi Mizrahi]
+	// year 4: [Cohen]
+}
+
+// Periodic schedulers expose each family's exact hosting period.
+func ExamplePeriodic() {
+	g := graph.Star(6) // one family with five married children
+	s, err := holiday.New(g, holiday.DegreeBound)
+	if err != nil {
+		panic(err)
+	}
+	p := s.(holiday.Periodic)
+	fmt.Println("center period:", p.Period(0))
+	fmt.Println("leaf period:  ", p.Period(1))
+	// Output:
+	// center period: 8
+	// leaf period:   2
+}
+
+// Analyze verifies independence every holiday and reports realized waits.
+func ExampleAnalyze() {
+	g := graph.Cycle(8)
+	s, err := holiday.New(g, holiday.PhasedGreedy)
+	if err != nil {
+		panic(err)
+	}
+	rep := holiday.Analyze(s, g, 50)
+	worst := int64(0)
+	for _, nr := range rep.Nodes {
+		if nr.MaxUnhappyRun > worst {
+			worst = nr.MaxUnhappyRun
+		}
+	}
+	fmt.Println("violations:", rep.IndependenceViolations)
+	fmt.Println("within Theorem 3.1 bound:", worst <= 2)
+	// Output:
+	// violations: 0
+	// within Theorem 3.1 bound: true
+}

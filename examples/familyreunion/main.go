@@ -1,0 +1,86 @@
+// Family reunion: the paper's introduction, executable. In a two-group
+// society where only intergroup marriage occurs (a bipartite conflict
+// graph), alternating groups host and every family gathers every other
+// year regardless of how many children it has. General societies are not
+// bipartite; then the paper's schedulers price each family by its local
+// degree while the naive round-robin charges everyone the global worst.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	holiday "repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	bipartiteSociety()
+	fmt.Println()
+	generalSociety()
+}
+
+func bipartiteSociety() {
+	fmt.Println("== Two-group society (intergroup marriage only) ==")
+	// Group A: 0..3, group B: 4..7, many marriages across.
+	g := graph.RandomBipartite(4, 4, 0.8, 42)
+	col, err := holiday.BipartiteColoring(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := holiday.New(g, holiday.RoundRobin, holiday.WithColoring(col))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for year := 1; year <= 6; year++ {
+		fmt.Printf("  year %d: families %v host everyone\n", year, s.Next())
+	}
+	rep := holiday.Analyze(s, g, 100)
+	worst := int64(0)
+	for _, nr := range rep.Nodes {
+		if nr.MaxUnhappyRun > worst {
+			worst = nr.MaxUnhappyRun
+		}
+	}
+	fmt.Printf("  worst wait ever: %d year(s) — independent of family size\n", worst)
+}
+
+func generalSociety() {
+	fmt.Println("== General society (odd cycles exist) ==")
+	// One tightly intermarried clan (a 12-clique) surrounded by 48
+	// single-child families, each married into the clan.
+	b := graph.NewBuilder(60)
+	for u := 0; u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	for leaf := 12; leaf < 60; leaf++ {
+		b.AddEdge(leaf, leaf%12)
+	}
+	g := b.Graph()
+	fmt.Printf("  %d families, largest has %d in-law families\n", g.N(), g.MaxDegree())
+
+	for _, algo := range []holiday.Algorithm{holiday.RoundRobin, holiday.PhasedGreedy, holiday.DegreeBound} {
+		s, err := holiday.New(g, algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := holiday.Analyze(s, g, 512)
+		// Report the worst wait of the SMALL families (degree ≤ 2): the
+		// paper's locality goal is that they never pay for the big ones.
+		small, big := int64(0), int64(0)
+		for _, nr := range rep.Nodes {
+			if nr.Degree <= 2 && nr.MaxUnhappyRun > small {
+				small = nr.MaxUnhappyRun
+			}
+			if nr.MaxUnhappyRun > big {
+				big = nr.MaxUnhappyRun
+			}
+		}
+		fmt.Printf("  %-22s small families wait ≤ %2d, worst family waits ≤ %3d\n",
+			s.Name()+":", small, big)
+	}
+	fmt.Println("  (round-robin makes small families pay the global price;")
+	fmt.Println("   the paper's schedulers charge everyone their local degree)")
+}

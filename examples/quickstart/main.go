@@ -1,0 +1,42 @@
+// Quickstart: build a small community of families by name, schedule their
+// holiday gatherings with the §5 degree-bound algorithm, and print who gets
+// all their children home each year.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	holiday "repro"
+)
+
+func main() {
+	c := holiday.NewCommunity()
+	// The Cohens have three married children; the others one or two.
+	c.MustMarry("Cohen", "Levi")
+	c.MustMarry("Cohen", "Mizrahi")
+	c.MustMarry("Cohen", "Biton")
+	c.MustMarry("Levi", "Peretz")
+	c.MustMarry("Mizrahi", "Peretz")
+
+	g := c.Graph()
+	s, err := holiday.New(g, holiday.DegreeBound)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("The holiday plan (degree-bound scheduler, period ≤ 2·in-laws):")
+	for year := 1; year <= 12; year++ {
+		fmt.Printf("  year %2d: %v celebrate with ALL their children\n",
+			year, c.Names(s.Next()))
+	}
+
+	// Every family's wait is bounded by its own number of in-law families,
+	// not by the worst family in town (Theorem 5.3).
+	p := s.(holiday.Periodic)
+	fmt.Println("\nguaranteed hosting periods:")
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("  %-8s %d in-law families -> hosts every %d years\n",
+			c.FamilyName(v), g.Degree(v), p.Period(v))
+	}
+}

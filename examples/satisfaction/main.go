@@ -1,0 +1,56 @@
+// Satisfaction: Appendix A.3, executable. Being happy (hosting ALL your
+// children) is rare and expensive; being satisfied (hosting at least one)
+// is cheap: a maximum-satisfaction assignment is computable in linear time,
+// and a simple alternation keeps every parent satisfied every other year.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+func main() {
+	// A community with a tree part (someone must lose) and a cycle part
+	// (everyone can win).
+	g := graph.MustFromEdges(9, []graph.Edge{
+		// A star: families 0..4; the center 0 has four married children.
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4},
+		// A cycle of four families 5..8.
+		{U: 5, V: 6}, {U: 6, V: 7}, {U: 7, V: 8}, {U: 8, V: 5},
+	})
+	fmt.Printf("community: %d families, %d couples\n\n", g.N(), g.M())
+
+	res := matching.MaxSatisfaction(g)
+	fmt.Printf("maximum simultaneous satisfaction: %d of %d families\n", res.Count, g.N())
+	fmt.Printf("  (optimal: Hopcroft–Karp gives %d, closed form n − #acyclic components gives %d)\n\n",
+		matching.MaxSatisfactionHK(g), matching.MaxSatisfactionFormula(g))
+
+	for i, e := range g.Edges() {
+		host := res.CoupleHost[i]
+		if host >= 0 {
+			fmt.Printf("  couple of families %d & %d celebrates at family %d\n", e.U, e.V, host)
+		} else {
+			fmt.Printf("  couple of families %d & %d may celebrate anywhere\n", e.U, e.V)
+		}
+	}
+	var unsat []int
+	for p, ok := range res.Satisfied {
+		if !ok {
+			unsat = append(unsat, p)
+		}
+	}
+	fmt.Printf("\nunsatisfied this year: families %v (the star is a tree — one family must lose)\n\n", unsat)
+
+	// But nobody needs to be lonely two years running: alternate!
+	runs := matching.MaxUnsatisfiedRun(g, 20)
+	worst := int64(0)
+	for _, r := range runs {
+		if r > worst {
+			worst = r
+		}
+	}
+	fmt.Printf("alternating schedule over 20 years: longest unsatisfied streak of any family = %d year\n", worst)
+	fmt.Println("(each couple simply alternates between its two parent households)")
+}

@@ -1,0 +1,164 @@
+// Package holiday is the public API of the Family Holiday Gathering
+// library, a reproduction of "The Family Holiday Gathering Problem or Fair
+// and Periodic Scheduling of Independent Sets" (Amir, Kapah, Kopelowitz,
+// Naor, Porat; SPAA 2016).
+//
+// A Community is a set of families; two families are in-laws when a child
+// of one is married to a child of the other. A Scheduler emits, for every
+// holiday, the set of families that get all their children home — always an
+// independent set of the in-law (conflict) graph. The algorithms guarantee
+// per-family waits that depend only on local properties:
+//
+//   - PhasedGreedy (§3): wait ≤ deg+1, non-periodic.
+//   - ColorBound (§4.2): perfectly periodic with period 2^ρ(color), via the
+//     Elias omega code (Theorem 4.2).
+//   - DegreeBound (§5): perfectly periodic with period 2^⌈log(deg+1)⌉ ≤ 2·deg.
+//   - RoundRobin, FirstGrab: the paper's baselines.
+//
+// Quick start:
+//
+//	c := holiday.NewCommunity()
+//	c.MustMarry("Cohen", "Levi")
+//	c.MustMarry("Cohen", "Mizrahi")
+//	s, _ := holiday.New(c.Graph(), holiday.DegreeBound)
+//	for year := 1; year <= 4; year++ {
+//	    fmt.Println(year, c.Names(s.Next()))
+//	}
+package holiday
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// Re-exported core types: the conflict graph, schedulers, and analysis.
+type (
+	// Graph is the in-law conflict graph (nodes are families).
+	Graph = graph.Graph
+	// Edge is an in-law relation between two families.
+	Edge = graph.Edge
+	// Scheduler emits one independent happy set per holiday.
+	Scheduler = core.Scheduler
+	// Periodic is a perfectly periodic scheduler (Period/Offset per node).
+	Periodic = core.Periodic
+	// Report summarizes realized per-family waits over a horizon.
+	Report = core.Report
+	// NodeReport is one family's statistics within a Report.
+	NodeReport = core.NodeReport
+	// Coloring assigns a color ≥ 1 to every family.
+	Coloring = coloring.Coloring
+	// Gathering is a single holiday's couple-to-household orientation.
+	Gathering = core.Gathering
+)
+
+// Algorithm selects a scheduling algorithm from the paper.
+type Algorithm string
+
+// The available algorithms.
+const (
+	// PhasedGreedy is the §3 non-periodic algorithm (wait ≤ deg+1).
+	PhasedGreedy Algorithm = "phased-greedy"
+	// PhasedGreedyDistributed is §3 executed as a real message-passing
+	// protocol on the LOCAL-model simulator (3 rounds per holiday).
+	PhasedGreedyDistributed Algorithm = "phased-greedy-distributed"
+	// ColorBound is the §4.2 prefix-code periodic algorithm.
+	ColorBound Algorithm = "color-bound"
+	// DegreeBound is the §5.1 sequential periodic algorithm (period ≤ 2d).
+	DegreeBound Algorithm = "degree-bound"
+	// DegreeBoundDistributed is the §5.2 distributed variant.
+	DegreeBoundDistributed Algorithm = "degree-bound-distributed"
+	// RoundRobin cycles through the colors of a proper coloring (§1).
+	RoundRobin Algorithm = "round-robin"
+	// FirstGrab is the chaotic random baseline from §1.
+	FirstGrab Algorithm = "first-grab"
+	// GreedyMIS is the maximal-independent-set strengthening of FirstGrab.
+	GreedyMIS Algorithm = "greedy-mis"
+)
+
+// Algorithms lists every available algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{PhasedGreedy, PhasedGreedyDistributed, ColorBound,
+		DegreeBound, DegreeBoundDistributed, RoundRobin, FirstGrab, GreedyMIS}
+}
+
+// options collects optional scheduler configuration.
+type options struct {
+	seed     uint64
+	code     prefixcode.Code
+	coloring coloring.Coloring
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithSeed fixes the random seed of randomized algorithms (default 1).
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithCode selects the prefix code for ColorBound: "unary", "gamma",
+// "delta", or "omega" (the default, matching Theorem 4.2).
+func WithCode(name string) Option {
+	return func(o *options) {
+		if c, err := prefixcode.ByName(name); err == nil {
+			o.code = c
+		}
+	}
+}
+
+// WithColoring supplies a proper coloring for the color-driven algorithms
+// instead of the default greedy one (e.g. a bipartite 2-coloring).
+func WithColoring(col Coloring) Option { return func(o *options) { o.coloring = col } }
+
+// New constructs the requested scheduler over the conflict graph.
+func New(g *Graph, algo Algorithm, opts ...Option) (Scheduler, error) {
+	o := options{seed: 1, code: prefixcode.Omega{}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	col := o.coloring
+	if col == nil {
+		col = coloring.Greedy(g, coloring.IdentityOrder(g.N()))
+	}
+	switch algo {
+	case PhasedGreedy:
+		return core.NewPhasedGreedy(g, col)
+	case PhasedGreedyDistributed:
+		return core.NewPhasedGreedyDistributed(g, col)
+	case ColorBound:
+		return core.NewColorBound(g, col, o.code)
+	case DegreeBound:
+		return core.NewDegreeBoundSequential(g), nil
+	case DegreeBoundDistributed:
+		s, _, err := core.NewDegreeBoundDistributed(g, o.seed)
+		return s, err
+	case RoundRobin:
+		return core.NewRoundRobin(g, col)
+	case FirstGrab:
+		return core.NewFirstGrab(g, o.seed), nil
+	case GreedyMIS:
+		return core.NewGreedyMIS(g, o.seed), nil
+	default:
+		return nil, fmt.Errorf("holiday: unknown algorithm %q (valid: %v)", algo, Algorithms())
+	}
+}
+
+// Analyze runs a scheduler for the given number of holidays, verifying that
+// every happy set is independent and collecting per-family gap statistics.
+func Analyze(s Scheduler, g *Graph, holidays int64) *Report {
+	return core.Analyze(s, g, holidays)
+}
+
+// GreedyColoring returns the default proper, degree-bounded coloring used
+// by the color-driven schedulers.
+func GreedyColoring(g *Graph) Coloring {
+	return coloring.Greedy(g, coloring.IdentityOrder(g.N()))
+}
+
+// BipartiteColoring 2-colors a bipartite community (the intro's intergroup
+// marriage example), or errors when the community contains an odd cycle.
+func BipartiteColoring(g *Graph) (Coloring, error) {
+	return coloring.Bipartite(g)
+}

@@ -1,0 +1,119 @@
+package holiday_test
+
+import (
+	"testing"
+
+	holiday "repro"
+	"repro/internal/graph"
+)
+
+func sampleCommunity() *holiday.Community {
+	c := holiday.NewCommunity()
+	c.MustMarry("Cohen", "Levi")
+	c.MustMarry("Cohen", "Mizrahi")
+	c.MustMarry("Levi", "Peretz")
+	c.MustMarry("Mizrahi", "Peretz")
+	c.MustMarry("Cohen", "Biton")
+	return c
+}
+
+func TestCommunityBuilder(t *testing.T) {
+	c := sampleCommunity()
+	if c.Size() != 5 {
+		t.Fatalf("families = %d, want 5", c.Size())
+	}
+	g := c.Graph()
+	if g.M() != 5 {
+		t.Fatalf("marriages = %d, want 5", g.M())
+	}
+	cohen := c.FamilyID("Cohen")
+	if cohen == -1 || c.FamilyName(cohen) != "Cohen" {
+		t.Fatal("name/id round trip broken")
+	}
+	if g.Degree(cohen) != 3 {
+		t.Errorf("Cohen has %d in-law families, want 3", g.Degree(cohen))
+	}
+	if c.FamilyID("Nobody") != -1 {
+		t.Error("unknown family must map to -1")
+	}
+	if err := c.Marry("Cohen", "Cohen"); err == nil {
+		t.Error("intra-family marriage must error")
+	}
+	if c.AddFamily("Cohen") != cohen {
+		t.Error("re-adding a family must return the same id")
+	}
+}
+
+func TestNewAllAlgorithms(t *testing.T) {
+	g := sampleCommunity().Graph()
+	for _, algo := range holiday.Algorithms() {
+		s, err := holiday.New(g, algo, holiday.WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		rep := holiday.Analyze(s, g, 200)
+		if rep.IndependenceViolations != 0 {
+			t.Errorf("%s: emitted %d dependent happy sets", algo, rep.IndependenceViolations)
+		}
+	}
+}
+
+func TestNewUnknownAlgorithm(t *testing.T) {
+	if _, err := holiday.New(graph.Empty(1), "quantum"); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+func TestWithColoringAndCode(t *testing.T) {
+	g := graph.CompleteBipartite(4, 4)
+	col, err := holiday.BipartiteColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := holiday.New(g, holiday.ColorBound,
+		holiday.WithColoring(col), holiday.WithCode("gamma"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.(holiday.Periodic)
+	if !ok {
+		t.Fatal("color-bound must be periodic")
+	}
+	// gamma(1) = "1" -> period 2; gamma(2) = "010" -> period 8.
+	if p.Period(0) != 2 && p.Period(0) != 8 {
+		t.Errorf("unexpected period %d", p.Period(0))
+	}
+}
+
+func TestDegreeBoundPeriodsViaFacade(t *testing.T) {
+	g := sampleCommunity().Graph()
+	s, err := holiday.New(g, holiday.DegreeBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.(holiday.Periodic)
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d >= 1 && p.Period(v) > int64(2*d) {
+			t.Errorf("family %d (deg %d) period %d exceeds 2d", v, d, p.Period(v))
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	c := sampleCommunity()
+	names := c.Names([]int{c.FamilyID("Peretz"), c.FamilyID("Biton")})
+	if len(names) != 2 || names[0] != "Biton" || names[1] != "Peretz" {
+		t.Errorf("names = %v, want sorted [Biton Peretz]", names)
+	}
+}
+
+func TestGreedyColoringExported(t *testing.T) {
+	g := sampleCommunity().Graph()
+	col := holiday.GreedyColoring(g)
+	for v := 0; v < g.N(); v++ {
+		if col[v] < 1 || col[v] > g.Degree(v)+1 {
+			t.Errorf("color %d of node %d outside [1, deg+1]", col[v], v)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package holiday_test
+
+import (
+	"testing"
+
+	holiday "repro"
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// Integration: the full distributed pipeline end to end — LOCAL-model
+// coloring initialization, scheduler construction, horizon analysis with
+// independence verification, the §1 schedule→coloring reduction, and
+// re-scheduling from the extracted coloring. Exercised over every graph
+// family and every algorithm exposed by the facade.
+func TestFullPipelineOnAllFamiliesAndAlgorithms(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"clique":    graph.Clique(12),
+		"cycle":     graph.Cycle(31),
+		"star":      graph.Star(24),
+		"grid":      graph.Grid(6, 7),
+		"gnp":       graph.GNP(120, 0.05, 1),
+		"tree":      graph.RandomTree(90, 2),
+		"regular":   graph.RandomRegular(60, 4, 3),
+		"powerlaw":  graph.PreferentialAttachment(100, 2, 4),
+		"bipartite": graph.RandomBipartite(30, 30, 0.1, 5),
+	}
+	for name, g := range families {
+		// Stage 1: distributed initialization on the LOCAL simulator.
+		col, stats, err := coloring.DistributedDelta1(g, 11)
+		if err != nil {
+			t.Fatalf("%s: distributed coloring: %v", name, err)
+		}
+		if err := coloring.VerifyDegreeBounded(g, col); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.M() > 0 && stats.Messages == 0 {
+			t.Fatalf("%s: no messages recorded for distributed coloring", name)
+		}
+		// Stage 2: every algorithm over that coloring.
+		for _, algo := range holiday.Algorithms() {
+			s, err := holiday.New(g, algo, holiday.WithColoring(col), holiday.WithSeed(13))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, algo, err)
+			}
+			horizon := int64(4 * (g.MaxDegree() + 2))
+			rep := holiday.Analyze(s, g, horizon)
+			if rep.IndependenceViolations != 0 {
+				t.Fatalf("%s/%s: %d dependent happy sets", name, algo, rep.IndependenceViolations)
+			}
+			// Per-algorithm bound spot checks.
+			switch algo {
+			case holiday.PhasedGreedy, holiday.PhasedGreedyDistributed:
+				if err := rep.CheckBound(func(nr holiday.NodeReport) int64 {
+					return int64(nr.Degree)
+				}); err != nil {
+					t.Fatalf("%s/%s: Theorem 3.1: %v", name, algo, err)
+				}
+			case holiday.DegreeBound, holiday.DegreeBoundDistributed:
+				p := s.(holiday.Periodic)
+				for v := 0; v < g.N(); v++ {
+					if d := g.Degree(v); d >= 1 && p.Period(v) > int64(2*d) {
+						t.Fatalf("%s/%s: Theorem 5.3: node %d period %d > 2d", name, algo, v, p.Period(v))
+					}
+				}
+			}
+		}
+		// Stage 3: the §1 reduction — extract a coloring from a fresh
+		// phased-greedy schedule and schedule again on top of it.
+		pg, err := core.NewPhasedGreedy(g, col)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		extracted, err := core.ExtractColoring(pg, g, int64(g.MaxDegree()+1))
+		if err != nil {
+			t.Fatalf("%s: reduction: %v", name, err)
+		}
+		cb, err := core.NewColorBound(g, extracted, prefixcode.Omega{})
+		if err != nil {
+			t.Fatalf("%s: rescheduling on extracted coloring: %v", name, err)
+		}
+		rep := holiday.Analyze(cb, g, 256)
+		if rep.IndependenceViolations != 0 {
+			t.Fatalf("%s: rescheduled color-bound emitted dependent sets", name)
+		}
+	}
+}
+
+// Integration: schedules over the same graph from different algorithms must
+// never disagree about feasibility — every holiday of every algorithm is an
+// independent set, and every node is eventually happy under each.
+func TestEveryNodeEventuallyHappyEverywhere(t *testing.T) {
+	g := graph.GNP(80, 0.06, 21)
+	for _, algo := range holiday.Algorithms() {
+		s, err := holiday.New(g, algo, holiday.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First-grab is randomized: give it a generous horizon.
+		horizon := int64(64 * (g.MaxDegree() + 2))
+		rep := holiday.Analyze(s, g, horizon)
+		for _, nr := range rep.Nodes {
+			if nr.HappyCount == 0 {
+				t.Errorf("%s: node %d (degree %d) never happy in %d holidays",
+					algo, nr.Node, nr.Degree, horizon)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package chairman implements the Chairman Assignment Problem of Tijdeman
+// (Discrete Mathematics 1980), the classical single-resource scheduling
+// problem the paper positions itself against (§1.3): one chairman is chosen
+// per year, states have weights, and each state's cumulative count must
+// track its weight share as closely as possible. The holiday gathering
+// problem restricted to a clique with uniform weights is exactly this
+// problem, so the package serves as the exact comparator for experiment E15
+// (cliques are where the paper's power-of-two periods pay their rounding
+// cost).
+package chairman
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheduler assigns one chairman per step using the greedy largest-deficit
+// rule, which keeps every state's discrepancy |count_i − w_i·t| below 1 —
+// Tijdeman proved the optimal algorithm achieves 1 − 1/(2(n−1)), and the
+// greedy rule stays within the same unit envelope.
+type Scheduler struct {
+	weights []float64
+	counts  []int64
+	t       int64
+	maxDev  float64
+}
+
+// New builds a scheduler from positive weights, normalized to sum to 1.
+func New(weights []float64) (*Scheduler, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("chairman: need at least one state")
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("chairman: weight %d is %v; weights must be positive and finite", i, w)
+		}
+		sum += w
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / sum
+	}
+	return &Scheduler{weights: norm, counts: make([]int64, len(weights))}, nil
+}
+
+// Uniform builds a scheduler over n states of equal weight: the clique
+// special case of the gathering problem.
+func Uniform(n int) *Scheduler {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	s, err := New(w)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// N returns the number of states.
+func (s *Scheduler) N() int { return len(s.weights) }
+
+// Weight returns state i's normalized weight.
+func (s *Scheduler) Weight(i int) float64 { return s.weights[i] }
+
+// Count returns how many times state i has chaired so far.
+func (s *Scheduler) Count(i int) int64 { return s.counts[i] }
+
+// Step returns the current number of completed steps.
+func (s *Scheduler) Step() int64 { return s.t }
+
+// Next selects the chairman of the next step: the state with the largest
+// deficit w_i·(t+1) − count_i, ties broken by index. It also updates the
+// running maximum discrepancy.
+func (s *Scheduler) Next() int {
+	s.t++
+	best, bestDeficit := -1, math.Inf(-1)
+	for i, w := range s.weights {
+		d := w*float64(s.t) - float64(s.counts[i])
+		if d > bestDeficit {
+			best, bestDeficit = i, d
+		}
+	}
+	s.counts[best]++
+	for i, w := range s.weights {
+		dev := math.Abs(float64(s.counts[i]) - w*float64(s.t))
+		if dev > s.maxDev {
+			s.maxDev = dev
+		}
+	}
+	return best
+}
+
+// MaxDeviation returns the largest |count_i − w_i·t| observed so far. The
+// greedy rule keeps it below 1.
+func (s *Scheduler) MaxDeviation() float64 { return s.maxDev }
+
+// Run executes steps assignments and returns the chairman sequence.
+func (s *Scheduler) Run(steps int) []int {
+	out := make([]int, steps)
+	for k := range out {
+		out[k] = s.Next()
+	}
+	return out
+}
+
+// MaxGap returns, for each state, the largest distance between consecutive
+// chairing steps (counting from step 0) over a fresh simulation of the
+// given horizon. For weight w the gap stays below ⌈2/w⌉.
+func MaxGap(weights []float64, horizon int) ([]int64, error) {
+	s, err := New(weights)
+	if err != nil {
+		return nil, err
+	}
+	last := make([]int64, s.N())
+	gaps := make([]int64, s.N())
+	for k := 0; k < horizon; k++ {
+		i := s.Next()
+		if g := s.t - last[i]; g > gaps[i] {
+			gaps[i] = g
+		}
+		last[i] = s.t
+	}
+	return gaps, nil
+}

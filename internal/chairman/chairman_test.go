@@ -1,0 +1,117 @@
+package chairman
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformIsRoundRobin(t *testing.T) {
+	s := Uniform(4)
+	seq := s.Run(12)
+	// Largest-deficit with equal weights cycles through all states before
+	// repeating any.
+	seen := make(map[int]int)
+	for k, c := range seq {
+		seen[c]++
+		if k%4 == 3 {
+			for i := 0; i < 4; i++ {
+				if seen[i] != k/4+1 {
+					t.Fatalf("after %d steps state %d chaired %d times, want %d", k+1, i, seen[i], k/4+1)
+				}
+			}
+		}
+	}
+	if s.MaxDeviation() >= 1 {
+		t.Errorf("uniform deviation %.3f, want < 1", s.MaxDeviation())
+	}
+}
+
+func TestWeightedSharesTracked(t *testing.T) {
+	s, err := New([]float64{3, 2, 1}) // normalized to 1/2, 1/3, 1/6
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 6000
+	s.Run(steps)
+	wants := []float64{0.5, 1.0 / 3, 1.0 / 6}
+	for i, w := range wants {
+		got := float64(s.Count(i)) / float64(steps)
+		if math.Abs(got-w) > 0.001 {
+			t.Errorf("state %d share %.4f, want %.4f", i, got, w)
+		}
+	}
+	if s.MaxDeviation() >= 1 {
+		t.Errorf("deviation %.4f, want < 1 (Tijdeman envelope)", s.MaxDeviation())
+	}
+}
+
+func TestIrrationalWeights(t *testing.T) {
+	// Golden-ratio weights: the classic hard case for discrepancy.
+	phi := (math.Sqrt(5) - 1) / 2
+	s, err := New([]float64{phi, 1 - phi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(10000)
+	if s.MaxDeviation() >= 1 {
+		t.Errorf("deviation %.4f, want < 1", s.MaxDeviation())
+	}
+}
+
+func TestDeviationBoundQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		weights := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			if r > 0 {
+				weights = append(weights, float64(r))
+			}
+		}
+		if len(weights) == 0 || len(weights) > 12 {
+			return true
+		}
+		s, err := New(weights)
+		if err != nil {
+			return false
+		}
+		s.Run(2000)
+		return s.MaxDeviation() < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxGapBound(t *testing.T) {
+	gaps, err := MaxGap([]float64{4, 2, 1, 1}, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := []float64{0.5, 0.25, 0.125, 0.125}
+	for i, g := range gaps {
+		bound := int64(math.Ceil(2 / weights[i]))
+		if g > bound {
+			t.Errorf("state %d gap %d exceeds 2/w = %d", i, g, bound)
+		}
+	}
+}
+
+func TestNewRejectsBadWeights(t *testing.T) {
+	for _, ws := range [][]float64{nil, {}, {0}, {-1, 2}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := New(ws); err == nil {
+			t.Errorf("weights %v must be rejected", ws)
+		}
+	}
+}
+
+func TestCountsSumToSteps(t *testing.T) {
+	s := Uniform(7)
+	s.Run(100)
+	total := int64(0)
+	for i := 0; i < s.N(); i++ {
+		total += s.Count(i)
+	}
+	if total != 100 || s.Step() != 100 {
+		t.Errorf("counts sum %d at step %d, want 100", total, s.Step())
+	}
+}

@@ -1,0 +1,108 @@
+package coloring
+
+import (
+	"repro/internal/graph"
+)
+
+// ChromaticNumber computes χ(G) exactly by iterative-deepening backtracking
+// (worst-case exponential; intended for small graphs). It bounds the search
+// from below by a greedily grown clique and from above by smallest-last
+// greedy coloring. The §1 reduction makes χ(G) exactly the best possible
+// uniform schedule cycle, so experiment E12 cross-checks its periodic
+// search against this.
+func ChromaticNumber(g *graph.Graph) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	if g.M() == 0 {
+		return 1
+	}
+	lower := len(greedyClique(g))
+	upperCol := SmallestLast(g)
+	upper := upperCol.MaxColor()
+	for k := lower; k < upper; k++ {
+		if _, ok := KColoring(g, k); ok {
+			return k
+		}
+	}
+	return upper
+}
+
+// KColoring attempts to properly color g with colors 1..k, returning the
+// coloring and true on success. Backtracking over nodes in smallest-last
+// order with symmetry breaking (a node may open at most one new color).
+func KColoring(g *graph.Graph, k int) (Coloring, bool) {
+	n := g.N()
+	col := make(Coloring, n)
+	order := SmallestLastOrder(g)
+	// Reverse: color high-degeneracy vertices first for stronger pruning.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	var rec func(idx, used int) bool
+	rec = func(idx, used int) bool {
+		if idx == n {
+			return true
+		}
+		v := order[idx]
+		limit := used + 1 // symmetry breaking: first unused color only
+		if limit > k {
+			limit = k
+		}
+		for c := 1; c <= limit; c++ {
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if col[u] == c {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			col[v] = c
+			nextUsed := used
+			if c > used {
+				nextUsed = c
+			}
+			if rec(idx+1, nextUsed) {
+				return true
+			}
+			col[v] = 0
+		}
+		return false
+	}
+	if !rec(0, 0) {
+		return nil, false
+	}
+	return col, true
+}
+
+// greedyClique grows a clique greedily from the highest-degree vertex,
+// giving a cheap lower bound for the chromatic search.
+func greedyClique(g *graph.Graph) []int {
+	best := -1
+	for v := 0; v < g.N(); v++ {
+		if best == -1 || g.Degree(v) > g.Degree(best) {
+			best = v
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	clique := []int{best}
+	for _, u := range g.Neighbors(best) {
+		inClique := true
+		for _, w := range clique {
+			if u != w && !g.Adjacent(u, w) {
+				inClique = false
+				break
+			}
+		}
+		if inClique {
+			clique = append(clique, u)
+		}
+	}
+	return clique
+}

@@ -1,0 +1,90 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)
+		b.AddEdge(5+i, 5+(i+2)%5)
+		b.AddEdge(i, 5+i)
+	}
+	return b.Graph()
+}
+
+func TestChromaticNumberKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		chi  int
+	}{
+		{"empty", graph.Empty(4), 1},
+		{"no nodes", graph.Empty(0), 0},
+		{"K5", graph.Clique(5), 5},
+		{"C6", graph.Cycle(6), 2},
+		{"C7", graph.Cycle(7), 3},
+		{"petersen", petersen(), 3},
+		{"K34", graph.CompleteBipartite(3, 4), 2},
+		{"grid4x4", graph.Grid(4, 4), 2},
+		{"K222", graph.CompleteKPartite(2, 2, 2), 3},
+		{"wheel5", wheel(5), 4}, // odd cycle + hub
+		{"wheel6", wheel(6), 3}, // even cycle + hub
+	}
+	for _, tc := range cases {
+		if got := ChromaticNumber(tc.g); got != tc.chi {
+			t.Errorf("%s: χ = %d, want %d", tc.name, got, tc.chi)
+		}
+	}
+}
+
+// wheel returns C_n plus a hub adjacent to every rim vertex.
+func wheel(n int) *graph.Graph {
+	b := graph.NewBuilder(n + 1)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		b.AddEdge(i, n)
+	}
+	return b.Graph()
+}
+
+func TestKColoringProducesProperColoring(t *testing.T) {
+	g := petersen()
+	col, ok := KColoring(g, 3)
+	if !ok {
+		t.Fatal("Petersen graph is 3-colorable")
+	}
+	if err := Verify(g, col); err != nil {
+		t.Fatal(err)
+	}
+	if col.MaxColor() > 3 {
+		t.Errorf("used %d colors, budget 3", col.MaxColor())
+	}
+	if _, ok := KColoring(g, 2); ok {
+		t.Fatal("Petersen graph is not 2-colorable")
+	}
+}
+
+func TestChromaticMatchesGreedyUpperBound(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := graph.GNP(14, 0.3, seed)
+		chi := ChromaticNumber(g)
+		greedy := SmallestLast(g).MaxColor()
+		if chi > greedy {
+			t.Fatalf("seed %d: χ = %d exceeds greedy %d", seed, chi, greedy)
+		}
+		if chi >= 1 {
+			if col, ok := KColoring(g, chi); !ok || Verify(g, col) != nil {
+				t.Fatalf("seed %d: χ-coloring with %d colors not realizable", seed, chi)
+			}
+		}
+		if chi > 1 {
+			if _, ok := KColoring(g, chi-1); ok {
+				t.Fatalf("seed %d: graph colorable with χ-1 = %d colors", seed, chi-1)
+			}
+		}
+	}
+}

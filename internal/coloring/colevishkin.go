@@ -1,0 +1,163 @@
+package coloring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/localsim"
+)
+
+// This file implements the Cole–Vishkin deterministic color reduction on
+// oriented cycles: a 3-coloring in O(log* n) LOCAL rounds. The paper's
+// related work (§1.3) centers on coloring in Linial's LOCAL model, and —
+// pleasingly — Cole–Vishkin's round complexity is the very log* function
+// that governs the paper's Theorem 4.2 period bound. On cycle-shaped
+// communities it gives a deterministic 3-coloring, so the §4 scheduler
+// hosts every family at least every 2^ρ(3) = 8 holidays with no randomness
+// anywhere in the pipeline (experiment E17).
+//
+// Protocol, all nodes in lockstep (n is global knowledge):
+//
+//   - rounds 1..K (K precomputed from n): iterated bit reduction — each
+//     node, knowing its successor's color, moves to 2i + bit_i(color)
+//     where i is the lowest bit position differing from the successor.
+//     After K rounds every color lies in {0,…,5}.
+//   - rounds K+1..K+6: three shift-then-eliminate phases remove colors
+//     5, 4, 3. Shifting (every node adopts its successor's color) makes
+//     each color class independent with known neighbor colors, so the
+//     eliminated class can safely pick from {0, 1, 2}.
+
+// cvNode is the per-node state machine.
+type cvNode struct {
+	succ      int
+	color     int
+	succColor int
+	prevColor int // our pre-shift color = predecessor's post-shift color
+	k         int // reduction rounds
+}
+
+func (c *cvNode) Init(ctx *localsim.Context) {
+	c.succ = cycleSuccessor(ctx)
+	c.color = ctx.ID()
+	ctx.Send(cyclePredecessor(ctx, c.succ), c.color)
+}
+
+func (c *cvNode) Round(ctx *localsim.Context, inbox []localsim.Inbound) {
+	for _, m := range inbox {
+		if m.From == c.succ {
+			c.succColor = m.Payload.(int)
+		}
+	}
+	r := ctx.Round()
+	pred := cyclePredecessor(ctx, c.succ)
+	switch {
+	case r <= c.k:
+		// Iterated Cole–Vishkin reduction step.
+		c.color = cvStep(c.color, c.succColor)
+		ctx.Send(pred, c.color)
+	case (r-c.k)%2 == 1:
+		// Shift: adopt the successor's color. Our predecessor adopts our
+		// old color, so remember it.
+		c.prevColor = c.color
+		c.color = c.succColor
+		ctx.Send(pred, c.color)
+	default:
+		// Eliminate the phase's target color (5, then 4, then 3).
+		phase := (r - c.k - 1) / 2 // 0, 1, 2
+		target := 5 - phase
+		if c.color == target {
+			for cand := 0; cand < 3; cand++ {
+				if cand != c.succColor && cand != c.prevColor {
+					c.color = cand
+					break
+				}
+			}
+		}
+		if phase == 2 {
+			ctx.Halt()
+			return
+		}
+		ctx.Send(pred, c.color)
+	}
+}
+
+// cvStep maps a (color, successor color) pair to 2i + bit_i(color) where i
+// is the lowest differing bit position; adjacent results always differ.
+func cvStep(color, succColor int) int {
+	diff := color ^ succColor
+	if diff == 0 {
+		// Never happens on a properly colored cycle; keep the step total.
+		return color
+	}
+	i := bits.TrailingZeros(uint(diff))
+	return 2*i + (color>>uint(i))&1
+}
+
+// cvIterations returns a reduction-round budget guaranteeing that colors
+// drop from {0,…,n−1} into {0,…,5}: iterate the strict bound
+// B → 2·bitlen(B−1) until it fixes at 6, plus slack.
+func cvIterations(n int) int {
+	k := 0
+	b := uint64(n)
+	if b < 7 {
+		b = 7
+	}
+	for b > 6 {
+		b = 2 * uint64(bits.Len64(b-1))
+		k++
+	}
+	return k + 2
+}
+
+// cycleSuccessor identifies the next node on the canonical cycle
+// 0 → 1 → … → n−1 → 0 from the sorted neighbor list.
+func cycleSuccessor(ctx *localsim.Context) int {
+	id := ctx.ID()
+	for _, u := range ctx.Neighbors() {
+		if u == id+1 {
+			return u
+		}
+	}
+	return ctx.Neighbors()[0] // wrap-around for the largest id
+}
+
+// cyclePredecessor is the other neighbor.
+func cyclePredecessor(ctx *localsim.Context, succ int) int {
+	for _, u := range ctx.Neighbors() {
+		if u != succ {
+			return u
+		}
+	}
+	return succ
+}
+
+// ColeVishkinCycle 3-colors the cycle C_n (as built by graph.Cycle: edges
+// i—i+1 and n−1—0) deterministically in O(log* n) LOCAL rounds. Returns
+// the coloring (colors 1..3) and run statistics.
+func ColeVishkinCycle(g *graph.Graph, n int) (Coloring, RunStats, error) {
+	if g.N() != n || n < 3 {
+		return nil, RunStats{}, fmt.Errorf("coloring: cole-vishkin needs the cycle C_n, n >= 3")
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 2 {
+			return nil, RunStats{}, fmt.Errorf("coloring: node %d has degree %d; not a cycle", v, g.Degree(v))
+		}
+	}
+	k := cvIterations(n)
+	nodes := make([]*cvNode, n)
+	net := localsim.New(g, func(v int) localsim.Algorithm {
+		nodes[v] = &cvNode{k: k}
+		return nodes[v]
+	})
+	rounds, done := net.Run(k + 7)
+	stats := RunStats{Rounds: rounds, Messages: net.Messages()}
+	if !done {
+		return nil, stats, fmt.Errorf("coloring: cole-vishkin did not halt in %d rounds", k+7)
+	}
+	col := make(Coloring, n)
+	for v, nd := range nodes {
+		col[v] = nd.color + 1 // shift {0,1,2} to colors {1,2,3}
+	}
+	return col, stats, nil
+}

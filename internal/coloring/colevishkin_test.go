@@ -1,0 +1,125 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+func TestColeVishkinProper3Coloring(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 7, 10, 33, 100, 1024, 4096} {
+		g := graph.Cycle(n)
+		col, stats, err := ColeVishkinCycle(g, n)
+		if err != nil {
+			t.Fatalf("C%d: %v", n, err)
+		}
+		if err := Verify(g, col); err != nil {
+			t.Fatalf("C%d: %v", n, err)
+		}
+		if mc := col.MaxColor(); mc > 3 {
+			t.Errorf("C%d: used color %d, want ≤ 3", n, mc)
+		}
+		if stats.Rounds == 0 || stats.Messages == 0 {
+			t.Errorf("C%d: no distributed work recorded", n)
+		}
+	}
+}
+
+// The whole point: round complexity grows like log*, not log. Going from
+// C_16 to C_4096 (256x the nodes) must add only a handful of rounds.
+func TestColeVishkinLogStarRounds(t *testing.T) {
+	rounds := func(n int) int {
+		g := graph.Cycle(n)
+		_, stats, err := ColeVishkinCycle(g, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Rounds
+	}
+	small, large := rounds(16), rounds(4096)
+	if large > small+4 {
+		t.Errorf("rounds grew from %d (C16) to %d (C4096); want log*-like growth", small, large)
+	}
+	if large > 20 {
+		t.Errorf("C4096 took %d rounds; expected O(log* n) ≈ small constant", large)
+	}
+}
+
+func TestColeVishkinRejectsNonCycles(t *testing.T) {
+	if _, _, err := ColeVishkinCycle(graph.Star(5), 5); err == nil {
+		t.Fatal("star must be rejected")
+	}
+	if _, _, err := ColeVishkinCycle(graph.Cycle(5), 4); err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+}
+
+func TestCvStepAdjacentDistinct(t *testing.T) {
+	// For any proper pair (a != b), step(a, b) != step(b, c) whenever the
+	// triple a, b, c is properly colored: check exhaustively on small
+	// values.
+	for a := 0; a < 40; a++ {
+		for b := 0; b < 40; b++ {
+			if a == b {
+				continue
+			}
+			for c := 0; c < 40; c++ {
+				if b == c {
+					continue
+				}
+				if cvStep(a, b) == cvStep(b, c) {
+					t.Fatalf("cvStep collision: (%d,%d)->%d and (%d,%d)->%d",
+						a, b, cvStep(a, b), b, c, cvStep(b, c))
+				}
+			}
+		}
+	}
+}
+
+func TestCvIterationsBudget(t *testing.T) {
+	// Simulate the bound sequence directly: after cvIterations(n) steps of
+	// B -> 2*bitlen(B-1), the strict color bound must be at most 6.
+	for _, n := range []int{3, 7, 8, 100, 1 << 16, 1 << 30} {
+		k := cvIterations(n)
+		b := uint64(n)
+		if b < 7 {
+			b = 7
+		}
+		for i := 0; i < k && b > 6; i++ {
+			nb := uint64(2 * bitsLen64(b-1))
+			b = nb
+		}
+		if b > 6 {
+			t.Errorf("n=%d: budget %d leaves bound %d > 6", n, k, b)
+		}
+	}
+}
+
+func bitsLen64(x uint64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Deterministic end-to-end: Cole–Vishkin coloring feeding the §4 scheduler
+// gives every node on any cycle a period of at most 2^rho(3) = 8, with no
+// randomness anywhere.
+func TestColeVishkinFeedsColorBound(t *testing.T) {
+	n := 101
+	g := graph.Cycle(n)
+	col, _, err := ColeVishkinCycle(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Import cycle: core depends on coloring, so replicate the period
+	// computation directly from the code lengths.
+	for v := 0; v < n; v++ {
+		if l := prefixcode.Rho(uint64(col[v])); l > 3 {
+			t.Errorf("node %d color %d has omega length %d, want ≤ 3 (period ≤ 8)", v, col[v], l)
+		}
+	}
+}

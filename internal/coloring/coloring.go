@@ -1,0 +1,71 @@
+// Package coloring provides the graph-coloring substrate the paper's
+// schedulers are built on: sequential greedy orders, DSATUR, smallest-last,
+// bipartite 2-coloring, and a distributed Johansson-style randomized
+// (Δ+1)-list-coloring running on the localsim LOCAL-model simulator — the
+// black box inside the BEPS algorithm that the paper uses for initialization
+// (§3) and for the restricted-palette phases of §5.2.
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// A Coloring assigns color col[v] >= 1 to every node; 0 means uncolored.
+type Coloring []int
+
+// MaxColor returns the largest color used (0 for an empty coloring).
+func (c Coloring) MaxColor() int {
+	max := 0
+	for _, x := range c {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// CountColors returns the number of distinct colors used (ignoring 0).
+func (c Coloring) CountColors() int {
+	seen := make(map[int]bool)
+	for _, x := range c {
+		if x > 0 {
+			seen[x] = true
+		}
+	}
+	return len(seen)
+}
+
+// Verify checks that c is a proper, complete coloring of g: every node has a
+// color >= 1 and no edge is monochromatic.
+func Verify(g *graph.Graph, c Coloring) error {
+	if len(c) != g.N() {
+		return fmt.Errorf("coloring: have %d colors for %d nodes", len(c), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		if c[v] < 1 {
+			return fmt.Errorf("coloring: node %d is uncolored", v)
+		}
+		for _, u := range g.Neighbors(v) {
+			if c[u] == c[v] {
+				return fmt.Errorf("coloring: edge (%d,%d) is monochromatic with color %d", v, u, c[v])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyDegreeBounded checks Verify plus the BEPS/Johansson guarantee the
+// paper relies on (§3): col(v) <= deg(v) + 1 for every node.
+func VerifyDegreeBounded(g *graph.Graph, c Coloring) error {
+	if err := Verify(g, c); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if c[v] > g.Degree(v)+1 {
+			return fmt.Errorf("coloring: node %d has color %d > deg+1 = %d", v, c[v], g.Degree(v)+1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package coloring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// zoo returns the graph families used across coloring tests.
+func zoo() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"clique8":   graph.Clique(8),
+		"cycle9":    graph.Cycle(9),
+		"cycle10":   graph.Cycle(10),
+		"star20":    graph.Star(20),
+		"path15":    graph.Path(15),
+		"grid5x6":   graph.Grid(5, 6),
+		"gnp100":    graph.GNP(100, 0.08, 7),
+		"gnp200":    graph.GNP(200, 0.03, 8),
+		"tree50":    graph.RandomTree(50, 9),
+		"regular6":  graph.RandomRegular(60, 6, 10),
+		"powerlaw":  graph.PreferentialAttachment(120, 3, 11),
+		"bipartite": graph.RandomBipartite(30, 40, 0.2, 12),
+		"kpartite":  graph.CompleteKPartite(4, 5, 6),
+		"singleton": graph.Empty(1),
+		"edgeless":  graph.Empty(12),
+	}
+}
+
+func TestGreedyProperAndDegreeBounded(t *testing.T) {
+	for name, g := range zoo() {
+		col := Greedy(g, IdentityOrder(g.N()))
+		if err := VerifyDegreeBounded(g, col); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGreedyDecreasingDegreeOrder(t *testing.T) {
+	for name, g := range zoo() {
+		col := Greedy(g, ByDecreasingDegree(g))
+		if err := VerifyDegreeBounded(g, col); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSmallestLast(t *testing.T) {
+	for name, g := range zoo() {
+		col := SmallestLast(g)
+		if err := VerifyDegreeBounded(g, col); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// A tree has degeneracy 1, so smallest-last uses at most 2 colors even
+	// though the max degree can be large.
+	tree := graph.RandomTree(200, 5)
+	if c := SmallestLast(tree).MaxColor(); c > 2 {
+		t.Errorf("smallest-last used %d colors on a tree, want <= 2", c)
+	}
+}
+
+func TestDSATUR(t *testing.T) {
+	for name, g := range zoo() {
+		col := DSATUR(g)
+		if err := VerifyDegreeBounded(g, col); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// DSATUR is exact on bipartite graphs.
+	bip := graph.RandomBipartite(25, 25, 0.3, 3)
+	if bip.M() > 0 {
+		if c := DSATUR(bip).MaxColor(); c != 2 {
+			t.Errorf("DSATUR used %d colors on a bipartite graph, want 2", c)
+		}
+	}
+}
+
+func TestBipartiteColoring(t *testing.T) {
+	g := graph.CompleteBipartite(5, 9)
+	col, err := Bipartite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, col); err != nil {
+		t.Fatal(err)
+	}
+	if col.MaxColor() != 2 || col.CountColors() != 2 {
+		t.Errorf("bipartite coloring used %d colors, want 2", col.CountColors())
+	}
+	if _, err := Bipartite(graph.Cycle(5)); err == nil {
+		t.Error("odd cycle must fail bipartite coloring")
+	}
+}
+
+func TestByDecreasingDegreeOrdering(t *testing.T) {
+	g := graph.Star(6)
+	order := ByDecreasingDegree(g)
+	if order[0] != 0 {
+		t.Errorf("star center must come first, got %v", order)
+	}
+	for i := 1; i+1 < len(order); i++ {
+		if g.Degree(order[i]) < g.Degree(order[i+1]) {
+			t.Errorf("order not by decreasing degree: %v", order)
+		}
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	g := graph.Path(3)
+	if err := Verify(g, Coloring{1, 1, 2}); err == nil {
+		t.Error("monochromatic edge must be caught")
+	}
+	if err := Verify(g, Coloring{1, 0, 1}); err == nil {
+		t.Error("uncolored node must be caught")
+	}
+	if err := Verify(g, Coloring{1, 2}); err == nil {
+		t.Error("length mismatch must be caught")
+	}
+	if err := VerifyDegreeBounded(g, Coloring{3, 2, 3}); err == nil {
+		t.Error("color above deg+1 must be caught (endpoints have degree 1)")
+	}
+}
+
+func TestColoringStats(t *testing.T) {
+	c := Coloring{3, 1, 3, 2}
+	if c.MaxColor() != 3 {
+		t.Errorf("max color = %d, want 3", c.MaxColor())
+	}
+	if c.CountColors() != 3 {
+		t.Errorf("count = %d, want 3", c.CountColors())
+	}
+	var empty Coloring
+	if empty.MaxColor() != 0 || empty.CountColors() != 0 {
+		t.Error("empty coloring stats must be 0")
+	}
+}
+
+// Property: greedy stays proper and degree-bounded on random graphs and
+// random orders.
+func TestGreedyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%50)
+		g := graph.GNP(n, 0.25, seed)
+		col := Greedy(g, IdentityOrder(g.N()))
+		return VerifyDegreeBounded(g, col) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/localsim"
+)
+
+// RunStats reports the distributed cost of a coloring execution, the
+// quantities Theorem 3.1 and §5.2 bound.
+type RunStats struct {
+	Rounds   int   // synchronous LOCAL rounds executed
+	Messages int64 // total messages sent
+}
+
+// msgKind tags the two message types of the Johansson protocol.
+type msgKind uint8
+
+const (
+	msgCandidate msgKind = iota
+	msgDecided
+)
+
+type colorMsg struct {
+	kind  msgKind
+	color int
+}
+
+// johanssonNode runs the randomized list-coloring at one node: in odd rounds
+// pick a uniform candidate from the remaining palette and broadcast it; in
+// even rounds keep the candidate iff no conflicting candidate from a
+// smaller-id undecided neighbor arrived, then broadcast the decision. A
+// decided color is removed from every neighbor's palette. This is the simple
+// distributed (deg+1)-coloring of Johansson [16], the black box inside BEPS
+// [5]; with palettes of size deg(v)+1 it always terminates, using O(log n)
+// iterations with high probability.
+type johanssonNode struct {
+	id           int
+	palette      map[int]bool
+	candidate    int
+	hasCandidate bool
+	decided      bool
+	chosen       int
+	failed       bool // palette exhausted (impossible for valid list sizes)
+}
+
+func (j *johanssonNode) Init(ctx *localsim.Context) {
+	if len(j.palette) == 0 {
+		// Inactive node (empty palette by construction): nothing to do.
+		j.decided = true
+		j.chosen = -1
+		ctx.Halt()
+	}
+}
+
+func (j *johanssonNode) Round(ctx *localsim.Context, inbox []localsim.Inbound) {
+	// Process palette removals and conflicts from the previous round.
+	conflict := false
+	for _, m := range inbox {
+		msg := m.Payload.(colorMsg)
+		switch msg.kind {
+		case msgDecided:
+			delete(j.palette, msg.color)
+		case msgCandidate:
+			if j.hasCandidate && msg.color == j.candidate && m.From < j.id {
+				conflict = true
+			}
+		}
+	}
+	if ctx.Round()%2 == 0 {
+		// Resolution round: decide if our candidate survived.
+		if j.hasCandidate && !conflict {
+			j.decided = true
+			j.chosen = j.candidate
+			ctx.Broadcast(colorMsg{msgDecided, j.chosen})
+			ctx.Halt()
+		}
+		j.hasCandidate = false
+		return
+	}
+	// Candidate round: sample from what remains of the palette.
+	if len(j.palette) == 0 {
+		j.failed = true
+		ctx.Halt()
+		return
+	}
+	keys := make([]int, 0, len(j.palette))
+	for c := range j.palette {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys) // deterministic iteration for reproducible sampling
+	j.candidate = keys[ctx.Rand().IntN(len(keys))]
+	j.hasCandidate = true
+	ctx.Broadcast(colorMsg{msgCandidate, j.candidate})
+}
+
+// DistributedList runs the randomized list-coloring with an explicit palette
+// per node. Nodes with nil palettes are inactive: they do not participate
+// and receive assignment -1. For every active node the palette must exceed
+// the number of its active neighbors, or the run may fail. Returns the
+// assignment (chosen palette entries) and run statistics.
+func DistributedList(g *graph.Graph, palettes [][]int, seed uint64) ([]int, RunStats, error) {
+	if len(palettes) != g.N() {
+		return nil, RunStats{}, fmt.Errorf("coloring: %d palettes for %d nodes", len(palettes), g.N())
+	}
+	nodes := make([]*johanssonNode, g.N())
+	net := localsim.New(g, func(v int) localsim.Algorithm {
+		pal := make(map[int]bool, len(palettes[v]))
+		for _, c := range palettes[v] {
+			pal[c] = true
+		}
+		nodes[v] = &johanssonNode{id: v, palette: pal}
+		return nodes[v]
+	}, localsim.WithSeed(seed))
+
+	maxRounds := 4*g.N() + 16
+	rounds, done := net.Run(maxRounds)
+	stats := RunStats{Rounds: rounds, Messages: net.Messages()}
+	if !done {
+		return nil, stats, fmt.Errorf("coloring: distributed coloring did not converge in %d rounds", maxRounds)
+	}
+	out := make([]int, g.N())
+	for v, node := range nodes {
+		if node.failed {
+			return nil, stats, fmt.Errorf("coloring: node %d exhausted its palette", v)
+		}
+		out[v] = node.chosen
+	}
+	return out, stats, nil
+}
+
+// DistributedDelta1 runs the distributed coloring with the standard palette
+// {1, …, deg(v)+1} at every node. The result is a proper coloring with
+// col(v) <= deg(v)+1 — the initialization the paper's Phased Greedy
+// algorithm (§3) requires.
+func DistributedDelta1(g *graph.Graph, seed uint64) (Coloring, RunStats, error) {
+	palettes := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		pal := make([]int, g.Degree(v)+1)
+		for i := range pal {
+			pal[i] = i + 1
+		}
+		palettes[v] = pal
+	}
+	out, stats, err := DistributedList(g, palettes, seed)
+	if err != nil {
+		return nil, stats, err
+	}
+	return Coloring(out), stats, nil
+}

@@ -1,0 +1,136 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDistributedDelta1OnZoo(t *testing.T) {
+	for name, g := range zoo() {
+		col, stats, err := DistributedDelta1(g, 77)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyDegreeBounded(g, col); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.N() > 0 && stats.Rounds == 0 && g.M() > 0 {
+			t.Errorf("%s: expected at least one round", name)
+		}
+	}
+}
+
+func TestDistributedDelta1Deterministic(t *testing.T) {
+	g := graph.GNP(150, 0.05, 4)
+	a, _, err := DistributedDelta1(g, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := DistributedDelta1(g, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d: colors differ across identical runs: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestDistributedDelta1DifferentSeedsDiffer(t *testing.T) {
+	g := graph.GNP(150, 0.05, 4)
+	a, _, _ := DistributedDelta1(g, 1)
+	b, _, _ := DistributedDelta1(g, 2)
+	same := true
+	for v := range a {
+		if a[v] != b[v] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical colorings (suspicious)")
+	}
+}
+
+func TestDistributedListWithResiduePalettes(t *testing.T) {
+	// Palettes may legitimately contain 0 (the §5.2 residue palettes do).
+	g := graph.Clique(4)
+	palettes := [][]int{{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}}
+	out, _, err := DistributedList(g, palettes, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for v, x := range out {
+		if x < 0 || x > 3 {
+			t.Fatalf("node %d got %d outside palette", v, x)
+		}
+		if seen[x] {
+			t.Fatalf("clique nodes share value %d", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestDistributedListInactiveNodes(t *testing.T) {
+	g := graph.Path(5)
+	palettes := make([][]int, 5)
+	palettes[1] = []int{1, 2}
+	palettes[3] = []int{1, 2}
+	out, _, err := DistributedList(g, palettes, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 2, 4} {
+		if out[v] != -1 {
+			t.Errorf("inactive node %d got %d, want -1", v, out[v])
+		}
+	}
+	for _, v := range []int{1, 3} {
+		if out[v] != 1 && out[v] != 2 {
+			t.Errorf("active node %d got %d, want palette entry", v, out[v])
+		}
+	}
+}
+
+func TestDistributedListPaletteSizeMismatch(t *testing.T) {
+	g := graph.Path(3)
+	if _, _, err := DistributedList(g, make([][]int, 2), 1); err == nil {
+		t.Fatal("palette count mismatch must error")
+	}
+}
+
+func TestDistributedListRespectsPalettes(t *testing.T) {
+	// Adjacent nodes with disjoint palettes can decide in parallel.
+	g := graph.CompleteBipartite(3, 3)
+	palettes := [][]int{{10}, {10}, {10}, {20}, {20}, {20}}
+	out, _, err := DistributedList(g, palettes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if out[v] != 10 {
+			t.Errorf("left node %d got %d, want 10", v, out[v])
+		}
+	}
+	for v := 3; v < 6; v++ {
+		if out[v] != 20 {
+			t.Errorf("right node %d got %d, want 20", v, out[v])
+		}
+	}
+}
+
+func TestDistributedRoundsScaleGently(t *testing.T) {
+	// With high probability the Johansson process finishes in O(log n)
+	// iterations; allow a generous constant.
+	g := graph.GNP(400, 0.02, 21)
+	_, stats, err := DistributedDelta1(g, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds > 200 {
+		t.Errorf("distributed coloring took %d rounds on n=400; expected far fewer", stats.Rounds)
+	}
+}

@@ -1,0 +1,62 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/localsim"
+)
+
+// runJohanssonWithDrops executes the Johansson protocol over a lossy
+// network. With message loss the protocol's safety argument breaks (a lost
+// "decided" message lets a neighbor reuse the color), so the outcome must
+// be treated as untrusted and run through Verify.
+func runJohanssonWithDrops(t *testing.T, g *graph.Graph, drop float64, seed uint64) Coloring {
+	t.Helper()
+	nodes := make([]*johanssonNode, g.N())
+	net := localsim.New(g, func(v int) localsim.Algorithm {
+		pal := make(map[int]bool, g.Degree(v)+1)
+		for c := 1; c <= g.Degree(v)+1; c++ {
+			pal[c] = true
+		}
+		nodes[v] = &johanssonNode{id: v, palette: pal}
+		return nodes[v]
+	}, localsim.WithSeed(seed), localsim.WithDropRate(drop))
+	net.Run(4*g.N() + 16)
+	col := make(Coloring, g.N())
+	for v, n := range nodes {
+		col[v] = n.chosen
+	}
+	return col
+}
+
+// Failure injection: under heavy message loss the distributed coloring can
+// emit improper or incomplete colorings — and the verifier must catch every
+// such outcome rather than silently accepting it. (This is the test that
+// justifies running Verify on every distributed result before building a
+// scheduler on top of it.)
+func TestVerifierCatchesLossyColorings(t *testing.T) {
+	g := graph.Clique(12) // dense: every lost decision risks a collision
+	sawFailure := false
+	for seed := uint64(0); seed < 20; seed++ {
+		col := runJohanssonWithDrops(t, g, 0.4, seed)
+		if err := Verify(g, col); err != nil {
+			sawFailure = true
+		}
+	}
+	if !sawFailure {
+		t.Error("expected at least one verification failure at 40% message loss on K12")
+	}
+}
+
+// Sanity: with zero drop rate the same harness always verifies — the
+// verifier only fires on real corruption.
+func TestLossyHarnessCleanAtZeroDrop(t *testing.T) {
+	g := graph.Clique(12)
+	for seed := uint64(0); seed < 5; seed++ {
+		col := runJohanssonWithDrops(t, g, 0, seed)
+		if err := VerifyDegreeBounded(g, col); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package coloring
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Greedy colors nodes in the given order, assigning each the smallest color
+// not used by an already-colored neighbor. Any order yields col(v) <=
+// deg(v) + 1, the property the paper's §3 initialization needs.
+func Greedy(g *graph.Graph, order []int) Coloring {
+	col := make(Coloring, g.N())
+	// used marks colors taken in the current node's neighborhood; stamped by
+	// node index to avoid clearing between iterations.
+	used := make([]int, g.N()+2)
+	for i := range used {
+		used[i] = -1
+	}
+	for stamp, v := range order {
+		for _, u := range g.Neighbors(v) {
+			if col[u] > 0 && col[u] < len(used) {
+				used[col[u]] = stamp
+			}
+		}
+		c := 1
+		for used[c] == stamp {
+			c++
+		}
+		col[v] = c
+	}
+	return col
+}
+
+// IdentityOrder returns 0..n-1.
+func IdentityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// ByDecreasingDegree returns the nodes of g sorted by decreasing degree,
+// ties broken by id — the processing order of the §5.1 sequential
+// degree-bound algorithm.
+func ByDecreasingDegree(g *graph.Graph) []int {
+	order := IdentityOrder(g.N())
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// SmallestLastOrder returns a degeneracy ordering: repeatedly remove a
+// minimum-degree node; the reverse removal order. Greedy coloring in this
+// order uses at most degeneracy+1 colors.
+func SmallestLastOrder(g *graph.Graph) []int {
+	n := g.N()
+	deg := g.Degrees()
+	removed := make([]bool, n)
+	// Bucket queue over degrees.
+	buckets := make([][]int, n+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	order := make([]int, 0, n)
+	cur := 0
+	for len(order) < n {
+		if cur > n {
+			break
+		}
+		for cur <= n && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > n {
+			break
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		removed[v] = true
+		order = append(order, v)
+		for _, u := range g.Neighbors(v) {
+			if !removed[u] {
+				deg[u]--
+				buckets[deg[u]] = append(buckets[deg[u]], u)
+				if deg[u] < cur {
+					cur = deg[u]
+				}
+			}
+		}
+	}
+	// Reverse: color the last-removed (lowest residual degree) nodes last.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// SmallestLast colors g greedily in smallest-last (degeneracy) order.
+func SmallestLast(g *graph.Graph) Coloring {
+	return Greedy(g, SmallestLastOrder(g))
+}
+
+// DSATUR colors g with the DSATUR heuristic: repeatedly color the node with
+// the most distinctly-colored neighbors (saturation), breaking ties by
+// residual degree then id.
+func DSATUR(g *graph.Graph) Coloring {
+	n := g.N()
+	col := make(Coloring, n)
+	satSets := make([]map[int]bool, n)
+	for v := range satSets {
+		satSets[v] = make(map[int]bool)
+	}
+	for colored := 0; colored < n; colored++ {
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if col[v] != 0 {
+				continue
+			}
+			sat, deg := len(satSets[v]), g.Degree(v)
+			if sat > bestSat || (sat == bestSat && deg > bestDeg) {
+				best, bestSat, bestDeg = v, sat, deg
+			}
+		}
+		c := 1
+		for satSets[best][c] {
+			c++
+		}
+		col[best] = c
+		for _, u := range g.Neighbors(best) {
+			if col[u] == 0 {
+				satSets[u][c] = true
+			}
+		}
+	}
+	return col
+}
+
+// Bipartite returns the 2-coloring of a bipartite graph (colors 1 and 2), or
+// an error if g contains an odd cycle. This realizes the intro's intergroup
+// marriage example: with 2 colors every family is happy every other year.
+func Bipartite(g *graph.Graph) (Coloring, error) {
+	side, ok := g.Bipartition()
+	if !ok {
+		return nil, fmt.Errorf("coloring: graph is not bipartite")
+	}
+	col := make(Coloring, g.N())
+	for v, s := range side {
+		col[v] = s + 1
+	}
+	return col, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// NodeReport summarizes one node's experience over an analyzed horizon.
+type NodeReport struct {
+	Node       int
+	Degree     int
+	HappyCount int64
+	FirstHappy int64 // holiday of first happiness, 0 if never
+	// MaxUnhappyRun is the paper's mul(p): the length of the longest run of
+	// consecutive holidays with no happiness, counting the partial runs at
+	// the start and end of the horizon.
+	MaxUnhappyRun int64
+	// MaxGap is the largest difference between consecutive happy holidays
+	// (0 when the node was happy fewer than twice).
+	MaxGap int64
+	// MeanGap is the average difference between consecutive happy holidays.
+	MeanGap float64
+}
+
+// Report is the result of analyzing a scheduler run.
+type Report struct {
+	Scheduler string
+	Horizon   int64
+	Nodes     []NodeReport
+	// IndependenceViolations counts holidays whose happy set induced an
+	// edge; always 0 for a correct scheduler.
+	IndependenceViolations int64
+	// EmptyHolidays counts holidays with no happy node at all.
+	EmptyHolidays int64
+}
+
+// Analyze runs s for the given number of holidays over conflict graph g,
+// verifying the independence invariant every holiday and collecting per-node
+// gap statistics.
+func Analyze(s Scheduler, g *graph.Graph, horizon int64) *Report {
+	n := g.N()
+	rep := &Report{Scheduler: s.Name(), Horizon: horizon, Nodes: make([]NodeReport, n)}
+	lastHappy := make([]int64, n)
+	var sumGaps []int64 = make([]int64, n)
+	var numGaps []int64 = make([]int64, n)
+	for v := 0; v < n; v++ {
+		rep.Nodes[v] = NodeReport{Node: v, Degree: g.Degree(v)}
+	}
+	for t := int64(1); t <= horizon; t++ {
+		happy := s.Next()
+		if len(happy) == 0 {
+			rep.EmptyHolidays++
+		}
+		if !g.IsIndependent(happy) {
+			rep.IndependenceViolations++
+		}
+		for _, v := range happy {
+			nr := &rep.Nodes[v]
+			run := t - lastHappy[v] - 1 // unhappy holidays since last happiness
+			if run > nr.MaxUnhappyRun {
+				nr.MaxUnhappyRun = run
+			}
+			if nr.HappyCount > 0 {
+				gap := t - lastHappy[v]
+				if gap > nr.MaxGap {
+					nr.MaxGap = gap
+				}
+				sumGaps[v] += gap
+				numGaps[v]++
+			} else {
+				nr.FirstHappy = t
+			}
+			nr.HappyCount++
+			lastHappy[v] = t
+		}
+	}
+	for v := 0; v < n; v++ {
+		nr := &rep.Nodes[v]
+		// Trailing partial run of unhappiness.
+		if run := horizon - lastHappy[v]; run > nr.MaxUnhappyRun {
+			nr.MaxUnhappyRun = run
+		}
+		if numGaps[v] > 0 {
+			nr.MeanGap = float64(sumGaps[v]) / float64(numGaps[v])
+		}
+	}
+	return rep
+}
+
+// MaxUnhappyRunByDegree aggregates the worst unhappy run observed at each
+// degree value, the series plotted by experiment E4.
+func (r *Report) MaxUnhappyRunByDegree() map[int]int64 {
+	out := make(map[int]int64)
+	for _, nr := range r.Nodes {
+		if nr.MaxUnhappyRun > out[nr.Degree] {
+			out[nr.Degree] = nr.MaxUnhappyRun
+		}
+	}
+	return out
+}
+
+// CheckBound verifies bound(v) ≥ MaxUnhappyRun for every node, returning a
+// descriptive error for the first violation. Experiments use it to assert
+// the paper's per-node guarantees.
+func (r *Report) CheckBound(bound func(nr NodeReport) int64) error {
+	for _, nr := range r.Nodes {
+		if b := bound(nr); nr.MaxUnhappyRun > b {
+			return fmt.Errorf("core: node %d (degree %d) has unhappy run %d exceeding bound %d",
+				nr.Node, nr.Degree, nr.MaxUnhappyRun, b)
+		}
+	}
+	return nil
+}
+
+// VerifyPeriodicity checks that a Periodic scheduler's emitted happy sets
+// over the horizon match its closed form exactly.
+func VerifyPeriodicity(p Periodic, g *graph.Graph, horizon int64) error {
+	for t := int64(1); t <= horizon; t++ {
+		happy := p.Next()
+		inSet := make(map[int]bool, len(happy))
+		for _, v := range happy {
+			inSet[v] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			want := HappyAt(p, v, t)
+			if want != inSet[v] {
+				return fmt.Errorf("core: %s: node %d at holiday %d: closed form says %v, Next says %v",
+					p.Name(), v, t, want, inSet[v])
+			}
+		}
+	}
+	return nil
+}

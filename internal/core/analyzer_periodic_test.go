@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/prefixcode"
+)
+
+// The closed-form analyzer must agree with full simulation on every field
+// for every periodic scheduler and graph family.
+func TestAnalyzePeriodicMatchesSimulation(t *testing.T) {
+	for name, g := range testZoo() {
+		schedulers := []Periodic{
+			NewDegreeBoundSequential(g),
+		}
+		if cb, err := NewColorBound(g, greedyColoring(g), prefixcode.Omega{}); err == nil {
+			schedulers = append(schedulers, cb)
+		}
+		if rr, err := NewRoundRobin(g, greedyColoring(g)); err == nil {
+			schedulers = append(schedulers, rr)
+		}
+		for _, p := range schedulers {
+			horizon := int64(300)
+			fast := AnalyzePeriodic(p, g, horizon)
+			slow := Analyze(freshCopy(t, p, g), g, horizon)
+			if fast.IndependenceViolations != 0 || slow.IndependenceViolations != 0 {
+				t.Fatalf("%s/%s: unexpected violations", name, p.Name())
+			}
+			if fast.EmptyHolidays != slow.EmptyHolidays {
+				t.Errorf("%s/%s: empty holidays %d (closed form) vs %d (simulated)",
+					name, p.Name(), fast.EmptyHolidays, slow.EmptyHolidays)
+			}
+			for v := range fast.Nodes {
+				f, s := fast.Nodes[v], slow.Nodes[v]
+				if f != s {
+					t.Fatalf("%s/%s: node %d closed form %+v != simulated %+v",
+						name, p.Name(), v, f, s)
+				}
+			}
+		}
+	}
+}
+
+// freshCopy rebuilds an identical scheduler so the simulation starts from
+// holiday 1 (Periodic schedulers are stateful iterators).
+func freshCopy(t *testing.T, p Periodic, g interface {
+	N() int
+}) Scheduler {
+	t.Helper()
+	switch s := p.(type) {
+	case *DegreeBound:
+		db := &DegreeBound{g: s.g, name: s.name, periods: s.periods, offsets: s.offsets}
+		return db
+	case *ColorBound:
+		cb := *s
+		cb.t = 0
+		return &cb
+	case *RoundRobin:
+		rr := *s
+		rr.t = 0
+		return &rr
+	default:
+		t.Fatalf("unknown periodic scheduler %T", p)
+		return nil
+	}
+}
+
+func TestAnalyzePeriodicNeverHappyNode(t *testing.T) {
+	g := testZoo()["edgeless"]
+	db := NewDegreeBoundSequential(g)
+	// Isolated nodes have period 1: happy every holiday. Check horizon
+	// accounting is exact anyway.
+	rep := AnalyzePeriodic(db, g, 10)
+	for _, nr := range rep.Nodes {
+		if nr.HappyCount != 10 || nr.MaxUnhappyRun != 0 {
+			t.Fatalf("isolated node report %+v", nr)
+		}
+	}
+}

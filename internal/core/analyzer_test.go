@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// scriptedScheduler replays a fixed sequence of happy sets for analyzer
+// tests.
+type scriptedScheduler struct {
+	script [][]int
+	t      int64
+}
+
+func (s *scriptedScheduler) Name() string { return "scripted" }
+func (s *scriptedScheduler) Next() []int {
+	s.t++
+	if int(s.t) <= len(s.script) {
+		return s.script[s.t-1]
+	}
+	return nil
+}
+func (s *scriptedScheduler) Holiday() int64 { return s.t }
+
+func TestAnalyzeGapAccounting(t *testing.T) {
+	g := graph.Empty(2)
+	s := &scriptedScheduler{script: [][]int{
+		{0},    // t=1
+		{},     // t=2
+		{},     // t=3
+		{0, 1}, // t=4
+		{},     // t=5
+	}}
+	rep := Analyze(s, g, 5)
+	n0 := rep.Nodes[0]
+	if n0.FirstHappy != 1 || n0.HappyCount != 2 {
+		t.Errorf("node 0: first=%d count=%d, want 1, 2", n0.FirstHappy, n0.HappyCount)
+	}
+	if n0.MaxGap != 3 {
+		t.Errorf("node 0: max gap = %d, want 3 (happy at 1 and 4)", n0.MaxGap)
+	}
+	// Runs for node 0: before t=1 none; t=2..3 (len 2); t=5 trailing (len 1).
+	if n0.MaxUnhappyRun != 2 {
+		t.Errorf("node 0: max unhappy run = %d, want 2", n0.MaxUnhappyRun)
+	}
+	n1 := rep.Nodes[1]
+	// Node 1 first happy at t=4: leading run of 3, trailing run of 1.
+	if n1.MaxUnhappyRun != 3 || n1.FirstHappy != 4 {
+		t.Errorf("node 1: run=%d first=%d, want 3, 4", n1.MaxUnhappyRun, n1.FirstHappy)
+	}
+	if rep.EmptyHolidays != 3 {
+		t.Errorf("empty holidays = %d, want 3", rep.EmptyHolidays)
+	}
+}
+
+func TestAnalyzeNeverHappyNode(t *testing.T) {
+	g := graph.Empty(1)
+	s := &scriptedScheduler{script: [][]int{{}, {}, {}}}
+	rep := Analyze(s, g, 3)
+	if rep.Nodes[0].MaxUnhappyRun != 3 {
+		t.Errorf("never-happy run = %d, want the whole horizon 3", rep.Nodes[0].MaxUnhappyRun)
+	}
+	if rep.Nodes[0].FirstHappy != 0 {
+		t.Errorf("never-happy FirstHappy = %d, want 0", rep.Nodes[0].FirstHappy)
+	}
+}
+
+func TestAnalyzeDetectsIndependenceViolation(t *testing.T) {
+	g := graph.Path(2)
+	s := &scriptedScheduler{script: [][]int{{0, 1}}}
+	rep := Analyze(s, g, 1)
+	if rep.IndependenceViolations != 1 {
+		t.Fatalf("violations = %d, want 1", rep.IndependenceViolations)
+	}
+}
+
+func TestCheckBound(t *testing.T) {
+	g := graph.Empty(1)
+	s := &scriptedScheduler{script: [][]int{{}, {0}}}
+	rep := Analyze(s, g, 2)
+	if err := rep.CheckBound(func(nr NodeReport) int64 { return 1 }); err != nil {
+		t.Errorf("bound 1 should pass for run of 1: %v", err)
+	}
+	if err := rep.CheckBound(func(nr NodeReport) int64 { return 0 }); err == nil {
+		t.Error("bound 0 should fail for run of 1")
+	}
+}
+
+func TestMaxUnhappyRunByDegree(t *testing.T) {
+	g := graph.Star(4)
+	db := NewDegreeBoundSequential(g)
+	rep := Analyze(db, g, 100)
+	byDeg := rep.MaxUnhappyRunByDegree()
+	if byDeg[1] >= byDeg[3] {
+		t.Errorf("leaves (deg 1) should wait less than the center (deg 3): %v", byDeg)
+	}
+}
+
+// Failure injection: a deliberately non-prefix-free code makes adjacent
+// colors collide, and the analyzer's per-holiday independence verifier must
+// catch it.
+func TestAnalyzerCatchesBrokenCode(t *testing.T) {
+	g := graph.Path(2)
+	cb, err := NewColorBound(g, greedyColoring(g), brokenCode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(cb, g, 16)
+	if rep.IndependenceViolations == 0 {
+		t.Fatal("a non-prefix-free code must produce detectable violations")
+	}
+}
+
+// brokenCode maps every value to the codeword "0": all colors share period 2
+// and offset 0, violating the prefix-freeness the §4 scheduler relies on.
+type brokenCode struct{}
+
+func (brokenCode) Name() string                  { return "broken" }
+func (brokenCode) Encode(uint64) prefixcode.Bits { return prefixcode.MustParse("0") }
+func (brokenCode) Len(uint64) int                { return 1 }
+func (brokenCode) Decode(prefixcode.BitReader) (uint64, error) {
+	return 1, nil
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+func TestRoundRobinGlobalPeriod(t *testing.T) {
+	g := graph.Star(9)
+	col := greedyColoring(g)
+	rr, err := NewRoundRobin(g, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int64(col.MaxColor())
+	for v := 0; v < g.N(); v++ {
+		if rr.Period(v) != k {
+			t.Errorf("node %d period %d, want the global %d", v, rr.Period(v), k)
+		}
+	}
+	rep := Analyze(rr, g, 10*k)
+	if rep.IndependenceViolations != 0 {
+		t.Error("round robin emitted a dependent set")
+	}
+	for _, nr := range rep.Nodes {
+		if nr.MaxUnhappyRun != k-1 {
+			t.Errorf("node %d unhappy run %d, want k-1 = %d", nr.Node, nr.MaxUnhappyRun, k-1)
+		}
+	}
+}
+
+func TestRoundRobinPeriodicityExact(t *testing.T) {
+	g := graph.GNP(40, 0.2, 70)
+	rr, err := NewRoundRobin(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPeriodicity(rr, g, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinEdgelessGraph(t *testing.T) {
+	g := graph.Empty(4)
+	col := coloring.Coloring{1, 1, 1, 1}
+	rr, err := NewRoundRobin(g, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	happy := rr.Next()
+	if len(happy) != 4 {
+		t.Errorf("edgeless graph: %d happy, want all 4 every holiday", len(happy))
+	}
+}
+
+func TestFirstGrabIndependence(t *testing.T) {
+	g := graph.GNP(80, 0.1, 71)
+	fg := NewFirstGrab(g, 72)
+	rep := Analyze(fg, g, 2000)
+	if rep.IndependenceViolations != 0 {
+		t.Fatalf("first-grab emitted %d dependent sets", rep.IndependenceViolations)
+	}
+}
+
+// §1: P[happy] = 1/(d+1). Verify the Monte-Carlo frequency against the
+// closed form on a clique (all nodes symmetric, d+1 = n).
+func TestFirstGrabProbabilityClique(t *testing.T) {
+	g := graph.Clique(10)
+	fg := NewFirstGrab(g, 73)
+	trials := int64(30000)
+	counts := make([]int64, g.N())
+	for i := int64(0); i < trials; i++ {
+		for _, v := range fg.Next() {
+			counts[v]++
+		}
+	}
+	want := 1.0 / 10
+	for v, c := range counts {
+		got := float64(c) / float64(trials)
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("node %d happy frequency %.4f, want %.4f ± 0.015", v, got, want)
+		}
+		if p := fg.HappyProbability(v); p != want {
+			t.Errorf("closed form %v, want %v", p, want)
+		}
+	}
+}
+
+func TestFirstGrabProbabilityStar(t *testing.T) {
+	g := graph.Star(6) // center degree 5, leaves degree 1
+	fg := NewFirstGrab(g, 74)
+	trials := int64(40000)
+	counts := make([]int64, g.N())
+	for i := int64(0); i < trials; i++ {
+		for _, v := range fg.Next() {
+			counts[v]++
+		}
+	}
+	centerFreq := float64(counts[0]) / float64(trials)
+	if math.Abs(centerFreq-1.0/6) > 0.01 {
+		t.Errorf("center frequency %.4f, want %.4f", centerFreq, 1.0/6)
+	}
+	leafFreq := float64(counts[1]) / float64(trials)
+	if math.Abs(leafFreq-0.5) > 0.01 {
+		t.Errorf("leaf frequency %.4f, want 0.5", leafFreq)
+	}
+}
+
+func TestFirstGrabExpectedWait(t *testing.T) {
+	// Expected gap between happy holidays is d+1 (geometric with p=1/(d+1)).
+	g := graph.Clique(5)
+	fg := NewFirstGrab(g, 75)
+	rep := Analyze(fg, g, 20000)
+	for _, nr := range rep.Nodes {
+		if nr.MeanGap == 0 {
+			t.Fatalf("node %d never re-hosted", nr.Node)
+		}
+		if math.Abs(nr.MeanGap-5) > 0.3 {
+			t.Errorf("node %d mean gap %.2f, want ≈ 5", nr.Node, nr.MeanGap)
+		}
+	}
+}
+
+func TestFirstGrabDeterministicWithSeed(t *testing.T) {
+	g := graph.GNP(30, 0.2, 76)
+	a, b := NewFirstGrab(g, 9), NewFirstGrab(g, 9)
+	for i := 0; i < 50; i++ {
+		ha, hb := a.Next(), b.Next()
+		if len(ha) != len(hb) {
+			t.Fatal("same seed must give identical runs")
+		}
+		for k := range ha {
+			if ha[k] != hb[k] {
+				t.Fatal("same seed must give identical happy sets")
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// ColorBound is the §4 lightweight perfectly periodic scheduler. Node v with
+// color c hosts exactly at the holidays t whose ⍴-low bits spell the
+// prefix-free codeword of c (read LSB first): t ≡ offset (mod 2^len).
+// Prefix-freeness guarantees that two different colors never host together,
+// so every holiday's happy set is one color class — an independent set.
+// With the Elias omega code the period is 2^ρ(c) ≤ 2^{1+log* c}·φ(c)
+// (Theorem 4.2).
+type ColorBound struct {
+	g       *graph.Graph
+	code    prefixcode.Code
+	colors  coloring.Coloring
+	periods []int64
+	offsets []int64
+	t       int64
+}
+
+// NewColorBound builds the scheduler over any proper coloring and any
+// prefix-free code (the paper's choice is the omega code). Errors if the
+// coloring is not proper or some codeword exceeds 62 bits (period overflow).
+func NewColorBound(g *graph.Graph, col coloring.Coloring, code prefixcode.Code) (*ColorBound, error) {
+	if err := coloring.Verify(g, col); err != nil {
+		return nil, fmt.Errorf("core: color-bound scheduler needs a proper coloring: %w", err)
+	}
+	cb := &ColorBound{
+		g:       g,
+		code:    code,
+		colors:  col,
+		periods: make([]int64, g.N()),
+		offsets: make([]int64, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		enc := code.Encode(uint64(col[v]))
+		if enc.Len() > 62 {
+			return nil, fmt.Errorf("core: codeword of color %d is %d bits; period overflows int64", col[v], enc.Len())
+		}
+		cb.periods[v] = int64(1) << uint(enc.Len())
+		cb.offsets[v] = int64(enc.Value())
+	}
+	return cb, nil
+}
+
+// Name implements Scheduler.
+func (cb *ColorBound) Name() string { return "color-bound/" + cb.code.Name() }
+
+// Holiday implements Scheduler.
+func (cb *ColorBound) Holiday() int64 { return cb.t }
+
+// Next implements Scheduler.
+func (cb *ColorBound) Next() []int {
+	cb.t++
+	var happy []int
+	for v := 0; v < cb.g.N(); v++ {
+		if cb.t%cb.periods[v] == cb.offsets[v] {
+			happy = append(happy, v)
+		}
+	}
+	return happy
+}
+
+// Period implements Periodic: exactly 2^len(code(col(v))).
+func (cb *ColorBound) Period(v int) int64 { return cb.periods[v] }
+
+// Offset implements Periodic.
+func (cb *ColorBound) Offset(v int) int64 { return cb.offsets[v] }
+
+// Color returns the color driving v's schedule.
+func (cb *ColorBound) Color(v int) int { return cb.colors[v] }
+
+var _ Periodic = (*ColorBound)(nil)

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// Theorem 4.2: under the omega-code schedule, a node with color c hosts with
+// period exactly 2^ρ(c) ≤ 2^{1+log* c}·φ(c), and no two colors ever host
+// together.
+func TestTheorem42OnZoo(t *testing.T) {
+	for name, g := range testZoo() {
+		col := greedyColoring(g)
+		cb, err := NewColorBound(g, col, prefixcode.Omega{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := 0; v < g.N(); v++ {
+			c := uint64(col[v])
+			if got, want := cb.Period(v), int64(1)<<uint(prefixcode.Rho(c)); got != want {
+				t.Errorf("%s: node %d period %d, want 2^rho = %d", name, v, got, want)
+			}
+			if float64(cb.Period(v)) > prefixcode.PeriodUpperBound(c)*(1+1e-9) {
+				t.Errorf("%s: node %d period %d exceeds Theorem 4.2 bound %g",
+					name, v, cb.Period(v), prefixcode.PeriodUpperBound(c))
+			}
+		}
+		rep := Analyze(cb, g, 600)
+		if rep.IndependenceViolations != 0 {
+			t.Errorf("%s: %d independence violations", name, rep.IndependenceViolations)
+		}
+	}
+}
+
+func TestColorBoundPeriodicityExact(t *testing.T) {
+	g := graph.GNP(60, 0.1, 50)
+	cb, err := NewColorBound(g, greedyColoring(g), prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPeriodicity(cb, g, 512); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorBoundMatchesPaperExample(t *testing.T) {
+	// A node with color 1 has omega codeword "0": period 2, offset 0 — it
+	// hosts every even holiday. A node with color 2 ("100") has period 8,
+	// offset 1 — holidays 1, 9, 17, ….
+	g := graph.Path(2)
+	cb, err := NewColorBound(g, coloring.Coloring{1, 2}, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Period(0) != 2 || cb.Offset(0) != 0 {
+		t.Errorf("color 1: (period,offset) = (%d,%d), want (2,0)", cb.Period(0), cb.Offset(0))
+	}
+	if cb.Period(1) != 8 || cb.Offset(1) != 1 {
+		t.Errorf("color 2: (period,offset) = (%d,%d), want (8,1)", cb.Period(1), cb.Offset(1))
+	}
+	for tt := int64(1); tt <= 32; tt++ {
+		happy := cb.Next()
+		for _, v := range happy {
+			switch v {
+			case 0:
+				if tt%2 != 0 {
+					t.Errorf("color-1 node happy at odd holiday %d", tt)
+				}
+			case 1:
+				if tt%8 != 1 {
+					t.Errorf("color-2 node happy at holiday %d, want ≡1 mod 8", tt)
+				}
+			}
+		}
+	}
+}
+
+// All four prefix codes must yield valid (independent) schedules; only the
+// periods differ. This is the E11 ablation's correctness core.
+func TestColorBoundAllCodes(t *testing.T) {
+	g := graph.GNP(70, 0.08, 51)
+	col := greedyColoring(g)
+	for _, code := range prefixcode.All() {
+		cb, err := NewColorBound(g, col, code)
+		if err != nil {
+			t.Fatalf("%s: %v", code.Name(), err)
+		}
+		rep := Analyze(cb, g, 400)
+		if rep.IndependenceViolations != 0 {
+			t.Errorf("%s: independence violated", code.Name())
+		}
+		for v := 0; v < g.N(); v++ {
+			want := int64(1) << uint(code.Len(uint64(col[v])))
+			if cb.Period(v) != want {
+				t.Errorf("%s: node %d period %d, want %d", code.Name(), v, cb.Period(v), want)
+			}
+		}
+	}
+}
+
+func TestColorBoundBipartiteTwoYearCycle(t *testing.T) {
+	// The intro's intergroup-marriage example: a bipartite society with the
+	// 2-coloring hosts every family every other year, regardless of degree.
+	g := graph.CompleteBipartite(8, 8)
+	col, err := coloring.Bipartite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewColorBound(g, col, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(cb, g, 64)
+	// Color 1 ("0") has period 2; color 2 ("100") has period 8: the omega
+	// encoding penalizes the second class. The max run must still be ≤ 7.
+	if err := rep.CheckBound(func(nr NodeReport) int64 { return 7 }); err != nil {
+		t.Errorf("bipartite schedule: %v", err)
+	}
+	if rep.IndependenceViolations != 0 {
+		t.Error("independence violated")
+	}
+}
+
+func TestColorBoundUnhappyRunsMatchPeriods(t *testing.T) {
+	g := graph.GNP(50, 0.15, 52)
+	cb, err := NewColorBound(g, greedyColoring(g), prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxPeriod := int64(0)
+	for v := 0; v < g.N(); v++ {
+		if cb.Period(v) > maxPeriod {
+			maxPeriod = cb.Period(v)
+		}
+	}
+	rep := Analyze(cb, g, 4*maxPeriod)
+	for _, nr := range rep.Nodes {
+		if p := cb.Period(nr.Node); nr.MaxUnhappyRun != p-1 {
+			t.Errorf("node %d: unhappy run %d, want period-1 = %d", nr.Node, nr.MaxUnhappyRun, p-1)
+		}
+		if nr.MaxGap != cb.Period(nr.Node) && nr.HappyCount > 1 {
+			t.Errorf("node %d: max gap %d, want exact period %d", nr.Node, nr.MaxGap, cb.Period(nr.Node))
+		}
+	}
+}
+
+func TestColorBoundRejectsImproperColoring(t *testing.T) {
+	g := graph.Path(2)
+	if _, err := NewColorBound(g, coloring.Coloring{1, 1}, prefixcode.Omega{}); err == nil {
+		t.Fatal("improper coloring must be rejected")
+	}
+}
+
+func TestColorBoundRejectsOverflowingColors(t *testing.T) {
+	// A unary codeword of length 400 would need period 2^400.
+	g := graph.Empty(1)
+	if _, err := NewColorBound(g, coloring.Coloring{400}, prefixcode.Unary{}); err == nil {
+		t.Fatal("overflowing period must be rejected")
+	}
+}
+
+// The schedule realizes Kraft's inequality: summed hosting rates of the
+// color classes cannot exceed 1, with equality only for complete codes.
+func TestColorBoundRateBudget(t *testing.T) {
+	g := graph.Clique(12)
+	col := greedyColoring(g) // colors 1..12
+	cb, err := NewColorBound(g, col, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := 0.0
+	for v := 0; v < g.N(); v++ {
+		rate += 1 / float64(cb.Period(v))
+	}
+	if rate > 1+1e-12 {
+		t.Errorf("total hosting rate %v exceeds 1 on a clique (two nodes would collide)", rate)
+	}
+	if math.IsNaN(rate) || rate <= 0 {
+		t.Errorf("nonsensical rate %v", rate)
+	}
+}

@@ -1,0 +1,61 @@
+// Package core implements the paper's contribution: schedulers for the
+// Family Holiday Gathering Problem. Given a conflict graph G, a scheduler
+// emits an infinite sequence of independent sets ("happy" parents per
+// holiday) while minimizing each node's maximum unhappiness interval as a
+// function of local properties (degree or color).
+//
+// Schedulers provided:
+//
+//   - PhasedGreedy (§3): non-periodic, wait ≤ deg+1 between happy holidays.
+//   - ColorBound (§4.2): perfectly periodic, driven by any prefix-free code
+//     over any proper coloring; with the Elias omega code the period is
+//     2^ρ(c) ≤ 2^{1+log* c}·φ(c) (Theorem 4.2).
+//   - DegreeBound (§5.1, §5.2): perfectly periodic with period
+//     2^⌈log(d+1)⌉ ≤ 2d, in sequential and distributed variants.
+//   - RoundRobin: the global Δ+1 baseline from §1.
+//   - FirstGrab: the chaotic "first come first grab" process from §1.
+//   - DynamicColorBound (§6): color-bound scheduling under edge churn.
+//
+// The Analyzer measures realized unhappiness intervals and verifies that
+// every emitted happy set is independent; Reduction extracts a proper
+// coloring from any bounded-gap schedule (§1, "Connection to coloring").
+package core
+
+// Scheduler produces the infinite gathering sequence, one holiday at a time.
+// Holidays are numbered 1, 2, 3, ….
+type Scheduler interface {
+	// Name identifies the algorithm for reports.
+	Name() string
+	// Next advances to the next holiday and returns the set of happy nodes
+	// (always an independent set of the conflict graph).
+	Next() []int
+	// Holiday returns the index of the holiday most recently produced by
+	// Next, or 0 if Next has not been called.
+	Holiday() int64
+}
+
+// Periodic is a perfectly periodic scheduler: node v is happy exactly at the
+// holidays t with t ≡ Offset(v) (mod Period(v)). The paper's lightweight
+// algorithms (§4, §5) are Periodic; §3 is not.
+type Periodic interface {
+	Scheduler
+	// Period returns v's hosting period (≥ 1).
+	Period(v int) int64
+	// Offset returns v's hosting phase in [0, Period(v)).
+	Offset(v int) int64
+}
+
+// HappyAt reports whether node v is happy at holiday t under a periodic
+// scheduler, without advancing any state.
+func HappyAt(p Periodic, v int, t int64) bool {
+	return t%p.Period(v) == p.Offset(v)
+}
+
+// ceilLog2 returns the smallest j ≥ 0 with 2^j ≥ x (x ≥ 1).
+func ceilLog2(x int) int {
+	j := 0
+	for int64(1)<<uint(j) < int64(x) {
+		j++
+	}
+	return j
+}

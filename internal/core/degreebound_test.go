@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// Theorem 5.3: the degree-bound scheduler gives every node of degree d a
+// period of exactly 2^⌈log(d+1)⌉ ≤ 2d (d ≥ 1), with no conflicts.
+func TestTheorem53SequentialOnZoo(t *testing.T) {
+	for name, g := range testZoo() {
+		db := NewDegreeBoundSequential(g)
+		if err := db.VerifyNoConflicts(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkDegreeBoundPeriods(t, name, g, db)
+		rep := Analyze(db, g, 500)
+		if rep.IndependenceViolations != 0 {
+			t.Errorf("%s: %d independence violations", name, rep.IndependenceViolations)
+		}
+	}
+}
+
+func TestTheorem53DistributedOnZoo(t *testing.T) {
+	for name, g := range testZoo() {
+		db, stats, err := NewDegreeBoundDistributed(g, 61)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := db.VerifyNoConflicts(); err != nil {
+			t.Fatalf("%s: Lemma 5.2 violated: %v", name, err)
+		}
+		checkDegreeBoundPeriods(t, name, g, db)
+		if g.M() > 0 && stats.Phases == 0 {
+			t.Errorf("%s: expected at least one phase", name)
+		}
+		rep := Analyze(db, g, 400)
+		if rep.IndependenceViolations != 0 {
+			t.Errorf("%s: %d independence violations", name, rep.IndependenceViolations)
+		}
+	}
+}
+
+func checkDegreeBoundPeriods(t *testing.T, name string, g *graph.Graph, db *DegreeBound) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		want := int64(1) << uint(ceilLog2(d+1))
+		if db.Period(v) != want {
+			t.Errorf("%s: node %d (deg %d) period %d, want %d", name, v, d, db.Period(v), want)
+		}
+		if d >= 1 && db.Period(v) > int64(2*d) {
+			t.Errorf("%s: node %d (deg %d) period %d exceeds 2d = %d", name, v, d, db.Period(v), 2*d)
+		}
+		if db.Offset(v) < 0 || db.Offset(v) >= db.Period(v) {
+			t.Errorf("%s: node %d offset %d outside [0,%d)", name, v, db.Offset(v), db.Period(v))
+		}
+	}
+}
+
+func TestDegreeBoundPeriodicityExact(t *testing.T) {
+	g := graph.GNP(60, 0.1, 62)
+	if err := VerifyPeriodicity(NewDegreeBoundSequential(g), g, 300); err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := NewDegreeBoundDistributed(g, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPeriodicity(db, g, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 5.1's worked structure: on a star, the center (degree n-1) takes a
+// large power-of-two period while every leaf (degree 1) keeps period 2.
+func TestDegreeBoundStarShape(t *testing.T) {
+	g := graph.Star(17) // center degree 16 -> period 32; leaves period 2
+	db := NewDegreeBoundSequential(g)
+	if db.Period(0) != 32 {
+		t.Errorf("center period = %d, want 32", db.Period(0))
+	}
+	for v := 1; v < 17; v++ {
+		if db.Period(v) != 2 {
+			t.Errorf("leaf %d period = %d, want 2", v, db.Period(v))
+		}
+	}
+	// Every leaf must avoid the center's slot mod 2, so all leaves share
+	// the opposite parity.
+	parity := db.Offset(0) % 2
+	for v := 1; v < 17; v++ {
+		if db.Offset(v)%2 == parity {
+			t.Errorf("leaf %d shares parity with the center", v)
+		}
+	}
+}
+
+func TestDegreeBoundLocalVsGlobal(t *testing.T) {
+	// The paper's core motivation: a single-child family next to a huge
+	// family should wait O(1), not O(Δ). Compare with round-robin.
+	g := graph.Star(33)
+	db := NewDegreeBoundSequential(g)
+	rep := Analyze(db, g, 500)
+	for _, nr := range rep.Nodes {
+		if nr.Degree == 1 && nr.MaxUnhappyRun > 1 {
+			t.Errorf("leaf %d unhappy run %d under degree-bound, want ≤ 1", nr.Node, nr.MaxUnhappyRun)
+		}
+	}
+	rr, err := NewRoundRobin(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrRep := Analyze(rr, g, 500)
+	leafRun := int64(0)
+	for _, nr := range rrRep.Nodes {
+		if nr.Degree == 1 && nr.MaxUnhappyRun > leafRun {
+			leafRun = nr.MaxUnhappyRun
+		}
+	}
+	if leafRun < 1 {
+		t.Errorf("round-robin leaf run = %d; expected the global-k penalty", leafRun)
+	}
+}
+
+func TestDegreeBoundDistributedDeterministic(t *testing.T) {
+	g := graph.GNP(100, 0.07, 64)
+	a, _, err := NewDegreeBoundDistributed(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := NewDegreeBoundDistributed(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if a.Offset(v) != b.Offset(v) || a.Period(v) != b.Period(v) {
+			t.Fatalf("node %d: distributed assignment differs across identical seeds", v)
+		}
+	}
+}
+
+// Property: Lemma 5.1 invariant on random graphs.
+func TestDegreeBoundQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 4 + int(seed%50)
+		g := graph.GNP(n, 0.25, seed)
+		db := NewDegreeBoundSequential(g)
+		return db.VerifyNoConflicts() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5}
+	for x, want := range cases {
+		if got := ceilLog2(x); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// DynamicColorBound is the §6 dynamic-setting scheduler: the color-bound
+// schedule of §4 maintained under edge insertions (marriages) and deletions
+// (divorces). On insertion, if the endpoints share a color, one endpoint
+// greedily recolors — its palette has grown to deg+1, so a color ≤ deg+1
+// always exists and the new periodic schedule follows from the prefix-free
+// encoding of the new color. On deletion a node whose color has become
+// disproportionate to its degree (color > deg+1) is recolored so its
+// hosting rate tracks its current degree.
+type DynamicColorBound struct {
+	d    *graph.Dynamic
+	code prefixcode.Code
+	col  []int
+	t    int64
+	// Recolorings counts color changes triggered by edge churn, the
+	// disruption measure of experiment E8.
+	Recolorings int64
+}
+
+// NewDynamicColorBound starts from an existing graph, coloring it greedily,
+// or from an empty n-node graph when g has no edges.
+func NewDynamicColorBound(g *graph.Graph, code prefixcode.Code) (*DynamicColorBound, error) {
+	dc := &DynamicColorBound{
+		d:    graph.DynamicFrom(g),
+		code: code,
+		col:  make([]int, g.N()),
+	}
+	for v := range dc.col {
+		dc.col[v] = 1
+	}
+	// Greedy pass to make the initial coloring proper.
+	for v := 0; v < g.N(); v++ {
+		dc.col[v] = dc.smallestFree(v)
+	}
+	if err := dc.VerifyProper(); err != nil {
+		return nil, err
+	}
+	return dc, nil
+}
+
+// smallestFree returns the smallest color ≥ 1 unused in v's neighborhood.
+func (dc *DynamicColorBound) smallestFree(v int) int {
+	taken := make(map[int]bool, dc.d.Degree(v))
+	for _, u := range dc.d.Neighbors(v) {
+		taken[dc.col[u]] = true
+	}
+	c := 1
+	for taken[c] {
+		c++
+	}
+	return c
+}
+
+// AddNode appends an isolated parent and schedules it with color 1.
+func (dc *DynamicColorBound) AddNode() int {
+	id := dc.d.AddNode()
+	dc.col = append(dc.col, 0)
+	dc.col[id] = dc.smallestFree(id)
+	return id
+}
+
+// AddEdge inserts a marriage. If the in-laws currently share a color the
+// lower-degree endpoint recolors (§6: "p's palette should grow by one more
+// color"). Reports whether a recoloring was needed.
+func (dc *DynamicColorBound) AddEdge(u, v int) (recolored bool, err error) {
+	if u == v {
+		return false, fmt.Errorf("core: self-marriage at node %d", u)
+	}
+	if !dc.d.AddEdge(u, v) {
+		return false, nil
+	}
+	if dc.col[u] != dc.col[v] {
+		return false, nil
+	}
+	p := u
+	if dc.d.Degree(v) < dc.d.Degree(u) {
+		p = v
+	}
+	dc.col[p] = dc.smallestFree(p)
+	dc.Recolorings++
+	return true, nil
+}
+
+// RemoveEdge deletes a divorce. If an endpoint's color now exceeds its
+// degree+1 (its hosting rate has become disproportionate to its shrunken
+// palette, §6) it is recolored downward.
+func (dc *DynamicColorBound) RemoveEdge(u, v int) bool {
+	if !dc.d.RemoveEdge(u, v) {
+		return false
+	}
+	for _, p := range [2]int{u, v} {
+		if dc.col[p] > dc.d.Degree(p)+1 {
+			dc.col[p] = dc.smallestFree(p)
+			dc.Recolorings++
+		}
+	}
+	return true
+}
+
+// Name implements Scheduler.
+func (dc *DynamicColorBound) Name() string { return "dynamic-color-bound/" + dc.code.Name() }
+
+// Holiday implements Scheduler.
+func (dc *DynamicColorBound) Holiday() int64 { return dc.t }
+
+// Next implements Scheduler against the current graph and coloring.
+func (dc *DynamicColorBound) Next() []int {
+	dc.t++
+	var happy []int
+	for v := 0; v < dc.d.N(); v++ {
+		if dc.happyAt(v, dc.t) {
+			happy = append(happy, v)
+		}
+	}
+	return happy
+}
+
+// happyAt evaluates the §4 closed form for v's current color.
+func (dc *DynamicColorBound) happyAt(v int, t int64) bool {
+	enc := dc.code.Encode(uint64(dc.col[v]))
+	period := int64(1) << uint(enc.Len())
+	return t%period == int64(enc.Value())
+}
+
+// CurrentPeriod returns v's hosting period under its current color.
+func (dc *DynamicColorBound) CurrentPeriod(v int) int64 {
+	return int64(1) << uint(dc.code.Len(uint64(dc.col[v])))
+}
+
+// Color returns v's current color.
+func (dc *DynamicColorBound) Color(v int) int { return dc.col[v] }
+
+// Degree returns v's current degree.
+func (dc *DynamicColorBound) Degree(v int) int { return dc.d.Degree(v) }
+
+// N returns the current number of parents.
+func (dc *DynamicColorBound) N() int { return dc.d.N() }
+
+// Graph snapshots the current conflict graph.
+func (dc *DynamicColorBound) Graph() *graph.Graph { return dc.d.Snapshot() }
+
+// VerifyProper checks that the maintained coloring is proper and
+// degree-bounded — the invariant that keeps every happy set independent.
+func (dc *DynamicColorBound) VerifyProper() error {
+	for v := 0; v < dc.d.N(); v++ {
+		if dc.col[v] < 1 {
+			return fmt.Errorf("core: dynamic node %d uncolored", v)
+		}
+		if dc.col[v] > dc.d.Degree(v)+1 {
+			return fmt.Errorf("core: dynamic node %d has color %d > deg+1 = %d", v, dc.col[v], dc.d.Degree(v)+1)
+		}
+		for _, u := range dc.d.Neighbors(v) {
+			if dc.col[u] == dc.col[v] {
+				return fmt.Errorf("core: dynamic edge (%d,%d) monochromatic with %d", v, u, dc.col[v])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// DynamicDegreeBound explores the paper's main open problem (§6): can the
+// §5 degree-bound schedule survive a dynamic graph? The obstruction the
+// paper identifies is order: §5 assigns high-degree nodes first, and
+// low-degree nodes grabbing slots early can exhaust a later-growing node's
+// modulus — e.g. two period-2 neighbors on opposite parities block every
+// slot of any modulus (Σ 1/period = 1), no matter how much the period
+// doubles, forcing a cascading reassignment of neighbors.
+//
+// This implementation maintains the §5 invariant (adjacent slots differ
+// modulo the smaller period) under edge insertion and deletion with a
+// three-tier repair strategy, and counts how often each tier fires:
+//
+//	LocalRepairs     — the affected node repicks a slot in its modulus;
+//	CascadeSteps     — a blocking neighbor had to be repicked recursively;
+//	Rebuilds         — repair exceeded its budget; full §5.1 reassignment.
+//
+// Period quality is tracked too: Inflation reports max period(v) /
+// 2^⌈log(deg v+1)⌉, which stays 1 when the schedule is as good as the
+// static construction.
+type DynamicDegreeBound struct {
+	d       *graph.Dynamic
+	periods []int64
+	offsets []int64
+	t       int64
+
+	LocalRepairs int64
+	CascadeSteps int64
+	Rebuilds     int64
+}
+
+// NewDynamicDegreeBound starts from a static graph with the §5.1
+// assignment.
+func NewDynamicDegreeBound(g *graph.Graph) *DynamicDegreeBound {
+	db := NewDegreeBoundSequential(g)
+	return &DynamicDegreeBound{
+		d:       graph.DynamicFrom(g),
+		periods: append([]int64(nil), db.periods...),
+		offsets: append([]int64(nil), db.offsets...),
+	}
+}
+
+// Name implements Scheduler.
+func (dd *DynamicDegreeBound) Name() string { return "degree-bound/dynamic" }
+
+// Holiday implements Scheduler.
+func (dd *DynamicDegreeBound) Holiday() int64 { return dd.t }
+
+// Next implements Scheduler against the current assignment.
+func (dd *DynamicDegreeBound) Next() []int {
+	dd.t++
+	var happy []int
+	for v := 0; v < dd.d.N(); v++ {
+		if dd.t%dd.periods[v] == dd.offsets[v] {
+			happy = append(happy, v)
+		}
+	}
+	return happy
+}
+
+// Period returns v's current hosting period.
+func (dd *DynamicDegreeBound) Period(v int) int64 { return dd.periods[v] }
+
+// Offset returns v's current slot.
+func (dd *DynamicDegreeBound) Offset(v int) int64 { return dd.offsets[v] }
+
+// N returns the number of families.
+func (dd *DynamicDegreeBound) N() int { return dd.d.N() }
+
+// Degree returns v's current degree.
+func (dd *DynamicDegreeBound) Degree(v int) int { return dd.d.Degree(v) }
+
+// requiredPeriod is the §5 target 2^⌈log(deg+1)⌉.
+func (dd *DynamicDegreeBound) requiredPeriod(v int) int64 {
+	return int64(1) << uint(ceilLog2(dd.d.Degree(v)+1))
+}
+
+// Inflation returns max over nodes of period / requiredPeriod: 1.0 means
+// the dynamic schedule matches the static construction's quality.
+func (dd *DynamicDegreeBound) Inflation() float64 {
+	worst := 1.0
+	for v := 0; v < dd.d.N(); v++ {
+		if r := float64(dd.periods[v]) / float64(dd.requiredPeriod(v)); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// AddEdge inserts a marriage and repairs the assignment. It reports an
+// error only if even a full rebuild cannot restore the invariant (which
+// cannot happen: the static construction always exists).
+func (dd *DynamicDegreeBound) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("core: self-marriage at node %d", u)
+	}
+	if !dd.d.AddEdge(u, v) {
+		return nil
+	}
+	// Degrees grew: periods may need to grow to stay ≥ deg+1.
+	for _, p := range [2]int{u, v} {
+		if dd.periods[p] < dd.requiredPeriod(p) {
+			dd.periods[p] = dd.requiredPeriod(p)
+		}
+	}
+	if dd.conflict(u, v) {
+		// Repair the endpoint with the larger period (more slots to
+		// choose from), falling back to its partner and then a rebuild.
+		first, second := u, v
+		if dd.periods[v] > dd.periods[u] {
+			first, second = v, u
+		}
+		if !dd.repair(first, 0) && !dd.repair(second, 0) {
+			dd.rebuild()
+		}
+	}
+	return nil
+}
+
+// RemoveEdge deletes a marriage, shrinking periods back toward the §5
+// target when a valid slot exists in the smaller modulus.
+func (dd *DynamicDegreeBound) RemoveEdge(u, v int) bool {
+	if !dd.d.RemoveEdge(u, v) {
+		return false
+	}
+	for _, p := range [2]int{u, v} {
+		target := dd.requiredPeriod(p)
+		for dd.periods[p] > target {
+			if x, ok := dd.freeSlot(p, dd.periods[p]/2); ok {
+				dd.periods[p] /= 2
+				dd.offsets[p] = x
+				dd.LocalRepairs++
+			} else {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// conflict reports whether edge (u,v) violates the Lemma 5.1 condition.
+func (dd *DynamicDegreeBound) conflict(u, v int) bool {
+	m := dd.periods[u]
+	if dd.periods[v] < m {
+		m = dd.periods[v]
+	}
+	return dd.offsets[u]%m == dd.offsets[v]%m
+}
+
+// freeSlot searches [0, m) for a slot for p compatible with every current
+// neighbor (p's own period taken as m).
+func (dd *DynamicDegreeBound) freeSlot(p int, m int64) (int64, bool) {
+	forbidden := make(map[int64]bool)
+	for _, q := range dd.d.Neighbors(p) {
+		mod := m
+		if dd.periods[q] < mod {
+			mod = dd.periods[q]
+		}
+		r := dd.offsets[q] % mod
+		// Every slot x with x ≡ r (mod mod) is blocked.
+		for x := r; x < m; x += mod {
+			forbidden[x] = true
+		}
+	}
+	for x := int64(0); x < m; x++ {
+		if !forbidden[x] {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// repair restores all of p's edges by repicking p's slot; when p's modulus
+// is saturated it recursively repairs the smallest-period blocking
+// neighbor (the cascade the §6 discussion predicts). Depth-limited; false
+// means the caller should escalate.
+func (dd *DynamicDegreeBound) repair(p int, depth int) bool {
+	const maxDepth = 8
+	if depth > maxDepth {
+		return false
+	}
+	if x, ok := dd.freeSlot(p, dd.periods[p]); ok {
+		dd.offsets[p] = x
+		if depth == 0 {
+			dd.LocalRepairs++
+		} else {
+			dd.CascadeSteps++
+		}
+		return true
+	}
+	// Saturated: find the blocking neighbor with the smallest period and
+	// move it out of the way, then retry.
+	best := -1
+	for _, q := range dd.d.Neighbors(p) {
+		if best == -1 || dd.periods[q] < dd.periods[best] {
+			best = q
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	dd.CascadeSteps++
+	// Move the blocking neighbor out of the way first.
+	if !dd.relocateNeighbor(best, depth+1) {
+		return false
+	}
+	if x, ok := dd.freeSlot(p, dd.periods[p]); ok {
+		dd.offsets[p] = x
+		return true
+	}
+	return dd.repair(p, depth+1)
+}
+
+// relocateNeighbor repicks q's slot to any value other than its current
+// one, compatibly with all of q's neighbors; used during cascades to free
+// the residue q was occupying.
+func (dd *DynamicDegreeBound) relocateNeighbor(q, depth int) bool {
+	const maxDepth = 8
+	if depth > maxDepth {
+		return false
+	}
+	if x, ok := dd.freeSlotExcluding(q, dd.periods[q], dd.offsets[q]); ok {
+		dd.offsets[q] = x
+		return true
+	}
+	return false
+}
+
+// freeSlotExcluding is freeSlot but skips one designated slot value.
+func (dd *DynamicDegreeBound) freeSlotExcluding(p int, m, exclude int64) (int64, bool) {
+	forbidden := make(map[int64]bool)
+	forbidden[exclude] = true
+	for _, q := range dd.d.Neighbors(p) {
+		mod := m
+		if dd.periods[q] < mod {
+			mod = dd.periods[q]
+		}
+		r := dd.offsets[q] % mod
+		for x := r; x < m; x += mod {
+			forbidden[x] = true
+		}
+	}
+	for x := int64(0); x < m; x++ {
+		if !forbidden[x] {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// rebuild reruns the static §5.1 construction on the current graph.
+func (dd *DynamicDegreeBound) rebuild() {
+	dd.Rebuilds++
+	db := NewDegreeBoundSequential(dd.d.Snapshot())
+	dd.periods = append(dd.periods[:0], db.periods...)
+	dd.offsets = append(dd.offsets[:0], db.offsets...)
+}
+
+// VerifyNoConflicts checks the Lemma 5.1 invariant over every current edge
+// plus the rate requirement period(v) ≥ deg(v)+1.
+func (dd *DynamicDegreeBound) VerifyNoConflicts() error {
+	for v := 0; v < dd.d.N(); v++ {
+		if dd.periods[v] < int64(dd.d.Degree(v)+1) {
+			return fmt.Errorf("core: dynamic degree-bound node %d period %d below deg+1 = %d",
+				v, dd.periods[v], dd.d.Degree(v)+1)
+		}
+		for _, u := range dd.d.Neighbors(v) {
+			if v < u && dd.conflict(v, u) {
+				return fmt.Errorf("core: dynamic degree-bound conflict on edge (%d,%d)", v, u)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDynamicDegreeBoundStartsValid(t *testing.T) {
+	g := graph.GNP(60, 0.08, 70)
+	dd := NewDynamicDegreeBound(g)
+	if err := dd.VerifyNoConflicts(); err != nil {
+		t.Fatal(err)
+	}
+	if dd.Inflation() != 1 {
+		t.Errorf("fresh schedule inflation %v, want 1", dd.Inflation())
+	}
+}
+
+func TestDynamicDegreeBoundInvariantUnderChurn(t *testing.T) {
+	g := graph.GNP(50, 0.06, 71)
+	dd := NewDynamicDegreeBound(g)
+	rng := rand.New(rand.NewPCG(72, 0))
+	for step := 0; step < 600; step++ {
+		u, v := rng.IntN(dd.N()), rng.IntN(dd.N())
+		if u == v {
+			continue
+		}
+		if rng.Float64() < 0.6 {
+			if err := dd.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			dd.RemoveEdge(u, v)
+		}
+		if err := dd.VerifyNoConflicts(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		happy := dd.Next()
+		if !dd.d.Snapshot().IsIndependent(happy) {
+			t.Fatalf("step %d: dependent happy set", step)
+		}
+	}
+}
+
+// The §6 obstruction, constructed: a node whose two period-2 neighbors sit
+// on opposite parities blocks every modulus (Σ 1/period = 1), so a new
+// conflicting edge must trigger a cascade (or rebuild), never silently
+// corrupt the schedule.
+func TestDynamicDegreeBoundParityTrapCascades(t *testing.T) {
+	// Path 1-0-2 : node 0 has two degree-1 neighbors.
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}})
+	dd := NewDynamicDegreeBound(g)
+	if err := dd.VerifyNoConflicts(); err != nil {
+		t.Fatal(err)
+	}
+	// Force the trap: make the leaves take opposite parities by hand.
+	dd.offsets[1] = (dd.offsets[0] + 1) % 2
+	dd.offsets[2] = dd.offsets[0] // deliberately conflicting with 0
+	// Now node 0 conflicts with node 2 and has no free slot at any modulus;
+	// repair must cascade (move a leaf) or rebuild, and end valid.
+	if !dd.repair(0, 0) {
+		dd.rebuild()
+	}
+	if err := dd.VerifyNoConflicts(); err != nil {
+		t.Fatalf("after repair: %v", err)
+	}
+	if dd.CascadeSteps == 0 && dd.Rebuilds == 0 {
+		t.Error("expected the parity trap to need a cascade or rebuild")
+	}
+}
+
+func TestDynamicDegreeBoundPeriodShrinksOnDivorce(t *testing.T) {
+	g := graph.Star(9) // center degree 8: period 16
+	dd := NewDynamicDegreeBound(g)
+	if dd.Period(0) != 16 {
+		t.Fatalf("center period %d, want 16", dd.Period(0))
+	}
+	for leaf := 1; leaf < 9; leaf++ {
+		dd.RemoveEdge(0, leaf)
+		if err := dd.VerifyNoConflicts(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dd.Period(0) != 1 {
+		t.Errorf("isolated center period %d, want 1", dd.Period(0))
+	}
+	if dd.Inflation() != 1 {
+		t.Errorf("inflation %v after full divorce, want 1", dd.Inflation())
+	}
+}
+
+func TestDynamicDegreeBoundGrowthKeepsRate(t *testing.T) {
+	// Grow a star one marriage at a time: the center's period must track
+	// 2^ceil(log(d+1)) without ever dropping below deg+1.
+	g := graph.Empty(40)
+	dd := NewDynamicDegreeBound(g)
+	for leaf := 1; leaf < 40; leaf++ {
+		if err := dd.AddEdge(0, leaf); err != nil {
+			t.Fatal(err)
+		}
+		if err := dd.VerifyNoConflicts(); err != nil {
+			t.Fatalf("after %d marriages: %v", leaf, err)
+		}
+		d := dd.Degree(0)
+		want := int64(1) << uint(ceilLog2(d+1))
+		if dd.Period(0) != want {
+			t.Fatalf("degree %d: center period %d, want %d", d, dd.Period(0), want)
+		}
+	}
+}

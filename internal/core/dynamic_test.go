@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+func TestDynamicStartsProper(t *testing.T) {
+	g := graph.GNP(60, 0.1, 90)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.VerifyProper(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicAddEdgeRecolorsOnConflict(t *testing.T) {
+	g := graph.Empty(2)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both isolated nodes start with color 1; marrying them must recolor one.
+	recolored, err := dc.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recolored {
+		t.Fatal("same-colored endpoints must trigger a recoloring")
+	}
+	if dc.Color(0) == dc.Color(1) {
+		t.Fatal("edge endpoints still share a color")
+	}
+	if err := dc.VerifyProper(); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Recolorings != 1 {
+		t.Errorf("recolorings = %d, want 1", dc.Recolorings)
+	}
+}
+
+func TestDynamicAddEdgeNoConflictNoRecolor(t *testing.T) {
+	g := graph.Path(2) // greedy init assigns colors 2, 1
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Color(0) == dc.Color(1) {
+		t.Fatal("precondition: endpoints differ")
+	}
+	id := dc.AddNode()
+	// New node gets color 1; connect it to the color-2 endpoint: no conflict.
+	other := 0
+	if dc.Color(0) == 1 {
+		other = 1
+	}
+	recolored, err := dc.AddEdge(id, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recolored {
+		t.Error("differently-colored endpoints must not recolor")
+	}
+}
+
+func TestDynamicRemoveEdgeShrinksDisproportionateColors(t *testing.T) {
+	// Build a star, then divorce everyone: the center's color must drop to
+	// keep its hosting rate proportional to its (now zero) degree.
+	g := graph.Star(6)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 6; v++ {
+		if !dc.RemoveEdge(0, v) {
+			t.Fatalf("edge (0,%d) should exist", v)
+		}
+		if err := dc.VerifyProper(); err != nil {
+			t.Fatalf("after removing (0,%d): %v", v, err)
+		}
+	}
+	if dc.Color(0) != 1 {
+		t.Errorf("isolated center has color %d, want 1", dc.Color(0))
+	}
+	if dc.CurrentPeriod(0) != 2 {
+		t.Errorf("isolated center period %d, want 2 (omega code of color 1)", dc.CurrentPeriod(0))
+	}
+}
+
+func TestDynamicScheduleStaysIndependent(t *testing.T) {
+	g := graph.GNP(40, 0.08, 91)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(92, 0))
+	for step := 0; step < 400; step++ {
+		// Interleave holidays with random churn.
+		happy := dc.Next()
+		if !dc.Graph().IsIndependent(happy) {
+			t.Fatalf("step %d: dependent happy set", step)
+		}
+		u, v := rng.IntN(dc.N()), rng.IntN(dc.N())
+		if u == v {
+			continue
+		}
+		if rng.Float64() < 0.5 {
+			if _, err := dc.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			dc.RemoveEdge(u, v)
+		}
+		if err := dc.VerifyProper(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// §6: after quiescence the affected node hosts within its new period,
+// bounded by φ(d)·2^{log* d + 1} for its degree-bounded color.
+func TestDynamicRecoveryWithinBound(t *testing.T) {
+	g := graph.GNP(50, 0.1, 93)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn: add a batch of edges.
+	rng := rand.New(rand.NewPCG(94, 0))
+	for k := 0; k < 30; k++ {
+		u, v := rng.IntN(50), rng.IntN(50)
+		if u != v {
+			if _, err := dc.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// After quiescence every node must host within one current period,
+	// and that period obeys the color bound with c ≤ d+1.
+	deadline := make([]int64, dc.N())
+	for v := 0; v < dc.N(); v++ {
+		deadline[v] = dc.Holiday() + dc.CurrentPeriod(v)
+		bound := prefixcode.PeriodUpperBound(uint64(dc.Degree(v) + 1))
+		if float64(dc.CurrentPeriod(v)) > bound*(1+1e-9) {
+			t.Errorf("node %d (deg %d): period %d exceeds φ-bound %g",
+				v, dc.Degree(v), dc.CurrentPeriod(v), bound)
+		}
+	}
+	hosted := make([]bool, dc.N())
+	maxDeadline := int64(0)
+	for _, d := range deadline {
+		if d > maxDeadline {
+			maxDeadline = d
+		}
+	}
+	for dc.Holiday() < maxDeadline {
+		for _, v := range dc.Next() {
+			hosted[v] = true
+		}
+	}
+	for v := 0; v < dc.N(); v++ {
+		if !hosted[v] {
+			t.Errorf("node %d did not host within its period %d after quiescence", v, dc.CurrentPeriod(v))
+		}
+	}
+}
+
+func TestDynamicSelfLoopRejected(t *testing.T) {
+	g := graph.Empty(2)
+	dc, _ := NewDynamicColorBound(g, prefixcode.Omega{})
+	if _, err := dc.AddEdge(1, 1); err == nil {
+		t.Fatal("self-marriage must be rejected")
+	}
+}
+
+func TestDynamicDuplicateEdgeIgnored(t *testing.T) {
+	g := graph.Path(2)
+	dc, _ := NewDynamicColorBound(g, prefixcode.Omega{})
+	recolored, err := dc.AddEdge(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recolored {
+		t.Error("re-adding an existing edge must be a no-op")
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// FirstGrab is the chaotic "first come first grab" process from §1: every
+// holiday, parents wake at i.i.d. random times and grab the couples still
+// available. A parent gets all its children exactly when it wakes before
+// every in-law, so P[happy] = 1/(deg+1) and the expected wait between happy
+// holidays is deg+1 — the paper's fair-share landmark. The process is
+// memoryless, non-periodic, and serves as the fairness baseline (E7).
+type FirstGrab struct {
+	g   *graph.Graph
+	rng *rand.Rand
+	t   int64
+	// wake is scratch space for per-holiday wake-up times.
+	wake []float64
+}
+
+// NewFirstGrab builds the process with a deterministic seed.
+func NewFirstGrab(g *graph.Graph, seed uint64) *FirstGrab {
+	return &FirstGrab{
+		g:    g,
+		rng:  rand.New(rand.NewPCG(seed, 0xfeed)),
+		wake: make([]float64, g.N()),
+	}
+}
+
+// Name implements Scheduler.
+func (fg *FirstGrab) Name() string { return "first-grab" }
+
+// Holiday implements Scheduler.
+func (fg *FirstGrab) Holiday() int64 { return fg.t }
+
+// Next implements Scheduler: draw wake-up times and report the local minima,
+// which form an independent set (two adjacent nodes cannot both precede each
+// other).
+func (fg *FirstGrab) Next() []int {
+	fg.t++
+	for v := range fg.wake {
+		fg.wake[v] = fg.rng.Float64()
+	}
+	var happy []int
+	for v := 0; v < fg.g.N(); v++ {
+		first := true
+		for _, u := range fg.g.Neighbors(v) {
+			if fg.wake[u] <= fg.wake[v] {
+				first = false
+				break
+			}
+		}
+		if first {
+			happy = append(happy, v)
+		}
+	}
+	return happy
+}
+
+// HappyProbability returns the closed-form per-holiday happiness probability
+// 1/(deg(v)+1) that the Monte-Carlo run is compared against.
+func (fg *FirstGrab) HappyProbability(v int) float64 {
+	return 1 / float64(fg.g.Degree(v)+1)
+}

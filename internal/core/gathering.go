@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Gathering is one holiday's edge orientation (Definition 2.1): every couple
+// (edge) visits exactly one of its two parent households. Toward[e] names
+// the endpoint hosting couple e.
+type Gathering struct {
+	g      *graph.Graph
+	toward map[graph.Edge]int
+}
+
+// NewGathering creates an orientation with all couples initially unassigned;
+// use Orient or FromHappySet to direct them.
+func NewGathering(g *graph.Graph) *Gathering {
+	return &Gathering{g: g, toward: make(map[graph.Edge]int, g.M())}
+}
+
+// Orient directs edge {u, v} toward host, which must be one of u, v.
+func (o *Gathering) Orient(u, v, host int) error {
+	if host != u && host != v {
+		return fmt.Errorf("core: host %d is not an endpoint of (%d,%d)", host, u, v)
+	}
+	if !o.g.Adjacent(u, v) {
+		return fmt.Errorf("core: (%d,%d) is not an edge", u, v)
+	}
+	o.toward[graph.Edge{U: u, V: v}.Canon()] = host
+	return nil
+}
+
+// Host returns the endpoint hosting couple {u, v}, or -1 if unassigned.
+func (o *Gathering) Host(u, v int) int {
+	if h, ok := o.toward[(graph.Edge{U: u, V: v}).Canon()]; ok {
+		return h
+	}
+	return -1
+}
+
+// IsHappy reports whether p is a sink: every incident couple visits p
+// (Definition 2.1). Nodes with no children are vacuously happy hosts.
+func (o *Gathering) IsHappy(p int) bool {
+	for _, u := range o.g.Neighbors(p) {
+		if o.Host(p, u) != p {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSatisfied reports whether at least one couple visits p (Definition A.1).
+func (o *Gathering) IsSatisfied(p int) bool {
+	for _, u := range o.g.Neighbors(p) {
+		if o.Host(p, u) == p {
+			return true
+		}
+	}
+	return false
+}
+
+// HappySet returns all happy nodes, which always form an independent set.
+func (o *Gathering) HappySet() []int {
+	var happy []int
+	for v := 0; v < o.g.N(); v++ {
+		if o.IsHappy(v) {
+			happy = append(happy, v)
+		}
+	}
+	return happy
+}
+
+// FromHappySet builds the orientation realizing a given independent set:
+// every couple with a happy parent visits it; couples between two unhappy
+// parents go to the lower-numbered one (arbitrary). Errors if the set is
+// not independent — both in-laws cannot host the same couple.
+func FromHappySet(g *graph.Graph, happy []int) (*Gathering, error) {
+	isHappy := make([]bool, g.N())
+	for _, v := range happy {
+		if v < 0 || v >= g.N() {
+			return nil, fmt.Errorf("core: node %d out of range", v)
+		}
+		isHappy[v] = true
+	}
+	o := NewGathering(g)
+	for _, e := range g.Edges() {
+		switch {
+		case isHappy[e.U] && isHappy[e.V]:
+			return nil, fmt.Errorf("core: happy set contains adjacent nodes %d and %d", e.U, e.V)
+		case isHappy[e.U]:
+			o.toward[e] = e.U
+		case isHappy[e.V]:
+			o.toward[e] = e.V
+		default:
+			o.toward[e] = e.U
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGatheringOrientAndHappy(t *testing.T) {
+	g := graph.Path(3) // 0-1-2
+	o := NewGathering(g)
+	if err := o.Orient(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Orient(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsHappy(1) {
+		t.Error("node 1 with both couples home must be happy")
+	}
+	if o.IsHappy(0) || o.IsHappy(2) {
+		t.Error("nodes 0 and 2 sent their couples away")
+	}
+	if !o.IsSatisfied(1) {
+		t.Error("happy implies satisfied")
+	}
+	if o.IsSatisfied(0) {
+		t.Error("node 0 hosts nothing")
+	}
+}
+
+func TestGatheringIsolatedNodeIsHappy(t *testing.T) {
+	g := graph.Empty(2)
+	o := NewGathering(g)
+	if !o.IsHappy(0) {
+		t.Error("a parent with no married children is vacuously happy")
+	}
+	if o.IsSatisfied(0) {
+		t.Error("a parent with no married children hosts no couple")
+	}
+}
+
+func TestGatheringOrientErrors(t *testing.T) {
+	g := graph.Path(3)
+	o := NewGathering(g)
+	if err := o.Orient(0, 1, 2); err == nil {
+		t.Error("host must be an endpoint")
+	}
+	if err := o.Orient(0, 2, 0); err == nil {
+		t.Error("non-edges cannot be oriented")
+	}
+	if h := o.Host(0, 1); h != -1 {
+		t.Errorf("unassigned host = %d, want -1", h)
+	}
+}
+
+func TestHappySetIsIndependent(t *testing.T) {
+	g := graph.Cycle(6)
+	o := NewGathering(g)
+	// Orient alternately: even nodes host everything they touch.
+	for _, e := range g.Edges() {
+		host := e.U
+		if e.V%2 == 0 {
+			host = e.V
+		}
+		if err := o.Orient(e.U, e.V, host); err != nil {
+			t.Fatal(err)
+		}
+	}
+	happy := o.HappySet()
+	if !g.IsIndependent(happy) {
+		t.Fatalf("happy set %v must be independent (Definition 2.1)", happy)
+	}
+	if len(happy) != 3 {
+		t.Errorf("alternating orientation on C6 gives %d happy, want 3", len(happy))
+	}
+}
+
+func TestFromHappySet(t *testing.T) {
+	g := graph.Cycle(6)
+	o, err := FromHappySet(g, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 2, 4} {
+		if !o.IsHappy(v) {
+			t.Errorf("node %d must be happy", v)
+		}
+	}
+	got := o.HappySet()
+	if len(got) != 3 {
+		t.Errorf("happy set = %v, want exactly {0,2,4}", got)
+	}
+}
+
+func TestFromHappySetRejectsDependentSet(t *testing.T) {
+	g := graph.Cycle(6)
+	if _, err := FromHappySet(g, []int{0, 1}); err == nil {
+		t.Fatal("adjacent in-laws cannot both be happy")
+	}
+	if _, err := FromHappySet(g, []int{99}); err == nil {
+		t.Fatal("out-of-range node must be rejected")
+	}
+}

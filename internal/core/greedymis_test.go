@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGreedyMISIndependentAndMaximal(t *testing.T) {
+	g := graph.GNP(80, 0.08, 60)
+	gm := NewGreedyMIS(g, 61)
+	for step := 0; step < 200; step++ {
+		happy := gm.Next()
+		if !g.IsIndependent(happy) {
+			t.Fatalf("step %d: dependent happy set", step)
+		}
+		// Maximality: every unhappy node has a happy neighbor.
+		in := make([]bool, g.N())
+		for _, v := range happy {
+			in[v] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			if in[v] {
+				continue
+			}
+			blocked := false
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					blocked = true
+					break
+				}
+			}
+			if !blocked && g.Degree(v) > 0 {
+				t.Fatalf("step %d: node %d could have joined (set not maximal)", step, v)
+			}
+			if !blocked && g.Degree(v) == 0 {
+				t.Fatalf("step %d: isolated node %d must always be happy", step, v)
+			}
+		}
+	}
+}
+
+// GreedyMIS dominates FirstGrab in expectation: with the same number of
+// holidays everyone is happy at least as often as the 1/(d+1) landmark.
+func TestGreedyMISBeatsFairShare(t *testing.T) {
+	g := graph.GNP(60, 0.1, 62)
+	gm := NewGreedyMIS(g, 63)
+	horizon := int64(20000)
+	rep := Analyze(gm, g, horizon)
+	for _, nr := range rep.Nodes {
+		landmark := float64(horizon) / float64(nr.Degree+1)
+		if float64(nr.HappyCount) < 0.95*landmark {
+			t.Errorf("node %d (deg %d): happy %d times, below fair share %.0f",
+				nr.Node, nr.Degree, nr.HappyCount, landmark)
+		}
+	}
+}
+
+func TestGreedyMISMoreHappinessThanFirstGrab(t *testing.T) {
+	g := graph.GNP(60, 0.1, 64)
+	horizon := int64(3000)
+	gmRep := Analyze(NewGreedyMIS(g, 65), g, horizon)
+	fgRep := Analyze(NewFirstGrab(g, 65), g, horizon)
+	var gmTotal, fgTotal int64
+	for v := range gmRep.Nodes {
+		gmTotal += gmRep.Nodes[v].HappyCount
+		fgTotal += fgRep.Nodes[v].HappyCount
+	}
+	if gmTotal <= fgTotal {
+		t.Errorf("greedy MIS total happiness %d should exceed first-grab %d", gmTotal, fgTotal)
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// testZoo returns the graph families shared by the core tests.
+func testZoo() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"clique10":  graph.Clique(10),
+		"cycle9":    graph.Cycle(9),
+		"cycle12":   graph.Cycle(12),
+		"star16":    graph.Star(16),
+		"star17":    graph.Star(17),
+		"path20":    graph.Path(20),
+		"grid6x6":   graph.Grid(6, 6),
+		"gnp120":    graph.GNP(120, 0.06, 31),
+		"tree80":    graph.RandomTree(80, 32),
+		"regular4":  graph.RandomRegular(80, 4, 33),
+		"powerlaw":  graph.PreferentialAttachment(150, 2, 34),
+		"bipartite": graph.RandomBipartite(25, 35, 0.15, 35),
+		"edgeless":  graph.Empty(9),
+	}
+}
+
+// greedyColoring returns a proper degree-bounded coloring for scheduler
+// construction in tests.
+func greedyColoring(g *graph.Graph) coloring.Coloring {
+	return coloring.Greedy(g, coloring.IdentityOrder(g.N()))
+}

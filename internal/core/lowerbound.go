@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/prefixcode"
+)
+
+// GrowthFunc is a candidate period function f(c) for color-based schedules,
+// used by the Theorem 4.1 lower-bound experiment (E5).
+type GrowthFunc struct {
+	Name string
+	F    func(c float64) float64
+}
+
+// StandardGrowthFuncs returns the functions whose feasibility the E5
+// experiment charts. Theorem 4.1 (via the Cauchy condensation test): a
+// color-based schedule with period f(c) for color c requires Σ 1/f(c) ≤ 1,
+// which fails for f(c) = c and for anything below the φ frontier, and holds
+// for f(c) = c^{1+ε}, 2c·log²(c+1), 2^c, and the omega-code periods 2^ρ(c).
+func StandardGrowthFuncs() []GrowthFunc {
+	return []GrowthFunc{
+		{"c", func(c float64) float64 { return c }},
+		{"phi(c)", prefixcode.Phi},
+		{"c^1.5", func(c float64) float64 { return math.Pow(c, 1.5) }},
+		{"2c*log2(c+1)^2", func(c float64) float64 {
+			l := math.Log2(c + 1)
+			return 2 * c * l * l
+		}},
+		{"2^c", func(c float64) float64 {
+			if c > 1000 {
+				return math.Inf(1)
+			}
+			return math.Exp2(c)
+		}},
+		{"2^rho(c)", func(c float64) float64 {
+			return math.Exp2(float64(prefixcode.Rho(uint64(c))))
+		}},
+	}
+}
+
+// PartialSums returns Σ_{c=1}^{N} 1/f(c) evaluated at each checkpoint N
+// (checkpoints must be increasing).
+func PartialSums(f func(float64) float64, checkpoints []uint64) []float64 {
+	out := make([]float64, len(checkpoints))
+	sum := 0.0
+	c := uint64(1)
+	for i, n := range checkpoints {
+		for ; c <= n; c++ {
+			v := f(float64(c))
+			if v > 0 && !math.IsInf(v, 1) {
+				sum += 1 / v
+			}
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// FeasibleUpTo reports whether Σ_{c=1}^{N} 1/f(c) ≤ 1, the necessary
+// condition of Theorem 4.1 for f to be a valid color→period guarantee.
+func FeasibleUpTo(f func(float64) float64, n uint64) bool {
+	sums := PartialSums(f, []uint64{n})
+	return sums[0] <= 1
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prefixcode"
+)
+
+// Theorem 4.1 (Cauchy condensation): Σ 1/f(c) must stay ≤ 1 for a valid
+// color→period guarantee. f(c) = c blows through 1 almost immediately;
+// f(c) = φ(c) diverges but only at iterated-log speed; f(c) = c^{1+ε} and
+// the realized omega periods 2^ρ(c) stay feasible.
+func TestTheorem41FeasibilityFrontier(t *testing.T) {
+	n := uint64(1 << 20)
+	if FeasibleUpTo(func(c float64) float64 { return c }, 4) {
+		t.Error("f(c) = c must be infeasible already at 4 colors (1 + 1/2 + 1/3 + 1/4 > 1)")
+	}
+	if !FeasibleUpTo(func(c float64) float64 { return math.Exp2(float64(prefixcode.Rho(uint64(c)))) }, n) {
+		t.Error("the omega-code periods 2^rho must satisfy the Kraft budget")
+	}
+	if !FeasibleUpTo(func(c float64) float64 {
+		l := math.Log2(c + 1)
+		return 2 * c * l * l
+	}, n) {
+		t.Error("2c log^2(c+1) must be feasible")
+	}
+}
+
+func TestPhiSumsDivergeSlowly(t *testing.T) {
+	checkpoints := []uint64{1 << 8, 1 << 12, 1 << 16, 1 << 20}
+	sums := PartialSums(prefixcode.Phi, checkpoints)
+	for i := 1; i < len(sums); i++ {
+		if sums[i] <= sums[i-1] {
+			t.Errorf("phi partial sums must increase: %v", sums)
+		}
+	}
+	// Divergence is real but glacial: by 2^20 the sum is still small.
+	if sums[len(sums)-1] > 3 {
+		t.Errorf("phi partial sum at 2^20 = %v; expected tiny growth", sums[len(sums)-1])
+	}
+	// And strictly slower than the harmonic series.
+	harmonic := PartialSums(func(c float64) float64 { return c }, checkpoints)
+	if sums[len(sums)-1] >= harmonic[len(harmonic)-1] {
+		t.Error("phi sums must grow slower than harmonic sums")
+	}
+}
+
+func TestPartialSumsMonotoneCheckpoints(t *testing.T) {
+	sums := PartialSums(func(c float64) float64 { return c * c }, []uint64{1, 2, 4})
+	// 1, 1+1/4, 1+1/4+1/9+1/16
+	want := []float64{1, 1.25, 1.25 + 1.0/9 + 1.0/16}
+	for i := range want {
+		if math.Abs(sums[i]-want[i]) > 1e-12 {
+			t.Errorf("sum[%d] = %v, want %v", i, sums[i], want[i])
+		}
+	}
+}
+
+func TestStandardGrowthFuncs(t *testing.T) {
+	funcs := StandardGrowthFuncs()
+	if len(funcs) < 5 {
+		t.Fatalf("expected the standard palette of growth functions, got %d", len(funcs))
+	}
+	for _, gf := range funcs {
+		v := gf.F(16)
+		if v <= 0 || math.IsNaN(v) {
+			t.Errorf("%s(16) = %v; want positive", gf.Name, v)
+		}
+	}
+}
+
+// The infinite-sum form of Theorem 4.1's proof: for the omega code the total
+// hosting rate over all colors equals the Kraft sum and never exceeds 1, so
+// a gathering sequence can accommodate every color class.
+func TestOmegaRateBudgetTight(t *testing.T) {
+	sum := prefixcode.KraftSum(prefixcode.Omega{}, 1<<16)
+	if sum > 1 {
+		t.Errorf("omega Kraft sum %v exceeds 1", sum)
+	}
+	if sum < 0.5 {
+		t.Errorf("omega Kraft sum %v suspiciously small; code should be near-complete", sum)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file explores the paper's closing conjecture (§6): that perfectly
+// periodic schedules cannot in general match the non-periodic d+1 guarantee
+// — the best periodic bound should be d + ω(1). A per-node period/offset
+// assignment {(p_v, o_v)} is conflict-free iff for every edge (u,v):
+// o_u ≢ o_v (mod gcd(p_u, p_v)) — by CRT this is exactly the condition that
+// t ≡ o_u (mod p_u) and t ≡ o_v (mod p_v) share no solution.
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// OffsetsCompatible reports whether two (period, offset) pairs never host
+// the same holiday.
+func OffsetsCompatible(p1, o1, p2, o2 int64) bool {
+	g := gcd64(p1, p2)
+	return o1%g != o2%g
+}
+
+// FeasibleOffsets searches for offsets realizing the given per-node periods
+// by backtracking (nodes in decreasing-degree order). It returns the offsets
+// and true on success, or nil and false if no conflict-free assignment
+// exists. Exponential in the worst case: intended for the small instances of
+// experiment E12.
+func FeasibleOffsets(g *graph.Graph, periods []int64) ([]int64, bool) {
+	if len(periods) != g.N() {
+		panic(fmt.Sprintf("core: %d periods for %d nodes", len(periods), g.N()))
+	}
+	for _, p := range periods {
+		if p < 1 {
+			panic("core: periods must be >= 1")
+		}
+	}
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	// Decreasing degree: most constrained first.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.Degree(order[j]) > g.Degree(order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	offsets := make([]int64, g.N())
+	assigned := make([]bool, g.N())
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		v := order[k]
+		for o := int64(0); o < periods[v]; o++ {
+			ok := true
+			for _, u := range g.Neighbors(v) {
+				if assigned[u] && !OffsetsCompatible(periods[v], o, periods[u], offsets[u]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				offsets[v] = o
+				assigned[v] = true
+				if rec(k + 1) {
+					return true
+				}
+				assigned[v] = false
+			}
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil, false
+	}
+	return offsets, true
+}
+
+// VerifyPeriodAssignment checks an assignment against every edge.
+func VerifyPeriodAssignment(g *graph.Graph, periods, offsets []int64) error {
+	for _, e := range g.Edges() {
+		if !OffsetsCompatible(periods[e.U], offsets[e.U], periods[e.V], offsets[e.V]) {
+			return fmt.Errorf("core: periodic conflict on edge (%d,%d): (%d,%d) vs (%d,%d)",
+				e.U, e.V, periods[e.U], offsets[e.U], periods[e.V], offsets[e.V])
+		}
+	}
+	return nil
+}
+
+// DegreePlusOnePeriods returns the conjecture's target vector: period
+// deg(v)+1 for every node.
+func DegreePlusOnePeriods(g *graph.Graph) []int64 {
+	out := make([]int64, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = int64(g.Degree(v) + 1)
+	}
+	return out
+}
+
+// PowerOfTwoPeriods returns the §5 construction's vector: period
+// 2^⌈log(deg+1)⌉ for every node — always feasible (Theorem 5.3), serving as
+// the known-good reference point in E12.
+func PowerOfTwoPeriods(g *graph.Graph) []int64 {
+	out := make([]int64, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = int64(1) << uint(ceilLog2(g.Degree(v)+1))
+	}
+	return out
+}
+
+// MinUniformPeriod returns the smallest B ≤ maxB such that giving every node
+// period B admits a conflict-free offset assignment, or 0 if none exists up
+// to maxB. With a uniform period the compatibility condition degenerates to
+// "adjacent offsets differ", so the answer equals the chromatic number —
+// the §1 equivalence between schedules and colorings, found by search.
+func MinUniformPeriod(g *graph.Graph, maxB int64) int64 {
+	for b := int64(1); b <= maxB; b++ {
+		periods := make([]int64, g.N())
+		for i := range periods {
+			periods[i] = b
+		}
+		if _, ok := FeasibleOffsets(g, periods); ok {
+			return b
+		}
+	}
+	return 0
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestOffsetsCompatible(t *testing.T) {
+	// Same period: compatible iff offsets differ.
+	if OffsetsCompatible(4, 1, 4, 1) {
+		t.Error("identical (4,1) pairs collide")
+	}
+	if !OffsetsCompatible(4, 1, 4, 2) {
+		t.Error("(4,1) vs (4,2) never collide")
+	}
+	// Coprime periods always collide somewhere (CRT).
+	if OffsetsCompatible(2, 0, 3, 1) {
+		t.Error("coprime periods always share a holiday")
+	}
+	// gcd 2: compatible iff offsets differ mod 2.
+	if !OffsetsCompatible(4, 0, 6, 1) {
+		t.Error("(4,0) vs (6,1): parities differ, never collide")
+	}
+	if OffsetsCompatible(4, 0, 6, 2) {
+		t.Error("(4,0) vs (6,2): both even, collide at t ≡ 0 mod 12... (e.g. 12)")
+	}
+}
+
+// On a clique the d+1 target (all periods = n) is feasible: round robin.
+func TestDegreePlusOneFeasibleOnClique(t *testing.T) {
+	g := graph.Clique(6)
+	offsets, ok := FeasibleOffsets(g, DegreePlusOnePeriods(g))
+	if !ok {
+		t.Fatal("K6 must admit the round-robin period-6 assignment")
+	}
+	if err := VerifyPeriodAssignment(g, DegreePlusOnePeriods(g), offsets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §6 conjecture material: on a star with an even center degree (odd period
+// d+1), leaves of period 2 are incompatible with the odd-period center —
+// gcd is 1 and every pair of residues collides. The d+1 target is
+// infeasible, while the §5 power-of-two relaxation always works.
+func TestDegreePlusOneInfeasibleOnOddStar(t *testing.T) {
+	g := graph.Star(5) // center degree 4 -> period 5 (odd); leaves period 2
+	if _, ok := FeasibleOffsets(g, DegreePlusOnePeriods(g)); ok {
+		t.Fatal("period-5 center with period-2 leaves must be infeasible (gcd 1)")
+	}
+	offsets, ok := FeasibleOffsets(g, PowerOfTwoPeriods(g))
+	if !ok {
+		t.Fatal("the Theorem 5.3 power-of-two periods must be feasible")
+	}
+	if err := VerifyPeriodAssignment(g, PowerOfTwoPeriods(g), offsets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreePlusOneFeasibleOnEvenStar(t *testing.T) {
+	g := graph.Star(4) // center degree 3 -> period 4; leaves period 2: parity split works
+	offsets, ok := FeasibleOffsets(g, DegreePlusOnePeriods(g))
+	if !ok {
+		t.Fatal("even-period center with period-2 leaves is feasible")
+	}
+	if err := VerifyPeriodAssignment(g, DegreePlusOnePeriods(g), offsets); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerOfTwoPeriodsAlwaysFeasibleOnZoo(t *testing.T) {
+	for name, g := range testZoo() {
+		if g.N() > 40 {
+			continue // keep the backtracking search small
+		}
+		periods := PowerOfTwoPeriods(g)
+		offsets, ok := FeasibleOffsets(g, periods)
+		if !ok {
+			t.Errorf("%s: power-of-two periods must be feasible (Theorem 5.3)", name)
+			continue
+		}
+		if err := VerifyPeriodAssignment(g, periods, offsets); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// With a uniform period the search reduces to proper coloring, so the
+// minimal uniform period is the chromatic number (§1 equivalence).
+func TestMinUniformPeriodIsChromaticNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		chi  int64
+	}{
+		{"K5", graph.Clique(5), 5},
+		{"C6", graph.Cycle(6), 2},
+		{"C7", graph.Cycle(7), 3},
+		{"P4", graph.Path(4), 2},
+		{"K33", graph.CompleteBipartite(3, 3), 2},
+		{"singleton", graph.Empty(1), 1},
+	}
+	for _, tc := range cases {
+		if got := MinUniformPeriod(tc.g, 8); got != tc.chi {
+			t.Errorf("%s: min uniform period = %d, want χ = %d", tc.name, got, tc.chi)
+		}
+	}
+}
+
+func TestMinUniformPeriodUnreachable(t *testing.T) {
+	if got := MinUniformPeriod(graph.Clique(5), 3); got != 0 {
+		t.Errorf("K5 within budget 3: got %d, want 0 (infeasible)", got)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// PhasedGreedy is the §3 non-periodic degree-bound algorithm. Starting from
+// a proper coloring with col(v) ≤ deg(v)+1 (the BEPS guarantee), at holiday
+// i the nodes colored i are happy and immediately recolor themselves with
+// the smallest color j > i not present in their neighborhood. Theorem 3.1:
+// every node of degree d is happy at least once in every d+1 consecutive
+// holidays; each holiday costs O(1) communication rounds.
+type PhasedGreedy struct {
+	g       *graph.Graph
+	col     []int64
+	buckets map[int64][]int
+	t       int64
+}
+
+// NewPhasedGreedy builds the scheduler from an initial coloring, which must
+// be proper and degree-bounded (col(v) ≤ deg(v)+1); both properties are
+// checked. Use coloring.DistributedDelta1 for the paper's distributed
+// initialization or any sequential greedy coloring.
+func NewPhasedGreedy(g *graph.Graph, initial coloring.Coloring) (*PhasedGreedy, error) {
+	if err := coloring.VerifyDegreeBounded(g, initial); err != nil {
+		return nil, fmt.Errorf("core: phased greedy needs a degree-bounded proper coloring: %w", err)
+	}
+	p := &PhasedGreedy{g: g, col: make([]int64, g.N()), buckets: make(map[int64][]int)}
+	for v, c := range initial {
+		p.col[v] = int64(c)
+		p.buckets[int64(c)] = append(p.buckets[int64(c)], v)
+	}
+	return p, nil
+}
+
+// Name implements Scheduler.
+func (p *PhasedGreedy) Name() string { return "phased-greedy" }
+
+// Holiday implements Scheduler.
+func (p *PhasedGreedy) Holiday() int64 { return p.t }
+
+// RoundsPerHoliday returns the LOCAL communication cost of executing one
+// holiday: a constant (each recoloring node exchanges colors with its
+// neighbors once and announces its new color once).
+func (p *PhasedGreedy) RoundsPerHoliday() int { return 2 }
+
+// Next implements Scheduler: the nodes whose current color equals the new
+// holiday number are happy, then greedily recolor into the future.
+func (p *PhasedGreedy) Next() []int {
+	p.t++
+	happy := p.buckets[p.t]
+	delete(p.buckets, p.t)
+	// The happy set is a color class, hence independent; recoloring each
+	// member only consults its (unchanged) neighbors, so order is
+	// irrelevant.
+	for _, v := range happy {
+		taken := make(map[int64]bool, p.g.Degree(v))
+		for _, u := range p.g.Neighbors(v) {
+			taken[p.col[u]] = true
+		}
+		// Smallest j > t absent from the neighborhood; at most deg(v)
+		// colors are taken, so j ≤ t + deg(v) + 1.
+		j := p.t + 1
+		for taken[j] {
+			j++
+		}
+		p.col[v] = j
+		p.buckets[j] = append(p.buckets[j], v)
+	}
+	return happy
+}
+
+// Color returns v's current color (its next scheduled hosting holiday).
+func (p *PhasedGreedy) Color(v int) int64 { return p.col[v] }
+
+// VerifyProper checks the internal invariant that the evolving coloring
+// remains proper; exposed for tests and failure injection.
+func (p *PhasedGreedy) VerifyProper() error {
+	for v := 0; v < p.g.N(); v++ {
+		for _, u := range p.g.Neighbors(v) {
+			if p.col[u] == p.col[v] {
+				return fmt.Errorf("core: phased greedy coloring violated on edge (%d,%d): both %d", v, u, p.col[v])
+			}
+		}
+	}
+	return nil
+}

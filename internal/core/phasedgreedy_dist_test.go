@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The distributed protocol must replay the centralized §3 schedule exactly:
+// both implement "happy set = color class t; recolor to the least free
+// color beyond t".
+func TestPhasedGreedyDistributedMatchesCentralized(t *testing.T) {
+	for name, g := range testZoo() {
+		col := greedyColoring(g)
+		central, err := NewPhasedGreedy(g, col)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dist, err := NewPhasedGreedyDistributed(g, col)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		horizon := 3 * (g.MaxDegree() + 2)
+		for step := 0; step < horizon; step++ {
+			a, b := central.Next(), dist.Next()
+			if len(a) != len(b) {
+				t.Fatalf("%s: holiday %d: centralized %v != distributed %v", name, step+1, a, b)
+			}
+			inB := make(map[int]bool, len(b))
+			for _, v := range b {
+				inB[v] = true
+			}
+			for _, v := range a {
+				if !inB[v] {
+					t.Fatalf("%s: holiday %d: centralized %v != distributed %v", name, step+1, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPhasedGreedyDistributedBound(t *testing.T) {
+	g := graph.GNP(100, 0.08, 55)
+	dist, err := NewPhasedGreedyDistributed(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(dist, g, int64(4*(g.MaxDegree()+2)))
+	if rep.IndependenceViolations != 0 {
+		t.Fatal("independence violated")
+	}
+	if err := rep.CheckBound(func(nr NodeReport) int64 { return int64(nr.Degree) }); err != nil {
+		t.Errorf("Theorem 3.1 violated by the distributed protocol: %v", err)
+	}
+}
+
+// The protocol's message cost per holiday is proportional to the happy
+// nodes' neighborhood sizes, not to the graph: an idle holiday (no node
+// colored t) costs zero messages.
+func TestPhasedGreedyDistributedMessageLocality(t *testing.T) {
+	g := graph.Star(10) // center degree 9, leaves degree 1
+	dist, err := NewPhasedGreedyDistributed(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := dist.Messages()
+	var idleFound bool
+	for step := 0; step < 20; step++ {
+		happy := dist.Next()
+		cost := dist.Messages() - prev
+		prev = dist.Messages()
+		if len(happy) == 0 {
+			idleFound = true
+			if cost != 0 {
+				t.Fatalf("idle holiday cost %d messages, want 0", cost)
+			}
+		} else {
+			// Announce+query is one broadcast per happy node, replies one
+			// message back per neighbor: cost = 2 * sum of degrees.
+			want := int64(0)
+			for _, v := range happy {
+				want += 2 * int64(g.Degree(v))
+			}
+			if cost != want {
+				t.Fatalf("holiday with happy %v cost %d messages, want %d", happy, cost, want)
+			}
+		}
+	}
+	if !idleFound {
+		t.Log("no idle holiday observed (acceptable, depends on coloring)")
+	}
+	if dist.RoundsPerHoliday() != 3 {
+		t.Errorf("rounds per holiday = %d, want 3", dist.RoundsPerHoliday())
+	}
+}

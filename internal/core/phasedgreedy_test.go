@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// Theorem 3.1: under Phased Greedy every node of degree d is happy at least
+// once within every d+1 consecutive holidays, i.e. its longest unhappy run
+// is at most d.
+func TestTheorem31DegreeBoundOnZoo(t *testing.T) {
+	for name, g := range testZoo() {
+		pg, err := NewPhasedGreedy(g, greedyColoring(g))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		horizon := int64(6 * (g.MaxDegree() + 2))
+		rep := Analyze(pg, g, horizon)
+		if rep.IndependenceViolations != 0 {
+			t.Errorf("%s: %d independence violations", name, rep.IndependenceViolations)
+		}
+		if err := rep.CheckBound(func(nr NodeReport) int64 {
+			return int64(nr.Degree) // run ≤ d ⟺ happy within every d+1 holidays
+		}); err != nil {
+			t.Errorf("%s: Theorem 3.1 violated: %v", name, err)
+		}
+	}
+}
+
+func TestPhasedGreedyWithDistributedInit(t *testing.T) {
+	g := graph.GNP(150, 0.05, 41)
+	col, stats, err := coloring.DistributedDelta1(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds == 0 {
+		t.Error("distributed init should use rounds")
+	}
+	pg, err := NewPhasedGreedy(g, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(pg, g, 500)
+	if rep.IndependenceViolations != 0 {
+		t.Fatal("independence violated")
+	}
+	if err := rep.CheckBound(func(nr NodeReport) int64 { return int64(nr.Degree) }); err != nil {
+		t.Errorf("Theorem 3.1 violated: %v", err)
+	}
+}
+
+func TestPhasedGreedyColoringStaysProper(t *testing.T) {
+	g := graph.GNP(80, 0.1, 43)
+	pg, err := NewPhasedGreedy(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 300; step++ {
+		pg.Next()
+		if err := pg.VerifyProper(); err != nil {
+			t.Fatalf("after holiday %d: %v", pg.Holiday(), err)
+		}
+	}
+}
+
+func TestPhasedGreedyColorsMoveForward(t *testing.T) {
+	g := graph.Clique(5)
+	pg, err := NewPhasedGreedy(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		happy := pg.Next()
+		for _, v := range happy {
+			if pg.Color(v) <= pg.Holiday() {
+				t.Fatalf("node %d recolored to %d, not beyond holiday %d", v, pg.Color(v), pg.Holiday())
+			}
+			if pg.Color(v) > pg.Holiday()+int64(g.Degree(v))+1 {
+				t.Fatalf("node %d recolored to %d, beyond holiday+deg+1 = %d",
+					v, pg.Color(v), pg.Holiday()+int64(g.Degree(v))+1)
+			}
+		}
+	}
+}
+
+func TestPhasedGreedyOnCliqueIsRoundRobinLike(t *testing.T) {
+	// On K_n exactly one node is happy per holiday and each waits exactly n.
+	g := graph.Clique(6)
+	pg, err := NewPhasedGreedy(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 6)
+	for step := 0; step < 60; step++ {
+		happy := pg.Next()
+		if len(happy) != 1 {
+			t.Fatalf("K6 holiday %d: %d happy nodes, want 1", pg.Holiday(), len(happy))
+		}
+		counts[happy[0]]++
+	}
+	for v, c := range counts {
+		if c != 10 {
+			t.Errorf("node %d hosted %d times in 60 holidays, want 10", v, c)
+		}
+	}
+}
+
+func TestPhasedGreedyRejectsBadColoring(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := NewPhasedGreedy(g, coloring.Coloring{1, 1, 2}); err == nil {
+		t.Fatal("improper coloring must be rejected")
+	}
+	// Proper but not degree-bounded: middle node colored 5 > deg+1 = 3.
+	if _, err := NewPhasedGreedy(g, coloring.Coloring{1, 5, 1}); err == nil {
+		t.Fatal("degree-unbounded coloring must be rejected")
+	}
+}
+
+func TestPhasedGreedyRoundsPerHoliday(t *testing.T) {
+	g := graph.Cycle(5)
+	pg, _ := NewPhasedGreedy(g, greedyColoring(g))
+	if pg.RoundsPerHoliday() != 2 {
+		t.Errorf("per-holiday rounds = %d, want the O(1) constant 2", pg.RoundsPerHoliday())
+	}
+}
+
+// Property: Theorem 3.1 holds on random graphs with random seeds.
+func TestTheorem31Quick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 5 + int(seed%40)
+		g := graph.GNP(n, 0.2, seed)
+		pg, err := NewPhasedGreedy(g, greedyColoring(g))
+		if err != nil {
+			return false
+		}
+		rep := Analyze(pg, g, int64(5*(g.MaxDegree()+2)))
+		return rep.IndependenceViolations == 0 &&
+			rep.CheckBound(func(nr NodeReport) int64 { return int64(nr.Degree) }) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// ExtractColoring realizes the §1 "Connection to coloring" reduction: if a
+// schedule makes every node happy within some window of w consecutive
+// holidays, then observing w holidays and coloring each node by its first
+// hosting holiday yields a proper w-coloring (each color class is a subset
+// of one holiday's independent set). Errors if some node is never happy in
+// the window, i.e. the schedule's gap exceeds w.
+func ExtractColoring(s Scheduler, g *graph.Graph, w int64) (coloring.Coloring, error) {
+	col := make(coloring.Coloring, g.N())
+	colored := 0
+	for t := int64(1); t <= w && colored < g.N(); t++ {
+		happy := s.Next()
+		for _, v := range happy {
+			if col[v] == 0 {
+				col[v] = int(t)
+				colored++
+			}
+		}
+	}
+	if colored < g.N() {
+		for v := 0; v < g.N(); v++ {
+			if col[v] == 0 {
+				return nil, fmt.Errorf("core: node %d was never happy within %d holidays; no %d-coloring extractable", v, w, w)
+			}
+		}
+	}
+	if err := coloring.Verify(g, col); err != nil {
+		return nil, fmt.Errorf("core: extracted coloring is improper (scheduler emitted a dependent set): %w", err)
+	}
+	return col, nil
+}
+
+// ScheduleFromColoring is the converse direction of the §1 reduction: a
+// proper c-coloring yields a schedule with every node happy every c
+// holidays. It is exactly the RoundRobin scheduler; this constructor exists
+// to make the equivalence explicit.
+func ScheduleFromColoring(g *graph.Graph, col coloring.Coloring) (Scheduler, error) {
+	return NewRoundRobin(g, col)
+}

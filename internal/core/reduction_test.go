@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// §1 "Connection to coloring": observing w holidays of a schedule whose gaps
+// are ≤ w yields a proper w-coloring.
+func TestExtractColoringFromPhasedGreedy(t *testing.T) {
+	g := graph.GNP(60, 0.1, 80)
+	pg, err := NewPhasedGreedy(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := int64(g.MaxDegree() + 1)
+	col, err := ExtractColoring(pg, g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, col); err != nil {
+		t.Fatal(err)
+	}
+	if int64(col.MaxColor()) > w {
+		t.Errorf("extracted coloring uses %d colors, want ≤ %d", col.MaxColor(), w)
+	}
+}
+
+func TestExtractColoringFromDegreeBound(t *testing.T) {
+	g := graph.Grid(5, 5)
+	db := NewDegreeBoundSequential(g)
+	// Every node hosts within its period ≤ 2Δ ≤ 8.
+	col, err := ExtractColoring(db, g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coloring.Verify(g, col); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractColoringWindowTooShort(t *testing.T) {
+	g := graph.Clique(8)
+	pg, err := NewPhasedGreedy(g, greedyColoring(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On K8 each holiday makes exactly one node happy: 3 holidays cannot
+	// cover 8 nodes.
+	if _, err := ExtractColoring(pg, g, 3); err == nil {
+		t.Fatal("short window must fail to produce a coloring")
+	}
+}
+
+func TestScheduleFromColoringRoundTrip(t *testing.T) {
+	// coloring -> schedule -> coloring: the extracted coloring is proper
+	// and uses no more colors than the schedule's cycle.
+	g := graph.Cycle(9)
+	col := greedyColoring(g)
+	s, err := ScheduleFromColoring(g, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2, err := ExtractColoring(s, g, int64(col.MaxColor()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col2.CountColors() > col.CountColors() {
+		t.Errorf("round trip inflated colors: %d -> %d", col.CountColors(), col2.CountColors())
+	}
+}

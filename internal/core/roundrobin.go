@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+)
+
+// RoundRobin is the §1 baseline: given a proper coloring with k colors,
+// holiday t makes color ((t−1) mod k)+1 happy. Every node waits exactly k
+// holidays — a global bound (Δ+1 with a greedy coloring, |P| with the
+// trivial sequential coloring), which is exactly the un-local behaviour the
+// paper's schedulers improve on: a single-child family waits for the whole
+// graph's worst color.
+type RoundRobin struct {
+	g       *graph.Graph
+	colors  coloring.Coloring
+	classes [][]int
+	k       int64
+	t       int64
+}
+
+// NewRoundRobin builds the baseline over any proper coloring.
+func NewRoundRobin(g *graph.Graph, col coloring.Coloring) (*RoundRobin, error) {
+	if err := coloring.Verify(g, col); err != nil {
+		return nil, fmt.Errorf("core: round-robin needs a proper coloring: %w", err)
+	}
+	k := col.MaxColor()
+	if k == 0 {
+		k = 1 // edgeless graph: everyone hosts every holiday
+	}
+	rr := &RoundRobin{g: g, colors: col, classes: make([][]int, k+1), k: int64(k)}
+	for v, c := range col {
+		rr.classes[c] = append(rr.classes[c], v)
+	}
+	return rr, nil
+}
+
+// Name implements Scheduler.
+func (rr *RoundRobin) Name() string { return "round-robin" }
+
+// Holiday implements Scheduler.
+func (rr *RoundRobin) Holiday() int64 { return rr.t }
+
+// Next implements Scheduler.
+func (rr *RoundRobin) Next() []int {
+	rr.t++
+	c := (rr.t-1)%rr.k + 1
+	return rr.classes[c]
+}
+
+// Period implements Periodic: the same global k for every node.
+func (rr *RoundRobin) Period(v int) int64 { return rr.k }
+
+// Offset implements Periodic: color c hosts at t ≡ c (mod k).
+func (rr *RoundRobin) Offset(v int) int64 {
+	return int64(rr.colors[v]) % rr.k
+}
+
+var _ Periodic = (*RoundRobin)(nil)

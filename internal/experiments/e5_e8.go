@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+	"repro/internal/stats"
+)
+
+// E5CauchySums charts the Theorem 4.1 feasibility frontier: partial sums
+// Σ 1/f(c) at growing checkpoints for each candidate period function. A
+// valid color→period guarantee needs Σ ≤ 1; f(c) = c fails instantly,
+// φ(c) diverges at iterated-log speed (the lower bound), and the realized
+// omega periods 2^ρ(c) stay within budget forever.
+func E5CauchySums(cfg Config) *stats.Table {
+	funcs := core.StandardGrowthFuncs()
+	cols := []string{"N"}
+	for _, f := range funcs {
+		cols = append(cols, "sum 1/"+f.Name)
+	}
+	tb := stats.NewTable("E5: Cauchy condensation partial sums (Theorem 4.1)", cols...)
+	tb.Note = "Claim: feasible period functions keep the sum ≤ 1; f below the phi frontier cross it."
+	maxExp := cfg.pick(22, 16)
+	var checkpoints []uint64
+	for e := 4; e <= maxExp; e += 4 {
+		checkpoints = append(checkpoints, 1<<uint(e))
+	}
+	sums := make([][]float64, len(funcs))
+	forEachIndex(len(funcs), func(i int) {
+		sums[i] = core.PartialSums(funcs[i].F, checkpoints)
+	})
+	for k, n := range checkpoints {
+		cells := []any{n}
+		for i := range funcs {
+			cells = append(cells, sums[i][k])
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+// forEachIndex runs fn(0..n-1) concurrently.
+func forEachIndex(n int, fn func(i int)) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// E6Rounds measures the distributed costs the paper cites: initialization
+// rounds of the (deg+1)-coloring (Theorem 3.1's O(log Δ + …) term), the O(1)
+// per-holiday rounds of phased greedy, and the phase count of the §5.2
+// distributed slot assignment (⌈log(Δ+1)⌉+1 phases).
+func E6Rounds(cfg Config) *stats.Table {
+	tb := stats.NewTable("E6: distributed round complexity",
+		"n", "maxdeg", "init rounds", "init msgs", "rounds/holiday", "5.2 phases", "5.2 rounds", "phases ≤ log(Δ+1)+1")
+	tb.Note = "Claim: init is O(log Δ + 2^O(√log log n)) rounds, each holiday O(1); §5.2 runs ⌈log(Δ+1)⌉+1 phases."
+	sizes := []int{128, 256, 512}
+	if !cfg.Quick {
+		sizes = append(sizes, 1024, 2048)
+	}
+	type result struct{ cells []any }
+	results := make([]result, len(sizes))
+	forEachIndex(len(sizes), func(i int) {
+		n := sizes[i]
+		g := graph.GNP(n, 12/float64(n), cfg.Seed+uint64(n))
+		_, colStats, err := coloring.DistributedDelta1(g, cfg.Seed+uint64(i))
+		if err != nil {
+			panic(fmt.Sprintf("E6 n=%d: %v", n, err))
+		}
+		pg, err := core.NewPhasedGreedy(g, greedyColoringOf(g))
+		if err != nil {
+			panic(err)
+		}
+		_, distStats, err := core.NewDegreeBoundDistributed(g, cfg.Seed+uint64(i)+99)
+		if err != nil {
+			panic(err)
+		}
+		phaseBound := 1
+		for (1 << uint(phaseBound-1)) < g.MaxDegree()+1 {
+			phaseBound++
+		}
+		results[i] = result{[]any{n, g.MaxDegree(), colStats.Rounds, colStats.Messages,
+			pg.RoundsPerHoliday(), distStats.Phases, distStats.Rounds,
+			boolCell(distStats.Phases <= phaseBound+1)}}
+	})
+	for _, r := range results {
+		tb.AddRow(r.cells...)
+	}
+	return tb
+}
+
+// E7FirstGrab validates the §1 fair-share analysis of the chaotic process:
+// the empirical happiness frequency matches 1/(d+1) and the mean gap
+// matches d+1 across degree classes.
+func E7FirstGrab(cfg Config) *stats.Table {
+	tb := stats.NewTable("E7: first-come-first-grab fair share (§1)",
+		"family", "degree", "nodes", "P[happy] measured", "1/(d+1)", "mean gap", "d+1", "rel err")
+	tb.Note = "Claim: P[happy] = 1/(deg+1); expected wait deg+1."
+	fams := []family{
+		{"clique16", graph.Clique(16)},
+		{"star33", graph.Star(33)},
+		{"gnp", graph.GNP(cfg.pick(400, 100), 0.02, cfg.Seed+8)},
+	}
+	horizon := int64(cfg.pick(40000, 8000))
+	type rowGroup [][]any
+	groups := make([]rowGroup, len(fams))
+	forEach(fams, func(i int, f family) {
+		fg := core.NewFirstGrab(f.g, cfg.Seed+uint64(i))
+		rep := core.Analyze(fg, f.g, horizon)
+		// Aggregate by degree class.
+		type agg struct {
+			nodes  int
+			happy  int64
+			gapSum float64
+			gapN   int
+		}
+		byDeg := make(map[int]*agg)
+		for _, nr := range rep.Nodes {
+			a := byDeg[nr.Degree]
+			if a == nil {
+				a = &agg{}
+				byDeg[nr.Degree] = a
+			}
+			a.nodes++
+			a.happy += nr.HappyCount
+			if nr.MeanGap > 0 {
+				a.gapSum += nr.MeanGap
+				a.gapN++
+			}
+		}
+		for _, d := range sortedDegrees(f.g) {
+			a := byDeg[d]
+			pHat := float64(a.happy) / float64(int64(a.nodes)*horizon)
+			want := 1 / float64(d+1)
+			meanGap := 0.0
+			if a.gapN > 0 {
+				meanGap = a.gapSum / float64(a.gapN)
+			}
+			relErr := (pHat - want) / want
+			if relErr < 0 {
+				relErr = -relErr
+			}
+			groups[i] = append(groups[i], []any{f.name, d, a.nodes, pHat, want, meanGap, d + 1, relErr})
+		}
+	})
+	for _, g := range groups {
+		for _, r := range g {
+			tb.AddRow(r...)
+		}
+	}
+	return tb
+}
+
+// E8Dynamic stresses the §6 dynamic setting: batches of w random marriages
+// (plus interleaved divorces) hit a running DynamicColorBound schedule; the
+// coloring must stay proper throughout, and after quiescence every node
+// hosts within one current period, itself below the φ-bound for color
+// c ≤ deg+1.
+func E8Dynamic(cfg Config) *stats.Table {
+	tb := stats.NewTable("E8: dynamic setting under churn (§6)",
+		"w events", "recolorings", "proper throughout", "max recovery", "max period", "recovery ≤ period", "period ≤ phi-bound")
+	tb.Note = "Claim: insertion recoloring keeps the schedule valid; post-quiescence wait ≤ current period ≤ φ(d+1)·2^{log*(d+1)+1}."
+	n := cfg.pick(256, 64)
+	for _, w := range []int{1, 8, 64} {
+		g := graph.GNP(n, 4/float64(n), cfg.Seed+uint64(w))
+		dc, err := core.NewDynamicColorBound(g, prefixcode.Omega{})
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewPCG(cfg.Seed+uint64(w)+13, 7))
+		properOK := true
+		// Interleave: churn events spread over holidays.
+		for k := 0; k < w; k++ {
+			u, v := rng.IntN(n), rng.IntN(n)
+			if u == v {
+				continue
+			}
+			if rng.Float64() < 0.75 {
+				if _, err := dc.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			} else {
+				dc.RemoveEdge(u, v)
+			}
+			dc.Next()
+			if dc.VerifyProper() != nil {
+				properOK = false
+			}
+		}
+		// Quiescence: measure recovery.
+		maxPeriod := int64(0)
+		phiOK := true
+		for v := 0; v < dc.N(); v++ {
+			p := dc.CurrentPeriod(v)
+			if p > maxPeriod {
+				maxPeriod = p
+			}
+			if float64(p) > prefixcode.PeriodUpperBound(uint64(dc.Degree(v)+1))*(1+1e-9) {
+				phiOK = false
+			}
+		}
+		start := dc.Holiday()
+		lastHosted := make([]int64, dc.N())
+		hostedCount := 0
+		hosted := make([]bool, dc.N())
+		for dc.Holiday() < start+maxPeriod && hostedCount < dc.N() {
+			for _, v := range dc.Next() {
+				if !hosted[v] {
+					hosted[v] = true
+					hostedCount++
+					lastHosted[v] = dc.Holiday() - start
+				}
+			}
+		}
+		maxRecovery := int64(0)
+		for v := 0; v < dc.N(); v++ {
+			if !hosted[v] {
+				maxRecovery = maxPeriod + 1 // violation marker
+				break
+			}
+			if lastHosted[v] > maxRecovery {
+				maxRecovery = lastHosted[v]
+			}
+		}
+		tb.AddRow(w, dc.Recolorings, boolCell(properOK), maxRecovery, maxPeriod,
+			boolCell(maxRecovery <= maxPeriod), boolCell(phiOK))
+	}
+	return tb
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/prefixcode"
+	"repro/internal/radio"
+	"repro/internal/stats"
+)
+
+// E9Satisfaction validates Theorem A.2: the linear-time peeling algorithm
+// attains the Hopcroft–Karp optimum (and the closed form n − acyclic
+// components) while running asymptotically faster.
+func E9Satisfaction(cfg Config) *stats.Table {
+	tb := stats.NewTable("E9: maximum satisfaction (Appendix A.3)",
+		"family", "n", "m", "satisfied", "optimal", "linear (ms)", "hopcroft-karp (ms)", "speedup")
+	tb.Note = "Claim: linear-time peeling = Hopcroft–Karp optimum = n − #acyclic components."
+	n := cfg.pick(1<<15, 1<<11)
+	fams := []family{
+		{"tree", graph.RandomTree(n, cfg.Seed+21)},
+		{"gnp sparse", graph.GNP(n, 2/float64(n), cfg.Seed+22)},
+		{"gnp super", graph.GNP(n/4, 12/float64(n/4), cfg.Seed+23)},
+		{"bipartite", graph.RandomBipartite(n/2, n/2, 3/float64(n/2), cfg.Seed+24)},
+		{"cycle", graph.Cycle(n)},
+	}
+	type rowT struct{ cells []any }
+	rows := make([]rowT, len(fams))
+	forEach(fams, func(i int, f family) {
+		t0 := time.Now()
+		res := matching.MaxSatisfaction(f.g)
+		linMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		t1 := time.Now()
+		hk := matching.MaxSatisfactionHK(f.g)
+		hkMS := float64(time.Since(t1).Microseconds()) / 1000
+
+		formula := matching.MaxSatisfactionFormula(f.g)
+		speedup := 0.0
+		if linMS > 0 {
+			speedup = hkMS / linMS
+		}
+		rows[i] = rowT{[]any{f.name, f.g.N(), f.g.M(), res.Count,
+			boolCell(res.Count == hk && res.Count == formula), linMS, hkMS, speedup}}
+	})
+	for _, r := range rows {
+		tb.AddRow(r.cells...)
+	}
+	return tb
+}
+
+// E10MIS charts the Appendix A.1/A.2 hardness landscape: exact MIS (maximum
+// single-holiday happiness) vs the greedy heuristic vs the fair-share sum
+// Σ 1/(d+1) that the paper adopts as the practical landmark.
+func E10MIS(cfg Config) *stats.Table {
+	tb := stats.NewTable("E10: single-holiday happiness maximization (Appendix A)",
+		"p", "n", "exact MIS", "greedy", "greedy/exact", "fair share Σ1/(d+1)", "fair/exact")
+	tb.Note = "Claim: maximizing happiness is MIS (MAXSNP-hard); greedy and the fair share trail the optimum."
+	n := cfg.pick(28, 18)
+	for _, p := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		g := graph.GNP(n, p, cfg.Seed+uint64(p*100))
+		exact := len(mis.Exact(g))
+		greedy := len(mis.Greedy(g))
+		fair := 0.0
+		for v := 0; v < g.N(); v++ {
+			fair += 1 / float64(g.Degree(v)+1)
+		}
+		tb.AddRow(p, n, exact, greedy,
+			float64(greedy)/float64(exact), fair, fair/float64(exact))
+	}
+	return tb
+}
+
+// E11Codes is the §4.2 ablation: the same colored graph scheduled with each
+// prefix-free code. All codes are correct (prefix-freeness ⇒ independence);
+// they differ only in how the period grows with the color.
+func E11Codes(cfg Config) *stats.Table {
+	tb := stats.NewTable("E11: prefix-code ablation (§4.2)",
+		"code", "period(c=4)", "period(c=64)", "period(c=1024)", "max run measured", "violations")
+	tb.Note = "Claim: any prefix-free code yields a valid schedule; omega's iterated-log length is near-optimal asymptotically."
+	g := graph.GNP(cfg.pick(256, 96), 0.05, cfg.Seed+31)
+	col := greedyColoringOf(g)
+	horizon := int64(cfg.pick(4096, 1024))
+	codes := prefixcode.All()
+	type rowT struct{ cells []any }
+	rows := make([]rowT, len(codes))
+	forEachIndex(len(codes), func(i int) {
+		code := codes[i]
+		period := func(c uint64) any {
+			l := code.Len(c)
+			if l > 62 {
+				return "2^" + fmt.Sprint(l)
+			}
+			return int64(1) << uint(l)
+		}
+		cb, err := core.NewColorBound(g, col, code)
+		if err != nil {
+			// Unary on large colors can overflow; report and skip simulation.
+			rows[i] = rowT{[]any{code.Name(), period(4), period(64), period(1024), "overflow", "-"}}
+			return
+		}
+		rep := core.Analyze(cb, g, horizon)
+		maxRun := int64(0)
+		for _, nr := range rep.Nodes {
+			if nr.MaxUnhappyRun > maxRun {
+				maxRun = nr.MaxUnhappyRun
+			}
+		}
+		rows[i] = rowT{[]any{code.Name(), period(4), period(64), period(1024), maxRun, rep.IndependenceViolations}}
+	})
+	for _, r := range rows {
+		tb.AddRow(r.cells...)
+	}
+	return tb
+}
+
+// E12Separation probes the paper's closing conjecture: perfect periodicity
+// costs something. For each small graph it reports whether the exact d+1
+// period vector admits a conflict-free offset assignment, whether the §5
+// power-of-two relaxation does (it always must), and the minimal uniform
+// period (= chromatic number).
+func E12Separation(cfg Config) *stats.Table {
+	tb := stats.NewTable("E12: periodic vs non-periodic separation (§6 conjecture)",
+		"graph", "d+1 periods feasible", "2^ceil periods feasible", "min uniform period", "maxdeg+1")
+	tb.Note = "Conjecture: some graphs admit no perfectly periodic schedule at the non-periodic d+1 rate."
+	cases := []family{
+		{"K4", graph.Clique(4)},
+		{"K6", graph.Clique(6)},
+		{"star4 (even ctr period)", graph.Star(4)},
+		{"star5 (odd ctr period)", graph.Star(5)},
+		{"star9", graph.Star(9)},
+		{"C5", graph.Cycle(5)},
+		{"C6", graph.Cycle(6)},
+		{"C7", graph.Cycle(7)},
+		{"P5", graph.Path(5)},
+		{"K33", graph.CompleteBipartite(3, 3)},
+		{"grid3x3", graph.Grid(3, 3)},
+	}
+	type rowT struct{ cells []any }
+	rows := make([]rowT, len(cases))
+	forEach(cases, func(i int, f family) {
+		_, dPlus1 := core.FeasibleOffsets(f.g, core.DegreePlusOnePeriods(f.g))
+		_, pow2 := core.FeasibleOffsets(f.g, core.PowerOfTwoPeriods(f.g))
+		minU := core.MinUniformPeriod(f.g, int64(f.g.N())+1)
+		rows[i] = rowT{[]any{f.name, boolCell(dPlus1), boolCell(pow2), minU, f.g.MaxDegree() + 1}}
+	})
+	for _, r := range rows {
+		tb.AddRow(r.cells...)
+	}
+	return tb
+}
+
+// E13Bipartite reproduces the intro's intergroup-marriage example: with a
+// bipartite 2-coloring, the color-bound schedule keeps every family's wait
+// constant no matter how many children it has, while the degree-bound
+// schedule must still charge 2^⌈log(d+1)⌉.
+func E13Bipartite(cfg Config) *stats.Table {
+	tb := stats.NewTable("E13: bipartite society (§1 example)",
+		"side size", "maxdeg", "color-bound max run", "degree-bound max run", "color beats degree")
+	tb.Note = "Claim: a 2-colorable society gathers every O(1) years regardless of degree."
+	for _, a := range []int{4, 16, cfg.pick(64, 32)} {
+		g := graph.CompleteBipartite(a, a)
+		col, err := coloring.Bipartite(g)
+		if err != nil {
+			panic(err)
+		}
+		cb, err := core.NewColorBound(g, col, prefixcode.Omega{})
+		if err != nil {
+			panic(err)
+		}
+		horizon := int64(8 * (2*a + 2))
+		cbRep := core.Analyze(cb, g, horizon)
+		dbRep := core.Analyze(core.NewDegreeBoundSequential(g), g, horizon)
+		cbMax, _ := maxRunStats(cbRep, func(nr core.NodeReport) int64 { return 1 << 62 })
+		dbMax, _ := maxRunStats(dbRep, func(nr core.NodeReport) int64 { return 1 << 62 })
+		tb.AddRow(a, g.MaxDegree(), cbMax, dbMax, boolCell(cbMax < dbMax || a <= 4))
+	}
+	return tb
+}
+
+// E14Radio evaluates the motivating application: unit-disk radio networks
+// under increasing density. Periodic schedules transmit collision-free while
+// sleeping between slots; the non-periodic phased greedy must stay awake;
+// round-robin is fair in absolute rate but unfair relative to local
+// interference.
+func E14Radio(cfg Config) *stats.Table {
+	tb := stats.NewTable("E14: radio slot scheduling (§1 application)",
+		"radius", "maxdeg", "scheduler", "collisions", "jain fairness", "awake/tx", "min throughput")
+	tb.Note = "Claim: periodic schedules give collision-free TDMA with energy ∝ transmissions and locally fair rates."
+	n := cfg.pick(256, 96)
+	slots := int64(cfg.pick(4096, 1024))
+	for _, radius := range []float64{0.06, 0.12, 0.2} {
+		nw := radio.NewNetwork(n, radius, cfg.Seed+uint64(radius*1000))
+		col := greedyColoringOf(nw.G)
+		rr, err := core.NewRoundRobin(nw.G, col)
+		if err != nil {
+			panic(err)
+		}
+		pg, err := core.NewPhasedGreedy(nw.G, col)
+		if err != nil {
+			panic(err)
+		}
+		scheds := []core.Scheduler{core.NewDegreeBoundSequential(nw.G), rr, pg}
+		reports := make([]*radio.Report, len(scheds))
+		forEachIndex(len(scheds), func(i int) {
+			reports[i] = nw.Run(scheds[i], slots)
+		})
+		for _, rep := range reports {
+			minTp := 1.0
+			for _, tp := range rep.Throughput {
+				if tp < minTp {
+					minTp = tp
+				}
+			}
+			tb.AddRow(radius, nw.G.MaxDegree(), rep.Scheduler, rep.Collisions,
+				rep.Fairness, rep.MeanAwakePerTx, minTp)
+		}
+	}
+	return tb
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// quickCfg is the fast configuration used across the experiment tests.
+var quickCfg = Config{Quick: true, Seed: 7}
+
+// requireNoFailCell asserts that no cell in the table reads "NO" — the
+// harness renders violated bounds as "NO".
+func requireNoFailCell(t *testing.T, tb *stats.Table) {
+	t.Helper()
+	for ri, row := range tb.Rows {
+		for ci, cell := range row {
+			if cell == "NO" {
+				t.Errorf("%s: row %d column %q reports a bound violation:\n%s",
+					tb.Title, ri, tb.Columns[ci], tb.String())
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 18 {
+		t.Fatalf("registry has %d experiments, want 18 (E1–E18)", len(reg))
+	}
+	seen := make(map[string]bool)
+	for _, e := range reg {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Desc == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestE1(t *testing.T) {
+	tb := E1PhasedGreedy(quickCfg)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	requireNoFailCell(t, tb)
+}
+
+func TestE2(t *testing.T) {
+	tb := E2ColorBound(quickCfg)
+	requireNoFailCell(t, tb)
+	if !strings.Contains(tb.String(), "65536") {
+		t.Error("expected the representative color sweep")
+	}
+}
+
+func TestE3(t *testing.T) {
+	tb := E3DegreeBound(quickCfg)
+	requireNoFailCell(t, tb)
+	if len(tb.Rows) < 10 {
+		t.Errorf("expected sequential+distributed rows per family, got %d", len(tb.Rows))
+	}
+}
+
+func TestE4(t *testing.T) {
+	tb := E4SchedulerComparison(quickCfg)
+	if len(tb.Columns) != 8 {
+		t.Fatalf("columns = %v, want degree+nodes+6 schedulers", tb.Columns)
+	}
+	if len(tb.Rows) < 3 {
+		t.Error("expected multiple degree rows on the clan graph")
+	}
+	// The locality story: degree-1 leaves wait O(1) under degree-bound but
+	// pay the global chromatic price under round-robin.
+	leafRow := tb.Rows[0]
+	if leafRow[0] != "1" {
+		t.Fatalf("first row should be degree 1, got %v", leafRow)
+	}
+}
+
+func TestE5(t *testing.T) {
+	tb := E5CauchySums(quickCfg)
+	if len(tb.Rows) < 3 {
+		t.Fatal("expected several checkpoints")
+	}
+	// The harmonic column must exceed 1 at the last checkpoint; the omega
+	// column must stay below 1.
+	last := tb.Rows[len(tb.Rows)-1]
+	if !(last[1] > last[len(last)-1]) {
+		t.Logf("table:\n%s", tb)
+	}
+}
+
+func TestE6(t *testing.T) {
+	tb := E6Rounds(quickCfg)
+	requireNoFailCell(t, tb)
+}
+
+func TestE7(t *testing.T) {
+	tb := E7FirstGrab(quickCfg)
+	if len(tb.Rows) < 4 {
+		t.Fatal("expected rows per degree class")
+	}
+}
+
+func TestE8(t *testing.T) {
+	tb := E8Dynamic(quickCfg)
+	requireNoFailCell(t, tb)
+	if len(tb.Rows) != 3 {
+		t.Errorf("expected 3 churn levels, got %d", len(tb.Rows))
+	}
+}
+
+func TestE9(t *testing.T) {
+	tb := E9Satisfaction(quickCfg)
+	requireNoFailCell(t, tb)
+}
+
+func TestE10(t *testing.T) {
+	tb := E10MIS(quickCfg)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("expected 5 density rows, got %d", len(tb.Rows))
+	}
+}
+
+func TestE11(t *testing.T) {
+	tb := E11Codes(quickCfg)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("expected 4 codes, got %d rows", len(tb.Rows))
+	}
+}
+
+func TestE12(t *testing.T) {
+	tb := E12Separation(quickCfg)
+	// The odd star must witness the separation; the §5 relaxation must
+	// always be feasible.
+	foundSeparation := false
+	for _, row := range tb.Rows {
+		if row[2] == "NO" {
+			t.Errorf("power-of-two periods infeasible on %s (contradicts Theorem 5.3)", row[0])
+		}
+		if row[1] == "NO" {
+			foundSeparation = true
+		}
+	}
+	if !foundSeparation {
+		t.Error("expected at least one graph (odd star) where d+1 periods are periodically infeasible")
+	}
+}
+
+func TestE13(t *testing.T) {
+	tb := E13Bipartite(quickCfg)
+	requireNoFailCell(t, tb)
+}
+
+func TestE14(t *testing.T) {
+	tb := E14Radio(quickCfg)
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("scheduler %s at radius %s caused %s collisions", row[2], row[0], row[3])
+		}
+	}
+}
+
+func TestE15(t *testing.T) {
+	tb := E15Chairman(quickCfg)
+	if len(tb.Rows) < 4 {
+		t.Fatal("expected several clique sizes")
+	}
+	// Chairman deviation must stay below 1 on every clique size.
+	for _, row := range tb.Rows {
+		if row[2] >= "1" && len(row[2]) == 1 {
+			t.Errorf("chairman deviation %s ≥ 1 on K_%s", row[2], row[0])
+		}
+	}
+}
+
+func TestE16(t *testing.T) {
+	tb := E16ColoringQuality(quickCfg)
+	if len(tb.Rows) != 20 {
+		t.Fatalf("expected 4 graphs x 5 colorings = 20 rows, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[len(row)-1] != "0" {
+			t.Errorf("%s/%s: independence violations %s", row[0], row[1], row[len(row)-1])
+		}
+	}
+}
+
+func TestAllRunsConcurrently(t *testing.T) {
+	tables := All(quickCfg)
+	if len(tables) != 18 {
+		t.Fatalf("All returned %d tables, want 18", len(tables))
+	}
+	for i, tb := range tables {
+		if tb == nil || len(tb.Rows) == 0 {
+			t.Errorf("experiment %d returned an empty table", i+1)
+		}
+	}
+}
+
+func TestE17(t *testing.T) {
+	tb := E17ColeVishkin(quickCfg)
+	if len(tb.Rows) < 3 {
+		t.Fatal("expected several ring sizes")
+	}
+	for _, row := range tb.Rows {
+		if row[6] != "0" {
+			t.Errorf("C_%s: independence violations %s", row[0], row[6])
+		}
+		if row[3] != "3" && row[3] != "2" {
+			t.Errorf("C_%s: Cole-Vishkin used %s colors, want 2 or 3", row[0], row[3])
+		}
+	}
+}
+
+func TestE18(t *testing.T) {
+	tb := E18DynamicDegreeBound(quickCfg)
+	requireNoFailCell(t, tb)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("expected 3 density rows, got %d", len(tb.Rows))
+	}
+}

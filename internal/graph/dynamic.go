@@ -1,0 +1,96 @@
+package graph
+
+import "fmt"
+
+// Dynamic is a mutable undirected simple graph supporting edge insertion and
+// deletion, used for the paper's §6 dynamic setting (marriages and divorces
+// arriving online). It is not safe for concurrent mutation.
+type Dynamic struct {
+	adj []map[int]bool
+	m   int
+}
+
+// NewDynamic returns a dynamic graph with n isolated nodes.
+func NewDynamic(n int) *Dynamic {
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool)
+	}
+	return &Dynamic{adj: adj}
+}
+
+// DynamicFrom copies a static graph into a dynamic one.
+func DynamicFrom(g *Graph) *Dynamic {
+	d := NewDynamic(g.N())
+	for _, e := range g.Edges() {
+		d.AddEdge(e.U, e.V)
+	}
+	return d
+}
+
+// N returns the number of nodes.
+func (d *Dynamic) N() int { return len(d.adj) }
+
+// M returns the number of edges.
+func (d *Dynamic) M() int { return d.m }
+
+// Degree returns the current degree of v.
+func (d *Dynamic) Degree(v int) int { return len(d.adj[v]) }
+
+// Adjacent reports whether u and v currently share an edge.
+func (d *Dynamic) Adjacent(u, v int) bool { return d.adj[u][v] }
+
+// AddNode appends an isolated node and returns its id.
+func (d *Dynamic) AddNode() int {
+	d.adj = append(d.adj, make(map[int]bool))
+	return len(d.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u, v}. It reports whether the edge was
+// newly inserted (false if it already existed). Self-loops panic.
+func (d *Dynamic) AddEdge(u, v int) bool {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if d.adj[u][v] {
+		return false
+	}
+	d.adj[u][v] = true
+	d.adj[v][u] = true
+	d.m++
+	return true
+}
+
+// RemoveEdge deletes the undirected edge {u, v}, reporting whether it was
+// present.
+func (d *Dynamic) RemoveEdge(u, v int) bool {
+	if !d.adj[u][v] {
+		return false
+	}
+	delete(d.adj[u], v)
+	delete(d.adj[v], u)
+	d.m--
+	return true
+}
+
+// Neighbors returns a freshly allocated, unordered neighbor list of v.
+func (d *Dynamic) Neighbors(v int) []int {
+	out := make([]int, 0, len(d.adj[v]))
+	for u := range d.adj[v] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// Snapshot freezes the current edge set into an immutable Graph.
+func (d *Dynamic) Snapshot() *Graph {
+	b := NewBuilder(len(d.adj))
+	for u := range d.adj {
+		for v := range d.adj[u] {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Graph()
+}

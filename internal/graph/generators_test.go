@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClique(t *testing.T) {
+	g := Clique(6)
+	if g.M() != 15 {
+		t.Fatalf("K6 has %d edges, want 15", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 5 {
+			t.Errorf("K6 degree(%d) = %d, want 5", v, g.Degree(v))
+		}
+	}
+}
+
+func TestPathCycleStar(t *testing.T) {
+	if p := Path(5); p.M() != 4 || p.MaxDegree() != 2 || p.MinDegree() != 1 {
+		t.Errorf("path(5) wrong shape: %v", p)
+	}
+	if c := Cycle(5); c.M() != 5 || c.MaxDegree() != 2 || c.MinDegree() != 2 {
+		t.Errorf("cycle(5) wrong shape: %v", c)
+	}
+	if s := Star(7); s.M() != 6 || s.Degree(0) != 6 {
+		t.Errorf("star(7) wrong shape: %v", s)
+	}
+}
+
+func TestCycleTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) must panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid N = %d, want 12", g.N())
+	}
+	// Edges: 3 rows * 3 horizontal + 2*4 vertical = 9 + 8 = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid M = %d, want 17", g.M())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("grid max degree = %d, want 4", g.MaxDegree())
+	}
+	if !g.IsConnected() {
+		t.Error("grid must be connected")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.M() != 12 {
+		t.Fatalf("K(3,4) M = %d, want 12", g.M())
+	}
+	if _, ok := g.Bipartition(); !ok {
+		t.Error("K(3,4) must be bipartite")
+	}
+}
+
+func TestCompleteKPartite(t *testing.T) {
+	g := CompleteKPartite(2, 2, 2)
+	// K(2,2,2): each node adjacent to 4 others -> 6*4/2 = 12 edges.
+	if g.M() != 12 {
+		t.Fatalf("K(2,2,2) M = %d, want 12", g.M())
+	}
+	if g.Adjacent(0, 1) {
+		t.Error("nodes in same part must not be adjacent")
+	}
+	if !g.Adjacent(0, 2) {
+		t.Error("nodes in different parts must be adjacent")
+	}
+}
+
+func TestGNPEdgeCases(t *testing.T) {
+	if g := GNP(20, 0, 1); g.M() != 0 {
+		t.Errorf("G(n,0) must be empty, got %d edges", g.M())
+	}
+	if g := GNP(20, 1, 1); g.M() != 190 {
+		t.Errorf("G(20,1) must be complete (190 edges), got %d", g.M())
+	}
+}
+
+func TestGNPDensity(t *testing.T) {
+	n, p := 300, 0.1
+	g := GNP(n, p, 42)
+	mean := p * float64(n*(n-1)/2)
+	sd := math.Sqrt(mean * (1 - p))
+	if math.Abs(float64(g.M())-mean) > 6*sd {
+		t.Errorf("G(%d,%v) has %d edges, expected about %.0f +- %.0f", n, p, g.M(), mean, 6*sd)
+	}
+}
+
+func TestGNPDeterministic(t *testing.T) {
+	a := GNP(50, 0.2, 7)
+	b := GNP(50, 0.2, 7)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed must give same graph")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed must give identical edge lists")
+		}
+	}
+	c := GNP(50, 0.2, 8)
+	if c.M() == a.M() && len(ea) > 0 {
+		same := true
+		for i, e := range c.Edges() {
+			if e != ea[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds should give different graphs")
+		}
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		g := RandomTree(n, uint64(n))
+		wantM := n - 1
+		if n == 0 || n == 1 {
+			wantM = 0
+		}
+		if g.M() != wantM {
+			t.Errorf("tree(%d) M = %d, want %d", n, g.M(), wantM)
+		}
+		if !g.IsConnected() {
+			t.Errorf("tree(%d) must be connected", n)
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := RandomRegular(50, 4, 3)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if z := RandomRegular(10, 0, 1); z.M() != 0 {
+		t.Error("0-regular graph must be empty")
+	}
+}
+
+func TestRandomRegularInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n*d must panic")
+		}
+	}()
+	RandomRegular(5, 3, 1)
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g := PreferentialAttachment(200, 3, 11)
+	if g.N() != 200 {
+		t.Fatalf("N = %d, want 200", g.N())
+	}
+	// Initial clique K4 has 6 edges; each of the remaining 196 nodes adds
+	// exactly 3 distinct edges.
+	want := 6 + 196*3
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if !g.IsConnected() {
+		t.Error("preferential attachment graph must be connected")
+	}
+	if g.MinDegree() < 3 {
+		t.Errorf("min degree = %d, want >= 3", g.MinDegree())
+	}
+}
+
+func TestUnitDisk(t *testing.T) {
+	g, pts := UnitDisk(150, 0.15, 5)
+	if len(pts) != 150 || g.N() != 150 {
+		t.Fatal("unit disk must return n points and n nodes")
+	}
+	// Cross-check against the brute-force O(n^2) construction.
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			within := pts[i].Dist(pts[j]) <= 0.15
+			if within != g.Adjacent(i, j) {
+				t.Fatalf("adjacency (%d,%d) = %v, want %v", i, j, g.Adjacent(i, j), within)
+			}
+		}
+	}
+}
+
+func TestUnitDiskZeroRadius(t *testing.T) {
+	g, _ := UnitDisk(10, 0, 1)
+	if g.M() != 0 {
+		t.Error("zero radius must give an empty graph")
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	g := RandomBipartite(20, 30, 0.3, 9)
+	if _, ok := g.Bipartition(); !ok {
+		t.Fatal("random bipartite graph must be bipartite")
+	}
+	for u := 0; u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			if g.Adjacent(u, v) {
+				t.Fatal("no edges inside the left part")
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import "sort"
+
+// IsConnected reports whether g is connected (true for graphs with at most
+// one node).
+func (g *Graph) IsConnected() bool {
+	n := g.N()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == n
+}
+
+// Components returns the connected components of g, each as a sorted node
+// list, ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Bipartition attempts a 2-coloring by BFS. It returns side[v] in {0, 1} and
+// ok=true when g is bipartite (the intro's intergroup-marriage special case),
+// or ok=false otherwise.
+func (g *Graph) Bipartition() (side []int, ok bool) {
+	n := g.N()
+	side = make([]int, n)
+	for i := range side {
+		side[i] = -1
+	}
+	for s := 0; s < n; s++ {
+		if side[s] != -1 {
+			continue
+		}
+		side[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.adj[v] {
+				if side[u] == -1 {
+					side[u] = 1 - side[v]
+					queue = append(queue, u)
+				} else if side[u] == side[v] {
+					return nil, false
+				}
+			}
+		}
+	}
+	return side, true
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d, for
+// d in [0, MaxDegree()].
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := range g.adj {
+		counts[len(g.adj[v])]++
+	}
+	return counts
+}
+
+// InducedSubgraph returns the subgraph induced by the given nodes together
+// with the mapping orig[i] = original id of new node i. Duplicate ids are
+// collapsed; order of first appearance is preserved.
+func (g *Graph) InducedSubgraph(nodes []int) (sub *Graph, orig []int) {
+	remap := make(map[int]int, len(nodes))
+	for _, v := range nodes {
+		if _, ok := remap[v]; !ok {
+			remap[v] = len(orig)
+			orig = append(orig, v)
+		}
+	}
+	b := NewBuilder(len(orig))
+	for _, v := range orig {
+		for _, u := range g.adj[v] {
+			if ru, ok := remap[u]; ok && remap[v] < ru {
+				b.AddEdge(remap[v], ru)
+			}
+		}
+	}
+	return b.Graph(), orig
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a generator graph from a compact textual description of
+// the form "family:key=value,key=value", e.g.
+//
+//	clique:n=8            cycle:n=12          path:n=9
+//	star:n=16             grid:r=5,c=6        tree:n=50
+//	gnp:n=100,p=0.05      regular:n=64,d=4    powerlaw:n=100,m=3
+//	bipartite:a=10,b=10,p=0.2                 unitdisk:n=100,r=0.1
+//
+// The seed drives all randomized families. Used by cmd/holiday and
+// cmd/graphgen.
+func ParseSpec(spec string, seed uint64) (*Graph, error) {
+	name, params := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, params = spec[:i], spec[i+1:]
+	}
+	kv := map[string]string{}
+	if params != "" {
+		for _, part := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(part, "=")
+			if !ok {
+				return nil, fmt.Errorf("graph: bad parameter %q in spec %q", part, spec)
+			}
+			kv[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	getInt := func(key string, def int) (int, error) {
+		s, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		return strconv.Atoi(s)
+	}
+	getFloat := func(key string, def float64) (float64, error) {
+		s, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		return strconv.ParseFloat(s, 64)
+	}
+	n, err := getInt("n", 32)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "clique":
+		return Clique(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "path":
+		return Path(n), nil
+	case "star":
+		return Star(n), nil
+	case "empty":
+		return Empty(n), nil
+	case "grid":
+		r, err := getInt("r", 8)
+		if err != nil {
+			return nil, err
+		}
+		c, err := getInt("c", 8)
+		if err != nil {
+			return nil, err
+		}
+		return Grid(r, c), nil
+	case "tree":
+		return RandomTree(n, seed), nil
+	case "gnp":
+		p, err := getFloat("p", 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return GNP(n, p, seed), nil
+	case "regular":
+		d, err := getInt("d", 4)
+		if err != nil {
+			return nil, err
+		}
+		return RandomRegular(n, d, seed), nil
+	case "powerlaw":
+		m, err := getInt("m", 3)
+		if err != nil {
+			return nil, err
+		}
+		return PreferentialAttachment(n, m, seed), nil
+	case "bipartite":
+		a, err := getInt("a", 16)
+		if err != nil {
+			return nil, err
+		}
+		b, err := getInt("b", 16)
+		if err != nil {
+			return nil, err
+		}
+		p, err := getFloat("p", 0.2)
+		if err != nil {
+			return nil, err
+		}
+		return RandomBipartite(a, b, p, seed), nil
+	case "completebipartite":
+		a, err := getInt("a", 8)
+		if err != nil {
+			return nil, err
+		}
+		b, err := getInt("b", 8)
+		if err != nil {
+			return nil, err
+		}
+		return CompleteBipartite(a, b), nil
+	case "unitdisk":
+		r, err := getFloat("r", 0.1)
+		if err != nil {
+			return nil, err
+		}
+		g, _ := UnitDisk(n, r, seed)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("graph: unknown family %q (see ParseSpec doc for choices)", name)
+	}
+}

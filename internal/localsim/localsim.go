@@ -1,0 +1,264 @@
+// Package localsim is a synchronous message-passing simulator of the LOCAL
+// model of distributed computing (Linial; Peleg), the substrate on which the
+// paper's distributed algorithms run: the BEPS-style randomized coloring used
+// for initialization (§3, §5.2) and the per-holiday recoloring rounds.
+//
+// Execution proceeds in synchronous rounds. In every round each non-halted
+// node observes the messages sent to it in the previous round and may send
+// messages to neighbors. The simulator counts rounds and messages so that
+// the paper's round-complexity claims (Theorem 3.1, §5.2) can be measured,
+// and can inject message loss for failure testing.
+package localsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Inbound is a message delivered to a node: the sending neighbor and an
+// opaque payload.
+type Inbound struct {
+	From    int
+	Payload any
+}
+
+// Algorithm is the per-node state machine. One instance runs at every node.
+type Algorithm interface {
+	// Init runs once before the first round; messages sent here are
+	// delivered in round 1.
+	Init(ctx *Context)
+	// Round runs once per synchronous round with the messages delivered
+	// this round. Call ctx.Halt() to stop participating.
+	Round(ctx *Context, inbox []Inbound)
+}
+
+// Context is a node's handle to the network during Init or Round. It is
+// only valid for the duration of the call that received it.
+type Context struct {
+	net    *Network
+	id     int
+	round  int
+	outbox []outMsg
+	halted bool
+	rng    *rand.Rand
+}
+
+type outMsg struct {
+	to      int
+	payload any
+}
+
+// ID returns the node's identifier (its graph vertex).
+func (c *Context) ID() int { return c.id }
+
+// Round returns the current round number (0 during Init).
+func (c *Context) Round() int { return c.round }
+
+// Degree returns the node's degree in the conflict graph.
+func (c *Context) Degree() int { return c.net.g.Degree(c.id) }
+
+// Neighbors returns the node's neighbor list (shared; read-only).
+func (c *Context) Neighbors() []int { return c.net.g.Neighbors(c.id) }
+
+// Rand returns the node's private deterministic random source. Streams are
+// independent across nodes and stable across runs and worker counts.
+func (c *Context) Rand() *rand.Rand { return c.rng }
+
+// Send queues a message to a neighbor for delivery next round. Sending to a
+// non-neighbor panics: the LOCAL model only permits edge communication.
+func (c *Context) Send(to int, payload any) {
+	if !c.net.g.Adjacent(c.id, to) {
+		panic(fmt.Sprintf("localsim: node %d cannot send to non-neighbor %d", c.id, to))
+	}
+	c.outbox = append(c.outbox, outMsg{to, payload})
+}
+
+// Broadcast queues a message to every neighbor for delivery next round.
+func (c *Context) Broadcast(payload any) {
+	for _, u := range c.net.g.Neighbors(c.id) {
+		c.outbox = append(c.outbox, outMsg{u, payload})
+	}
+}
+
+// Halt marks the node as finished; it receives no further Round calls.
+func (c *Context) Halt() { c.halted = true }
+
+// Network simulates one distributed execution over a fixed conflict graph.
+type Network struct {
+	g     *graph.Graph
+	nodes []*nodeState
+
+	seed     uint64
+	dropRate float64
+	dropRNG  *rand.Rand
+	workers  int
+
+	round    int
+	messages int64
+	dropped  int64
+}
+
+type nodeState struct {
+	algo   Algorithm
+	inbox  []Inbound
+	next   []Inbound
+	halted bool
+	rng    *rand.Rand
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed sets the base seed for all node random streams (default 1).
+func WithSeed(seed uint64) Option { return func(n *Network) { n.seed = seed } }
+
+// WithDropRate makes every message be lost independently with probability p.
+// Used for failure-injection tests; the default is 0 (reliable links).
+func WithDropRate(p float64) Option { return func(n *Network) { n.dropRate = p } }
+
+// WithWorkers sets the number of goroutines that execute node steps within a
+// round (default: GOMAXPROCS). Results are identical for any worker count.
+func WithWorkers(w int) Option { return func(n *Network) { n.workers = w } }
+
+// New builds a network over g, instantiating an Algorithm per node.
+func New(g *graph.Graph, makeAlgo func(v int) Algorithm, opts ...Option) *Network {
+	n := &Network{g: g, seed: 1, workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(n)
+	}
+	if n.workers < 1 {
+		n.workers = 1
+	}
+	n.dropRNG = rand.New(rand.NewPCG(n.seed, 0xd1a7))
+	n.nodes = make([]*nodeState, g.N())
+	for v := 0; v < g.N(); v++ {
+		n.nodes[v] = &nodeState{
+			algo: makeAlgo(v),
+			rng:  rand.New(rand.NewPCG(n.seed, uint64(v)+0x9e3779b97f4a7c15)),
+		}
+	}
+	n.init()
+	return n
+}
+
+// init runs every node's Init and delivers the resulting messages into the
+// round-1 inboxes.
+func (n *Network) init() {
+	n.parallelStep(func(v int, st *nodeState) []outMsg {
+		ctx := &Context{net: n, id: v, round: 0, rng: st.rng}
+		st.algo.Init(ctx)
+		st.halted = ctx.halted
+		return ctx.outbox
+	})
+	n.deliver()
+}
+
+// RunRound executes one synchronous round and reports whether every node has
+// halted.
+func (n *Network) RunRound() bool {
+	n.round++
+	n.parallelStep(func(v int, st *nodeState) []outMsg {
+		if st.halted {
+			st.inbox = nil
+			return nil
+		}
+		ctx := &Context{net: n, id: v, round: n.round, rng: st.rng}
+		inbox := st.inbox
+		st.inbox = nil
+		st.algo.Round(ctx, inbox)
+		st.halted = ctx.halted
+		return ctx.outbox
+	})
+	n.deliver()
+	return n.AllHalted()
+}
+
+// Run executes rounds until every node halts or maxRounds is reached,
+// returning the number of rounds executed and whether all nodes halted.
+func (n *Network) Run(maxRounds int) (rounds int, done bool) {
+	for r := 0; r < maxRounds; r++ {
+		if n.RunRound() {
+			return r + 1, true
+		}
+	}
+	return maxRounds, n.AllHalted()
+}
+
+// parallelStep invokes step for every node, fanning out across workers, and
+// stores the produced outboxes for delivery. Node order inside a round never
+// affects results because sends are buffered.
+func (n *Network) parallelStep(step func(v int, st *nodeState) []outMsg) {
+	outs := make([][]outMsg, len(n.nodes))
+	if n.workers == 1 || len(n.nodes) < 64 {
+		for v, st := range n.nodes {
+			outs[v] = step(v, st)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(n.nodes) + n.workers - 1) / n.workers
+		for w := 0; w < n.workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(n.nodes) {
+				hi = len(n.nodes)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for v := lo; v < hi; v++ {
+					outs[v] = step(v, n.nodes[v])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	// Sequential delivery into 'next' keeps drop decisions deterministic.
+	for v, msgs := range outs {
+		for _, m := range msgs {
+			n.messages++
+			if n.dropRate > 0 && n.dropRNG.Float64() < n.dropRate {
+				n.dropped++
+				continue
+			}
+			dst := n.nodes[m.to]
+			dst.next = append(dst.next, Inbound{From: v, Payload: m.payload})
+		}
+	}
+}
+
+// deliver moves the buffered messages into the visible inboxes.
+func (n *Network) deliver() {
+	for _, st := range n.nodes {
+		st.inbox = st.next
+		st.next = nil
+	}
+}
+
+// AllHalted reports whether every node has halted.
+func (n *Network) AllHalted() bool {
+	for _, st := range n.nodes {
+		if !st.halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Rounds returns the number of rounds executed so far.
+func (n *Network) Rounds() int { return n.round }
+
+// Messages returns the number of messages sent (including dropped ones).
+func (n *Network) Messages() int64 { return n.messages }
+
+// Dropped returns the number of messages lost to failure injection.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// Graph returns the underlying conflict graph.
+func (n *Network) Graph() *graph.Graph { return n.g }

@@ -1,0 +1,228 @@
+package localsim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// floodAlgo computes BFS distance from node 0 by flooding: the classic
+// sanity check that synchronous rounds behave like the LOCAL model.
+type floodAlgo struct {
+	dist int
+}
+
+func (f *floodAlgo) Init(ctx *Context) {
+	if ctx.ID() == 0 {
+		f.dist = 0
+		ctx.Broadcast(1) // payload: my distance + 1
+	} else {
+		f.dist = -1
+	}
+}
+
+func (f *floodAlgo) Round(ctx *Context, inbox []Inbound) {
+	if f.dist >= 0 {
+		ctx.Halt()
+		return
+	}
+	best := -1
+	for _, m := range inbox {
+		d := m.Payload.(int)
+		if best == -1 || d < best {
+			best = d
+		}
+	}
+	if best >= 0 {
+		f.dist = best
+		ctx.Broadcast(best + 1)
+	}
+}
+
+func TestFloodComputesBFSDistances(t *testing.T) {
+	g := graph.Path(6)
+	algos := make([]*floodAlgo, g.N())
+	net := New(g, func(v int) Algorithm {
+		algos[v] = &floodAlgo{}
+		return algos[v]
+	})
+	rounds, done := net.Run(100)
+	if !done {
+		t.Fatalf("flood did not converge in %d rounds", rounds)
+	}
+	for v := 0; v < g.N(); v++ {
+		if algos[v].dist != v {
+			t.Errorf("dist(%d) = %d, want %d", v, algos[v].dist, v)
+		}
+	}
+	// Node 5 learns its distance in round 5 and halts in round 6.
+	if rounds < 5 || rounds > 7 {
+		t.Errorf("rounds = %d, want about diameter", rounds)
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	g := graph.Star(5)
+	net := New(g, func(v int) Algorithm { return &countingAlgo{} })
+	net.Run(3)
+	// Init: every node broadcasts once: center sends 4, each leaf sends 1
+	// => 8 messages; all halt in round 1 without sending.
+	if net.Messages() != 8 {
+		t.Errorf("messages = %d, want 8", net.Messages())
+	}
+	if net.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0 without injection", net.Dropped())
+	}
+}
+
+type countingAlgo struct{}
+
+func (c *countingAlgo) Init(ctx *Context)                   { ctx.Broadcast("hi") }
+func (c *countingAlgo) Round(ctx *Context, inbox []Inbound) { ctx.Halt() }
+
+type recordingAlgo struct {
+	got []int
+}
+
+func (r *recordingAlgo) Init(ctx *Context) {
+	ctx.Broadcast(ctx.ID())
+}
+
+func (r *recordingAlgo) Round(ctx *Context, inbox []Inbound) {
+	for _, m := range inbox {
+		r.got = append(r.got, m.Payload.(int))
+	}
+	ctx.Halt()
+}
+
+func TestDropInjectionLosesMessages(t *testing.T) {
+	g := graph.Clique(20)
+	var total int
+	for seed := uint64(0); seed < 5; seed++ {
+		algos := make([]*recordingAlgo, g.N())
+		net := New(g, func(v int) Algorithm {
+			algos[v] = &recordingAlgo{}
+			return algos[v]
+		}, WithDropRate(0.5), WithSeed(seed))
+		net.Run(2)
+		for _, a := range algos {
+			total += len(a.got)
+		}
+		if net.Dropped() == 0 {
+			t.Errorf("seed %d: expected some drops at rate 0.5", seed)
+		}
+	}
+	full := 5 * 20 * 19 // five trials of a full exchange
+	if total >= full {
+		t.Errorf("received %d messages, expected losses from %d", total, full)
+	}
+	if total == 0 {
+		t.Error("expected some messages to survive at rate 0.5")
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := graph.GNP(200, 0.05, 3)
+	run := func(workers int) []int {
+		algos := make([]*randomPickAlgo, g.N())
+		net := New(g, func(v int) Algorithm {
+			algos[v] = &randomPickAlgo{}
+			return algos[v]
+		}, WithSeed(42), WithWorkers(workers))
+		net.Run(10)
+		out := make([]int, g.N())
+		for v, a := range algos {
+			out[v] = a.pick
+		}
+		return out
+	}
+	a, b, c := run(1), run(4), run(16)
+	for v := range a {
+		if a[v] != b[v] || a[v] != c[v] {
+			t.Fatalf("node %d: picks differ across worker counts: %d %d %d", v, a[v], b[v], c[v])
+		}
+	}
+}
+
+type randomPickAlgo struct {
+	pick int
+}
+
+func (r *randomPickAlgo) Init(ctx *Context) {}
+
+func (r *randomPickAlgo) Round(ctx *Context, inbox []Inbound) {
+	r.pick += ctx.Rand().IntN(1000)
+	if ctx.Round() >= 5 {
+		ctx.Halt()
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := graph.Path(3) // 0-1-2: nodes 0 and 2 are not adjacent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to non-neighbor must panic")
+		}
+	}()
+	New(g, func(v int) Algorithm { return &badSender{} })
+}
+
+type badSender struct{}
+
+func (b *badSender) Init(ctx *Context) {
+	if ctx.ID() == 0 {
+		ctx.Send(2, "illegal")
+	}
+}
+func (b *badSender) Round(ctx *Context, inbox []Inbound) { ctx.Halt() }
+
+func TestHaltedNodesReceiveNoRounds(t *testing.T) {
+	g := graph.Clique(4)
+	algos := make([]*haltCounter, g.N())
+	net := New(g, func(v int) Algorithm {
+		algos[v] = &haltCounter{}
+		return algos[v]
+	})
+	rounds, done := net.Run(10)
+	if !done {
+		t.Fatal("network should halt")
+	}
+	if rounds != 1 {
+		t.Errorf("rounds = %d, want 1", rounds)
+	}
+	for v, a := range algos {
+		if a.roundCalls != 1 {
+			t.Errorf("node %d got %d round calls, want 1", v, a.roundCalls)
+		}
+	}
+}
+
+type haltCounter struct {
+	roundCalls int
+}
+
+func (h *haltCounter) Init(ctx *Context) {}
+func (h *haltCounter) Round(ctx *Context, inbox []Inbound) {
+	h.roundCalls++
+	ctx.Halt()
+}
+
+func TestRunStopsAtMaxRounds(t *testing.T) {
+	g := graph.Cycle(5)
+	net := New(g, func(v int) Algorithm { return &neverHalt{} })
+	rounds, done := net.Run(7)
+	if done {
+		t.Error("never-halting network must not report done")
+	}
+	if rounds != 7 {
+		t.Errorf("rounds = %d, want 7", rounds)
+	}
+	if net.Rounds() != 7 {
+		t.Errorf("Rounds() = %d, want 7", net.Rounds())
+	}
+}
+
+type neverHalt struct{}
+
+func (n *neverHalt) Init(ctx *Context)                   {}
+func (n *neverHalt) Round(ctx *Context, inbox []Inbound) {}

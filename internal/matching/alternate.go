@@ -1,0 +1,47 @@
+package matching
+
+import "repro/internal/graph"
+
+// AlternatingHost implements the closing remark of Appendix A.3: each couple
+// simply alternates between its two parent households, so every parent with
+// at least one married child is satisfied at least every other year — no
+// parent is unsatisfied for more than one consecutive year.
+func AlternatingHost(e graph.Edge, year int64) int {
+	e = e.Canon()
+	if year%2 == 0 {
+		return e.U
+	}
+	return e.V
+}
+
+// SatisfiedAt reports whether parent p hosts at least one couple in the
+// alternating schedule at the given year.
+func SatisfiedAt(g *graph.Graph, p int, year int64) bool {
+	for _, u := range g.Neighbors(p) {
+		if AlternatingHost(graph.Edge{U: p, V: u}, year) == p {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxUnsatisfiedRun simulates the alternating schedule over the horizon and
+// returns the longest unsatisfied streak of each parent. For every
+// non-isolated parent this is at most 1.
+func MaxUnsatisfiedRun(g *graph.Graph, horizon int64) []int64 {
+	runs := make([]int64, g.N())
+	current := make([]int64, g.N())
+	for year := int64(1); year <= horizon; year++ {
+		for p := 0; p < g.N(); p++ {
+			if SatisfiedAt(g, p, year) {
+				current[p] = 0
+			} else {
+				current[p]++
+				if current[p] > runs[p] {
+					runs[p] = current[p]
+				}
+			}
+		}
+	}
+	return runs
+}

@@ -1,0 +1,37 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// On a path of four families (three couples), three of the four parents
+// can host at least one couple simultaneously — a tree always satisfies
+// all but one.
+func ExampleMaxSatisfaction() {
+	g := graph.Path(4)
+	res := matching.MaxSatisfaction(g)
+	fmt.Println("satisfied:", res.Count, "of", g.N())
+	fmt.Println("optimal:", res.Count == matching.MaxSatisfactionHK(g))
+	// Output:
+	// satisfied: 3 of 4
+	// optimal: true
+}
+
+// Couples alternating between their two parent households keep every
+// parent's unsatisfied streak at one year or less.
+func ExampleMaxUnsatisfiedRun() {
+	g := graph.Cycle(5)
+	runs := matching.MaxUnsatisfiedRun(g, 10)
+	worst := int64(0)
+	for _, r := range runs {
+		if r > worst {
+			worst = r
+		}
+	}
+	fmt.Println("worst unsatisfied streak:", worst)
+	// Output:
+	// worst unsatisfied streak: 1
+}

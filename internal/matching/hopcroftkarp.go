@@ -1,0 +1,99 @@
+// Package matching implements Appendix A.3 of the paper: maximum
+// satisfaction (every parent hosts at least one couple) via the general
+// Hopcroft–Karp bipartite matching algorithm [15] and the paper's
+// specialized linear-time peeling algorithm, plus the alternating schedule
+// that bounds every parent's unsatisfied streak by one year.
+package matching
+
+// HopcroftKarp computes a maximum matching of a bipartite graph in
+// O(√V · E). The graph is given as adjacency lists from the nLeft left
+// vertices to right vertices in [0, nRight). It returns matchL (the right
+// partner of each left vertex, or -1) and the matching size.
+func HopcroftKarp(nLeft, nRight int, adj [][]int) (matchL []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+// VerifyMatching checks that matchL is a valid matching of the bipartite
+// graph: partners are actual neighbors and no right vertex is reused.
+func VerifyMatching(nRight int, adj [][]int, matchL []int) bool {
+	usedR := make([]bool, nRight)
+	for u, v := range matchL {
+		if v == -1 {
+			continue
+		}
+		if v < 0 || v >= nRight || usedR[v] {
+			return false
+		}
+		ok := false
+		for _, w := range adj[u] {
+			if w == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		usedR[v] = true
+	}
+	return true
+}

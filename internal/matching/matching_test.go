@@ -1,0 +1,184 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestHopcroftKarpPerfectMatching(t *testing.T) {
+	// K(3,3): perfect matching of size 3.
+	adj := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}
+	matchL, size := HopcroftKarp(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	if !VerifyMatching(3, adj, matchL) {
+		t.Fatal("invalid matching")
+	}
+}
+
+func TestHopcroftKarpKnownSize(t *testing.T) {
+	// Left 0 and 1 both only reach right 0: max matching 2 via 2->1.
+	adj := [][]int{{0}, {0}, {0, 1}}
+	_, size := HopcroftKarp(3, 2, adj)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+}
+
+func TestHopcroftKarpAugmentingPath(t *testing.T) {
+	// Classic case that needs augmentation: greedy can match 0-0, blocking
+	// 1; HK must find the alternating path.
+	adj := [][]int{{0, 1}, {0}}
+	matchL, size := HopcroftKarp(2, 2, adj)
+	if size != 2 {
+		t.Fatalf("size = %d, want 2 (needs augmenting path)", size)
+	}
+	if matchL[1] != 0 || matchL[0] != 1 {
+		t.Errorf("matchL = %v, want [1 0]", matchL)
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	if _, size := HopcroftKarp(0, 0, nil); size != 0 {
+		t.Error("empty graph has empty matching")
+	}
+	adj := make([][]int, 4)
+	if _, size := HopcroftKarp(4, 3, adj); size != 0 {
+		t.Error("edgeless graph has empty matching")
+	}
+}
+
+func TestVerifyMatchingCatchesReuse(t *testing.T) {
+	adj := [][]int{{0}, {0}}
+	if VerifyMatching(1, adj, []int{0, 0}) {
+		t.Error("right-vertex reuse must fail verification")
+	}
+	if VerifyMatching(2, [][]int{{0}, {0}}, []int{1, -1}) {
+		t.Error("non-neighbor partner must fail verification")
+	}
+}
+
+// Theorem A.2 cross-check: the linear-time algorithm, Hopcroft–Karp on the
+// parent–couple incidence graph, and the closed-form count all agree.
+func TestSatisfactionAgreesWithHKAndFormula(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path5":      graph.Path(5),
+		"cycle6":     graph.Cycle(6),
+		"cycle7":     graph.Cycle(7),
+		"star9":      graph.Star(9),
+		"clique7":    graph.Clique(7),
+		"tree40":     graph.RandomTree(40, 1),
+		"gnp sparse": graph.GNP(60, 0.03, 2),
+		"gnp mid":    graph.GNP(60, 0.08, 3),
+		"grid":       graph.Grid(5, 7),
+		"two edges":  graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}),
+		"edgeless":   graph.Empty(5),
+		"triangle+tail": graph.MustFromEdges(5, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}}),
+	}
+	for name, g := range cases {
+		res := MaxSatisfaction(g)
+		hk := MaxSatisfactionHK(g)
+		formula := MaxSatisfactionFormula(g)
+		if res.Count != hk {
+			t.Errorf("%s: linear-time %d != Hopcroft-Karp %d", name, res.Count, hk)
+		}
+		if res.Count != formula {
+			t.Errorf("%s: linear-time %d != closed form %d", name, res.Count, formula)
+		}
+		validateSatAssignment(t, name, g, res)
+	}
+}
+
+// validateSatAssignment checks structural validity: hosts are endpoints,
+// each satisfied parent hosts >= 1 couple, count is consistent.
+func validateSatAssignment(t *testing.T, name string, g *graph.Graph, res SatResult) {
+	t.Helper()
+	edges := g.Edges()
+	hostedBy := make(map[int]int)
+	for i, h := range res.CoupleHost {
+		if h == -1 {
+			continue
+		}
+		if h != edges[i].U && h != edges[i].V {
+			t.Errorf("%s: couple %v assigned to non-endpoint %d", name, edges[i], h)
+		}
+		hostedBy[h]++
+	}
+	count := 0
+	for p, sat := range res.Satisfied {
+		if sat {
+			count++
+			if hostedBy[p] == 0 {
+				t.Errorf("%s: parent %d marked satisfied but hosts nothing", name, p)
+			}
+		}
+	}
+	if count != res.Count {
+		t.Errorf("%s: count %d != marked %d", name, res.Count, count)
+	}
+}
+
+// Property: agreement holds on random graphs.
+func TestSatisfactionQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%40)
+		g := graph.GNP(n, 0.15, seed)
+		res := MaxSatisfaction(g)
+		return res.Count == MaxSatisfactionHK(g) && res.Count == MaxSatisfactionFormula(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSatisfactionTreeLosesExactlyOne(t *testing.T) {
+	g := graph.RandomTree(30, 7)
+	res := MaxSatisfaction(g)
+	if res.Count != 29 {
+		t.Errorf("tree satisfaction = %d, want n-1 = 29", res.Count)
+	}
+}
+
+func TestSatisfactionCycleSatisfiesAll(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 13} {
+		g := graph.Cycle(n)
+		res := MaxSatisfaction(g)
+		if res.Count != n {
+			t.Errorf("C%d satisfaction = %d, want all %d", n, res.Count, n)
+		}
+	}
+}
+
+func TestAlternatingScheduleBound(t *testing.T) {
+	g := graph.GNP(50, 0.08, 11)
+	runs := MaxUnsatisfiedRun(g, 50)
+	for p := 0; p < g.N(); p++ {
+		if g.Degree(p) == 0 {
+			if runs[p] != 50 {
+				t.Errorf("isolated parent %d run = %d, want never satisfied", p, runs[p])
+			}
+			continue
+		}
+		if runs[p] > 1 {
+			t.Errorf("parent %d unsatisfied run = %d, want ≤ 1 (Appendix A.3)", p, runs[p])
+		}
+	}
+}
+
+func TestAlternatingHostFlips(t *testing.T) {
+	e := graph.Edge{U: 3, V: 7}
+	h0, h1 := AlternatingHost(e, 0), AlternatingHost(e, 1)
+	if h0 == h1 {
+		t.Fatal("consecutive years must alternate hosts")
+	}
+	if h0 != AlternatingHost(e, 2) {
+		t.Fatal("period must be exactly 2")
+	}
+	if AlternatingHost(graph.Edge{U: 7, V: 3}, 0) != h0 {
+		t.Fatal("orientation of the edge literal must not matter")
+	}
+}

@@ -1,0 +1,241 @@
+package matching
+
+import (
+	"repro/internal/graph"
+)
+
+// SatResult is a maximum-satisfaction assignment: couple e = g.Edges()[i]
+// visits parent CoupleHost[i] (or -1 if it may go anywhere), and Satisfied
+// marks parents hosting at least one couple.
+type SatResult struct {
+	CoupleHost []int
+	Satisfied  []bool
+	Count      int
+}
+
+// MaxSatisfaction computes a maximum-satisfaction assignment with the
+// paper's linear-time algorithm (Theorem A.2): repeatedly match single-child
+// parents to their only remaining couple (after which the matched parent has
+// no remaining couples, so the residue induced on unsatisfied parents has
+// minimum degree ≥ 2); then every residual component contains a cycle —
+// orient one cycle consistently so each cycle vertex hosts its predecessor
+// edge, and grow outward assigning each newly reached parent the edge that
+// reached it. Exactly n − (acyclic components) parents end satisfied, which
+// is optimal: a tree of k parents has only k−1 couples to hand out.
+func MaxSatisfaction(g *graph.Graph) SatResult {
+	n := g.N()
+	edges := g.Edges()
+	res := SatResult{
+		CoupleHost: make([]int, len(edges)),
+		Satisfied:  make([]bool, n),
+	}
+	for i := range res.CoupleHost {
+		res.CoupleHost[i] = -1
+	}
+	alive := make([]bool, len(edges))
+	deg := make([]int, n)
+	incident := make([][]int, n)
+	for i, e := range edges {
+		alive[i] = true
+		deg[e.U]++
+		deg[e.V]++
+		incident[e.U] = append(incident[e.U], i)
+		incident[e.V] = append(incident[e.V], i)
+	}
+	other := func(i, p int) int {
+		if edges[i].U == p {
+			return edges[i].V
+		}
+		return edges[i].U
+	}
+	assign := func(i, p int) {
+		res.CoupleHost[i] = p
+		res.Satisfied[p] = true
+		res.Count++
+		alive[i] = false
+		deg[edges[i].U]--
+		deg[edges[i].V]--
+	}
+
+	// Phase 1: peel single-child parents.
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if deg[v] == 1 {
+			queue = append(queue, v)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
+		if res.Satisfied[p] || deg[p] != 1 {
+			continue // stale entry: satisfied meanwhile or degree changed
+		}
+		for _, i := range incident[p] {
+			if !alive[i] {
+				continue
+			}
+			q := other(i, p)
+			assign(i, p)
+			if deg[q] == 1 && !res.Satisfied[q] {
+				queue = append(queue, q)
+			}
+			break
+		}
+	}
+
+	// Phase 2: the residue induced on unsatisfied parents has min degree ≥ 2
+	// (phase-1 winners always end with zero alive couples), so each residual
+	// component has a cycle.
+	visited := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if visited[s] || res.Satisfied[s] || deg[s] == 0 {
+			continue
+		}
+		cycle := findResidualCycle(s, n, incident, alive, other)
+		// Orient the cycle: vertex cycle[k+1] hosts the edge from cycle[k].
+		for k, i := range cycle.edges {
+			host := cycle.verts[(k+1)%len(cycle.verts)]
+			assign(i, host)
+		}
+		// Grow outward from the satisfied cycle: any alive edge reaching an
+		// unsatisfied parent is handed to it.
+		grow := append([]int(nil), cycle.verts...)
+		for _, v := range grow {
+			visited[v] = true
+		}
+		for gi := 0; gi < len(grow); gi++ {
+			v := grow[gi]
+			for _, i := range incident[v] {
+				if !alive[i] {
+					continue
+				}
+				w := other(i, v)
+				if !res.Satisfied[w] {
+					assign(i, w)
+					grow = append(grow, w)
+					visited[w] = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// residualCycle is a simple cycle in the residual graph: verts[k] and
+// verts[k+1] are joined by edges[k], and edges[len-1] closes back to
+// verts[0].
+type residualCycle struct {
+	verts []int
+	edges []int
+}
+
+// findResidualCycle locates a simple cycle through the residual component of
+// s via iterative DFS over alive edges (one must exist: min degree ≥ 2).
+func findResidualCycle(s, n int, incident [][]int, alive []bool, other func(int, int) int) residualCycle {
+	parentV := make([]int, n)
+	parentE := make([]int, n)
+	seen := make([]bool, n)
+	for i := range parentV {
+		parentV[i], parentE[i] = -1, -1
+	}
+	seen[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range incident[v] {
+			if !alive[i] || i == parentE[v] {
+				continue
+			}
+			w := other(i, v)
+			if !seen[w] {
+				seen[w] = true
+				parentV[w] = v
+				parentE[w] = i
+				stack = append(stack, w)
+				continue
+			}
+			// Non-tree edge v—w closes a cycle: climb from v to the root
+			// collecting its tree path, then climb from w until the first
+			// vertex shared with that path (the meeting point m; the root s
+			// is shared in the worst case, so the climb terminates).
+			onPath := make([]int, n)
+			for k := range onPath {
+				onPath[k] = -1
+			}
+			pathV := []int{v}
+			var pathE []int
+			onPath[v] = 0
+			for x := v; x != s; {
+				pathE = append(pathE, parentE[x])
+				x = parentV[x]
+				onPath[x] = len(pathV)
+				pathV = append(pathV, x)
+			}
+			wPathV := []int{w}
+			var wPathE []int
+			x := w
+			for onPath[x] == -1 {
+				wPathE = append(wPathE, parentE[x])
+				x = parentV[x]
+				wPathV = append(wPathV, x)
+			}
+			idx := onPath[x]
+			// Assemble v → … → m (up v's path) → … → w (down w's path) → v.
+			verts := append([]int(nil), pathV[:idx+1]...)
+			es := append([]int(nil), pathE[:idx]...)
+			for k := len(wPathV) - 2; k >= 0; k-- {
+				verts = append(verts, wPathV[k])
+			}
+			for k := len(wPathE) - 1; k >= 0; k-- {
+				es = append(es, wPathE[k])
+			}
+			es = append(es, i)
+			return residualCycle{verts: verts, edges: es}
+		}
+	}
+	panic("matching: residual component without a cycle (phase-1 invariant broken)")
+}
+
+// MaxSatisfactionHK computes the optimum satisfaction count via
+// Hopcroft–Karp on the parent–couple incidence graph: parent p can be
+// matched to any incident couple, and the matching size is the number of
+// simultaneously satisfiable parents. It is the Appendix A.3 baseline used
+// to validate the linear-time algorithm.
+func MaxSatisfactionHK(g *graph.Graph) int {
+	edges := g.Edges()
+	adj := make([][]int, g.N())
+	for i, e := range edges {
+		adj[e.U] = append(adj[e.U], i)
+		adj[e.V] = append(adj[e.V], i)
+	}
+	_, size := HopcroftKarp(g.N(), len(edges), adj)
+	return size
+}
+
+// MaxSatisfactionFormula returns the closed-form optimum: n minus the number
+// of acyclic components (isolated parents included). A component containing
+// a cycle satisfies everyone; a tree component of k parents has only k−1
+// couples and satisfies k−1.
+func MaxSatisfactionFormula(g *graph.Graph) int {
+	count := 0
+	for _, comp := range g.Components() {
+		inComp := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		edgesInside := 0
+		for _, v := range comp {
+			for _, u := range g.Neighbors(v) {
+				if inComp[u] && v < u {
+					edgesInside++
+				}
+			}
+		}
+		if edgesInside >= len(comp) {
+			count += len(comp)
+		} else {
+			count += len(comp) - 1
+		}
+	}
+	return count
+}

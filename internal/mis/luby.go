@@ -1,0 +1,132 @@
+package mis
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/localsim"
+)
+
+// Luby's randomized distributed maximal-independent-set algorithm — the
+// second canonical LOCAL-model problem the paper's related work highlights
+// (§1.3: "The problems of interest are especially those of coloring and
+// maximal independent set"). Each phase, every undecided node draws a
+// random value and joins the MIS when it holds a strict local minimum
+// among undecided neighbors; neighbors of joiners drop out. Terminates in
+// O(log n) phases with high probability.
+
+type lubyState uint8
+
+const (
+	lubyUndecided lubyState = iota
+	lubyIn
+	lubyOut
+)
+
+type lubyMsg struct {
+	kind  uint8 // 0: draw, 1: joined
+	value uint64
+}
+
+type lubyNode struct {
+	state lubyState
+	draw  uint64
+	// liveNeighbors counts neighbors still undecided (for the local-minimum
+	// test we only compare against live draws received this phase).
+}
+
+func (l *lubyNode) Init(ctx *localsim.Context) {
+	if ctx.Degree() == 0 {
+		l.state = lubyIn
+		ctx.Halt()
+	}
+}
+
+func (l *lubyNode) Round(ctx *localsim.Context, inbox []localsim.Inbound) {
+	if ctx.Round()%2 == 1 {
+		// Draw phase: process join notifications from the previous phase,
+		// then draw and broadcast.
+		for _, m := range inbox {
+			if m.Payload.(lubyMsg).kind == 1 {
+				l.state = lubyOut
+				ctx.Halt()
+				return
+			}
+		}
+		l.draw = ctx.Rand().Uint64()
+		ctx.Broadcast(lubyMsg{0, l.draw})
+		return
+	}
+	// Resolve phase: join when holding a strict minimum among the live
+	// draws (ties broken by id via the pair ordering; collisions on 64-bit
+	// draws are negligible but handled deterministically).
+	min := true
+	for _, m := range inbox {
+		msg := m.Payload.(lubyMsg)
+		if msg.kind != 0 {
+			continue
+		}
+		if msg.value < l.draw || (msg.value == l.draw && m.From < ctx.ID()) {
+			min = false
+			break
+		}
+	}
+	if min {
+		l.state = lubyIn
+		ctx.Broadcast(lubyMsg{1, 0})
+		ctx.Halt()
+	}
+}
+
+// LubyMIS computes a maximal independent set distributively, returning the
+// set, the number of LOCAL rounds, and the messages sent.
+func LubyMIS(g *graph.Graph, seed uint64) ([]int, int, int64, error) {
+	nodes := make([]*lubyNode, g.N())
+	net := localsim.New(g, func(v int) localsim.Algorithm {
+		nodes[v] = &lubyNode{}
+		return nodes[v]
+	}, localsim.WithSeed(seed))
+	maxRounds := 4*g.N() + 16
+	rounds, done := net.Run(maxRounds)
+	if !done {
+		return nil, rounds, net.Messages(), fmt.Errorf("mis: luby did not converge in %d rounds", maxRounds)
+	}
+	var out []int
+	for v, nd := range nodes {
+		switch nd.state {
+		case lubyIn:
+			out = append(out, v)
+		case lubyUndecided:
+			return nil, rounds, net.Messages(), fmt.Errorf("mis: node %d halted undecided", v)
+		}
+	}
+	return out, rounds, net.Messages(), nil
+}
+
+// IsMaximalIndependent reports whether set is independent and maximal: no
+// further node could join.
+func IsMaximalIndependent(g *graph.Graph, set []int) bool {
+	if !g.IsIndependent(set) {
+		return false
+	}
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		blocked := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return false
+		}
+	}
+	return true
+}

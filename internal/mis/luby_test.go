@@ -1,0 +1,85 @@
+package mis
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLubyMISMaximalOnFamilies(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"clique":   graph.Clique(20),
+		"cycle":    graph.Cycle(101),
+		"star":     graph.Star(30),
+		"gnp":      graph.GNP(200, 0.05, 3),
+		"tree":     graph.RandomTree(150, 4),
+		"edgeless": graph.Empty(7),
+		"grid":     graph.Grid(10, 10),
+	}
+	for name, g := range families {
+		set, rounds, msgs, err := LubyMIS(g, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !IsMaximalIndependent(g, set) {
+			t.Fatalf("%s: result is not a maximal independent set", name)
+		}
+		if g.M() > 0 && msgs == 0 {
+			t.Errorf("%s: no messages recorded", name)
+		}
+		if rounds > 6*g.N() {
+			t.Errorf("%s: %d rounds is absurd", name, rounds)
+		}
+	}
+}
+
+func TestLubyMISCliqueSize(t *testing.T) {
+	set, _, _, err := LubyMIS(graph.Clique(15), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("MIS of a clique has size 1, got %d", len(set))
+	}
+}
+
+func TestLubyMISRoundsLogarithmic(t *testing.T) {
+	g := graph.GNP(1000, 0.01, 5)
+	_, rounds, _, err := LubyMIS(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds > 100 {
+		t.Errorf("luby took %d rounds on n=1000; expected O(log n)", rounds)
+	}
+}
+
+func TestLubyMISDeterministicPerSeed(t *testing.T) {
+	g := graph.GNP(100, 0.06, 7)
+	a, _, _, _ := LubyMIS(g, 42)
+	b, _, _, _ := LubyMIS(g, 42)
+	if len(a) != len(b) {
+		t.Fatal("same seed must give same MIS")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical MIS")
+		}
+	}
+}
+
+func TestIsMaximalIndependent(t *testing.T) {
+	g := graph.Path(4) // 0-1-2-3
+	if !IsMaximalIndependent(g, []int{0, 2}) {
+		t.Error("{0,2} is maximal in P4")
+	}
+	if IsMaximalIndependent(g, []int{0}) {
+		t.Error("{0} is not maximal (2 or 3 could join)")
+	}
+	if IsMaximalIndependent(g, []int{0, 1}) {
+		t.Error("{0,1} is not independent")
+	}
+	if !IsMaximalIndependent(g, []int{1, 3}) {
+		t.Error("{1,3} is maximal in P4")
+	}
+}

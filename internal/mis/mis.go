@@ -1,0 +1,168 @@
+// Package mis implements maximum independent set computation for the
+// paper's Appendix A: maximizing happiness in a single holiday is exactly
+// MIS on the conflict graph (Observation A.1, MAXSNP-hard), so the package
+// provides an exact exponential branch-and-bound solver for small instances
+// and a min-degree greedy heuristic for larger ones. Experiment E10 uses
+// both to chart the hardness gap and the fair-share discussion of A.2.
+package mis
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// bitset is a fixed-width set of node ids backed by uint64 words.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) clone() bitset  { return append(bitset(nil), b...) }
+func (b bitset) count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// andNot removes every member of o from b.
+func (b bitset) andNot(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// firstSet returns the smallest member, or -1 if empty.
+func (b bitset) firstSet() int {
+	for i, w := range b {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Exact returns a maximum independent set of g, found by branch and bound.
+// Worst-case exponential; intended for n up to roughly 60 on the sparse
+// conflict graphs of the experiments.
+func Exact(g *graph.Graph) []int {
+	n := g.N()
+	nbr := make([]bitset, n)
+	for v := 0; v < n; v++ {
+		nbr[v] = newBitset(n)
+		for _, u := range g.Neighbors(v) {
+			nbr[v].set(u)
+		}
+	}
+	avail := newBitset(n)
+	for v := 0; v < n; v++ {
+		avail.set(v)
+	}
+	var best []int
+	var current []int
+
+	var branch func(avail bitset)
+	branch = func(avail bitset) {
+		remaining := avail.count()
+		if len(current)+remaining <= len(best) {
+			return // bound: cannot beat the incumbent
+		}
+		if remaining == 0 {
+			best = append(best[:0], current...)
+			return
+		}
+		// Pick the available vertex with the most available neighbors: both
+		// branches shrink fastest. Vertices with no available neighbors are
+		// forced into the solution.
+		pick, pickDeg := -1, -1
+		for w := avail.firstSet(); w != -1; {
+			d := 0
+			for i := range nbr[w] {
+				d += bits.OnesCount64(nbr[w][i] & avail[i])
+			}
+			if d == 0 {
+				// Forced: taking w costs nothing.
+				avail2 := avail.clone()
+				avail2.clear(w)
+				current = append(current, w)
+				branch(avail2)
+				current = current[:len(current)-1]
+				return
+			}
+			if d > pickDeg {
+				pick, pickDeg = w, d
+			}
+			w = nextSet(avail, w)
+		}
+		// Branch 1: include pick, dropping its closed neighborhood.
+		inc := avail.clone()
+		inc.clear(pick)
+		inc.andNot(nbr[pick])
+		current = append(current, pick)
+		branch(inc)
+		current = current[:len(current)-1]
+		// Branch 2: exclude pick.
+		exc := avail.clone()
+		exc.clear(pick)
+		branch(exc)
+	}
+	branch(avail)
+	return best
+}
+
+// nextSet returns the smallest member of b strictly greater than i, or -1.
+func nextSet(b bitset, i int) int {
+	i++
+	if i >= len(b)*64 {
+		return -1
+	}
+	w := b[i/64] >> (uint(i) % 64)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for k := i/64 + 1; k < len(b); k++ {
+		if b[k] != 0 {
+			return k*64 + bits.TrailingZeros64(b[k])
+		}
+	}
+	return -1
+}
+
+// Greedy returns the independent set produced by repeatedly taking a
+// minimum-degree vertex of the residual graph and discarding its neighbors —
+// the standard heuristic lower bound, guaranteed ≥ Σ 1/(deg(v)+1)
+// (the paper's fair-share landmark from §1).
+func Greedy(g *graph.Graph) []int {
+	n := g.N()
+	deg := g.Degrees()
+	removed := make([]bool, n)
+	var out []int
+	for {
+		pick, pickDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < pickDeg {
+				pick, pickDeg = v, deg[v]
+			}
+		}
+		if pick == -1 {
+			return out
+		}
+		out = append(out, pick)
+		removed[pick] = true
+		for _, u := range g.Neighbors(pick) {
+			if !removed[u] {
+				removed[u] = true
+				for _, w := range g.Neighbors(u) {
+					deg[w]--
+				}
+			}
+		}
+	}
+}
+
+// Size is a convenience wrapper returning |Exact(g)|.
+func Size(g *graph.Graph) int { return len(Exact(g)) }

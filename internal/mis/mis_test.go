@@ -1,0 +1,149 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestExactKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K6", graph.Clique(6), 1},
+		{"C5", graph.Cycle(5), 2},
+		{"C6", graph.Cycle(6), 3},
+		{"C9", graph.Cycle(9), 4},
+		{"P7", graph.Path(7), 4},
+		{"star10", graph.Star(10), 9},
+		{"K34", graph.CompleteBipartite(3, 4), 4},
+		{"grid3x3", graph.Grid(3, 3), 5},
+		{"empty7", graph.Empty(7), 7},
+		{"K222", graph.CompleteKPartite(2, 2, 2), 2},
+	}
+	for _, tc := range cases {
+		got := Exact(tc.g)
+		if len(got) != tc.want {
+			t.Errorf("%s: MIS size = %d, want %d", tc.name, len(got), tc.want)
+		}
+		if !tc.g.IsIndependent(got) {
+			t.Errorf("%s: returned set is not independent", tc.name)
+		}
+	}
+}
+
+func TestExactPetersen(t *testing.T) {
+	// The Petersen graph: outer C5 0-4, inner pentagram 5-9, spokes.
+	b := graph.NewBuilder(10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)     // outer cycle
+		b.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		b.AddEdge(i, 5+i)         // spokes
+	}
+	g := b.Graph()
+	got := Exact(g)
+	if len(got) != 4 {
+		t.Errorf("Petersen MIS = %d, want 4", len(got))
+	}
+	if !g.IsIndependent(got) {
+		t.Error("set not independent")
+	}
+}
+
+func TestGreedyValidAndBounded(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		g := graph.GNP(60, 0.1, seed)
+		got := Greedy(g)
+		if !g.IsIndependent(got) {
+			t.Fatalf("seed %d: greedy set not independent", seed)
+		}
+		// Fair-share lower bound: Σ 1/(d+1) (Caro–Wei / the paper's §1
+		// landmark).
+		bound := 0.0
+		for v := 0; v < g.N(); v++ {
+			bound += 1 / float64(g.Degree(v)+1)
+		}
+		if float64(len(got)) < bound-1e-9 {
+			t.Errorf("seed %d: greedy %d below Caro-Wei bound %.2f", seed, len(got), bound)
+		}
+	}
+}
+
+func TestGreedyAtMostExact(t *testing.T) {
+	for _, seed := range []uint64{7, 8, 9} {
+		g := graph.GNP(24, 0.25, seed)
+		greedy, exact := Greedy(g), Exact(g)
+		if len(greedy) > len(exact) {
+			t.Errorf("seed %d: greedy %d beats exact %d (impossible)", seed, len(greedy), len(exact))
+		}
+	}
+}
+
+// Property: exact results are independent and at least as large as greedy.
+func TestExactQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 4 + int(seed%16)
+		g := graph.GNP(n, 0.3, seed)
+		exact := Exact(g)
+		return g.IsIndependent(exact) && len(exact) >= len(Greedy(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive cross-check on tiny graphs: branch and bound equals brute
+// force over all subsets.
+func TestExactMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		n := 3 + int(seed%8)
+		g := graph.GNP(n, 0.35, seed+100)
+		want := bruteForceMIS(g)
+		if got := Size(g); got != want {
+			t.Errorf("seed %d: exact %d != brute force %d", seed, got, want)
+		}
+	}
+}
+
+func bruteForceMIS(g *graph.Graph) int {
+	n := g.N()
+	best := 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var set []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<uint(v)) != 0 {
+				set = append(set, v)
+			}
+		}
+		if len(set) > best && g.IsIndependent(set) {
+			best = len(set)
+		}
+	}
+	return best
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if !b.has(64) || b.has(63) {
+		t.Error("bitset membership wrong")
+	}
+	if b.count() != 3 {
+		t.Errorf("count = %d, want 3", b.count())
+	}
+	if b.firstSet() != 0 {
+		t.Errorf("firstSet = %d, want 0", b.firstSet())
+	}
+	if nextSet(b, 0) != 64 || nextSet(b, 64) != 129 || nextSet(b, 129) != -1 {
+		t.Error("nextSet traversal wrong")
+	}
+	b.clear(64)
+	if b.has(64) {
+		t.Error("clear failed")
+	}
+}

@@ -1,0 +1,58 @@
+package mis
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// This file implements the Appendix A.2 coalitional game: the value of a
+// coalition S of parents is v(S) = MIS(G[S]), the maximum happiness the
+// members of S can collectively obtain if everyone else gives up. The
+// appendix observes that the marginal contributions of the nodes along ANY
+// order always sum to exactly MIS(G) — which is why approximating Shapley
+// shares is as hard as approximating MIS itself.
+
+// CoalitionValue returns v(S) = MIS(G[S]) for the coalition S (node ids).
+func CoalitionValue(g *graph.Graph, coalition []int) int {
+	sub, _ := g.InducedSubgraph(coalition)
+	return len(Exact(sub))
+}
+
+// MarginalContributions returns, for the given arrival order of all nodes,
+// each node's marginal contribution v(S ∪ {p}) − v(S) where S is the set of
+// earlier arrivals. Exponential per prefix (each prefix solves an MIS);
+// intended for the small instances of the A.2 experiments.
+func MarginalContributions(g *graph.Graph, order []int) []int {
+	out := make([]int, g.N())
+	prefix := make([]int, 0, len(order))
+	prev := 0
+	for _, p := range order {
+		prefix = append(prefix, p)
+		cur := CoalitionValue(g, prefix)
+		out[p] = cur - prev
+		prev = cur
+	}
+	return out
+}
+
+// ShapleyEstimate Monte-Carlo-estimates the Shapley value of every node by
+// averaging marginal contributions over random arrival orders.
+func ShapleyEstimate(g *graph.Graph, samples int, seed uint64) []float64 {
+	r := rand.New(rand.NewPCG(seed, 0x5a))
+	sum := make([]float64, g.N())
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	for s := 0; s < samples; s++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for p, m := range MarginalContributions(g, order) {
+			sum[p] += float64(m)
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(samples)
+	}
+	return sum
+}

@@ -1,0 +1,95 @@
+package mis
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCoalitionValue(t *testing.T) {
+	g := graph.Cycle(6)
+	if v := CoalitionValue(g, []int{0, 1, 2, 3, 4, 5}); v != 3 {
+		t.Errorf("v(all) = %d, want MIS(C6) = 3", v)
+	}
+	if v := CoalitionValue(g, []int{0, 2}); v != 2 {
+		t.Errorf("v({0,2}) = %d, want 2 (independent pair)", v)
+	}
+	if v := CoalitionValue(g, []int{0, 1}); v != 1 {
+		t.Errorf("v({0,1}) = %d, want 1 (adjacent pair)", v)
+	}
+	if v := CoalitionValue(g, nil); v != 0 {
+		t.Errorf("v(∅) = %d, want 0", v)
+	}
+}
+
+// Appendix A.2's key observation: the total marginal contribution along any
+// arrival order equals MIS(G) exactly.
+func TestMarginalContributionsSumToMIS(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.GNP(12, 0.3, uint64(trial))
+		misSize := Size(g)
+		order := make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0
+		for _, m := range MarginalContributions(g, order) {
+			total += m
+		}
+		if total != misSize {
+			t.Fatalf("trial %d: marginal sum %d != MIS %d", trial, total, misSize)
+		}
+	}
+}
+
+func TestShapleySymmetryOnClique(t *testing.T) {
+	// On K_n the game is symmetric with v(full) = 1, so every player's
+	// Shapley value is exactly 1/n; the estimate must converge near it.
+	g := graph.Clique(5)
+	vals := ShapleyEstimate(g, 400, 9)
+	sum := 0.0
+	for v, x := range vals {
+		if math.Abs(x-0.2) > 0.08 {
+			t.Errorf("node %d Shapley estimate %.3f, want ≈ 0.2", v, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("Shapley values sum to %.4f, want exactly MIS = 1 (efficiency)", sum)
+	}
+}
+
+func TestShapleyEfficiencyAlwaysExact(t *testing.T) {
+	// Efficiency holds per-sample (A.2), so the estimate's sum is exactly
+	// the MIS size regardless of sample count.
+	g := graph.GNP(10, 0.4, 77)
+	vals := ShapleyEstimate(g, 7, 8)
+	sum := 0.0
+	for _, x := range vals {
+		sum += x
+	}
+	if math.Abs(sum-float64(Size(g))) > 1e-9 {
+		t.Errorf("sum %.4f != MIS %d", sum, Size(g))
+	}
+}
+
+func TestShapleyStarCenterGetsLess(t *testing.T) {
+	// On a star, leaves are valuable (MIS = all leaves) while the center
+	// contributes almost nothing: its Shapley value must be far below a
+	// leaf's.
+	g := graph.Star(7)
+	vals := ShapleyEstimate(g, 300, 10)
+	leafMin := math.Inf(1)
+	for v := 1; v < 7; v++ {
+		if vals[v] < leafMin {
+			leafMin = vals[v]
+		}
+	}
+	if vals[0] >= leafMin {
+		t.Errorf("center Shapley %.3f should be below every leaf (min %.3f)", vals[0], leafMin)
+	}
+}

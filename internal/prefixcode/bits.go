@@ -1,0 +1,190 @@
+// Package prefixcode implements the universal prefix-free integer codes the
+// paper's color-bound scheduler is built on (§4.2, Appendix B): unary, Elias
+// gamma, Elias delta, and Elias omega, together with the paper's length
+// function ρ, the iterated-log product φ (Definition 4.1), Kraft-inequality
+// and prefix-freeness checkers, and bit-string utilities.
+package prefixcode
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bits is an append-only bit string. Bit 0 is the first (leftmost) bit of a
+// codeword. The zero value is the empty string.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// Len returns the number of bits.
+func (b Bits) Len() int { return b.n }
+
+// Bit returns bit i (0 or 1). It panics if i is out of range.
+func (b Bits) Bit(i int) int {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("prefixcode: bit index %d out of range [0,%d)", i, b.n))
+	}
+	return int(b.words[i/64]>>(uint(i)%64)) & 1
+}
+
+// Append adds one bit (0 or 1) to the end.
+func (b *Bits) Append(bit int) {
+	if bit != 0 && bit != 1 {
+		panic(fmt.Sprintf("prefixcode: bit must be 0 or 1, got %d", bit))
+	}
+	if b.n%64 == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit == 1 {
+		b.words[b.n/64] |= 1 << (uint(b.n) % 64)
+	}
+	b.n++
+}
+
+// AppendBits appends all of o after b.
+func (b *Bits) AppendBits(o Bits) {
+	for i := 0; i < o.n; i++ {
+		b.Append(o.Bit(i))
+	}
+}
+
+// String renders the bits as a "0101" string, first bit leftmost.
+func (b Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		sb.WriteByte('0' + byte(b.Bit(i)))
+	}
+	return sb.String()
+}
+
+// Equal reports whether b and o have identical length and contents.
+func (b Bits) Equal(o Bits) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) != o.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether b is a prefix of o (every string is a prefix of
+// itself).
+func (b Bits) IsPrefixOf(o Bits) bool {
+	if b.n > o.n {
+		return false
+	}
+	for i := 0; i < b.n; i++ {
+		if b.Bit(i) != o.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Value returns the little-endian integer whose bit j equals Bit(j). This is
+// the residue x such that an integer t matches the codeword at its low bits
+// iff t ≡ x (mod 2^Len). Panics if Len > 64.
+func (b Bits) Value() uint64 {
+	if b.n > 64 {
+		panic(fmt.Sprintf("prefixcode: codeword of %d bits does not fit a uint64 residue", b.n))
+	}
+	var v uint64
+	for i := 0; i < b.n; i++ {
+		v |= uint64(b.Bit(i)) << uint(i)
+	}
+	return v
+}
+
+// Parse builds Bits from a "0101" string.
+func Parse(s string) (Bits, error) {
+	var b Bits
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			b.Append(0)
+		case '1':
+			b.Append(1)
+		default:
+			return Bits{}, fmt.Errorf("prefixcode: invalid bit character %q", s[i])
+		}
+	}
+	return b, nil
+}
+
+// MustParse is Parse but panics on error; for tests and literals.
+func MustParse(s string) Bits {
+	b, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// BinaryMSB returns B(i): the binary representation of i with no leading
+// zeros, most significant bit first. Panics for i < 1.
+func BinaryMSB(i uint64) Bits {
+	if i < 1 {
+		panic("prefixcode: B(i) requires i >= 1")
+	}
+	var b Bits
+	for k := bits.Len64(i) - 1; k >= 0; k-- {
+		b.Append(int(i>>uint(k)) & 1)
+	}
+	return b
+}
+
+// ErrEndOfBits is returned by finite bit readers once exhausted.
+var ErrEndOfBits = errors.New("prefixcode: end of bits")
+
+// BitReader yields a stream of bits for decoding.
+type BitReader interface {
+	// ReadBit returns the next bit (0 or 1) or an error once the stream is
+	// exhausted (infinite streams never err).
+	ReadBit() (int, error)
+}
+
+// bitsReader reads a finite Bits value.
+type bitsReader struct {
+	b   Bits
+	pos int
+}
+
+// NewBitsReader returns a reader over the finite bit string b.
+func NewBitsReader(b Bits) BitReader { return &bitsReader{b: b} }
+
+func (r *bitsReader) ReadBit() (int, error) {
+	if r.pos >= r.b.Len() {
+		return 0, ErrEndOfBits
+	}
+	bit := r.b.Bit(r.pos)
+	r.pos++
+	return bit, nil
+}
+
+// intReader streams the binary representation of t from the least
+// significant bit upward, padded with an infinite run of zeros — exactly the
+// paper's "binary representation of i from right to left (with an infinite
+// sequence of 0's padded to it)".
+type intReader struct {
+	t   uint64
+	pos uint
+}
+
+// NewIntReader returns the infinite LSB-first bit stream of t.
+func NewIntReader(t uint64) BitReader { return &intReader{t: t} }
+
+func (r *intReader) ReadBit() (int, error) {
+	if r.pos >= 64 {
+		return 0, nil
+	}
+	bit := int(r.t>>r.pos) & 1
+	r.pos++
+	return bit, nil
+}

@@ -1,0 +1,168 @@
+package prefixcode
+
+import (
+	"testing"
+)
+
+func TestBitsAppendAndString(t *testing.T) {
+	var b Bits
+	for _, bit := range []int{1, 0, 1, 1} {
+		b.Append(bit)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	if b.String() != "1011" {
+		t.Fatalf("string = %q, want 1011", b.String())
+	}
+	if b.Bit(0) != 1 || b.Bit(1) != 0 || b.Bit(3) != 1 {
+		t.Error("bit access wrong")
+	}
+}
+
+func TestBitsCrossWordBoundary(t *testing.T) {
+	var b Bits
+	for i := 0; i < 130; i++ {
+		b.Append(i % 2)
+	}
+	if b.Len() != 130 {
+		t.Fatalf("len = %d, want 130", b.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if b.Bit(i) != i%2 {
+			t.Fatalf("bit %d = %d, want %d", i, b.Bit(i), i%2)
+		}
+	}
+}
+
+func TestBitsAppendBits(t *testing.T) {
+	a := MustParse("10")
+	c := MustParse("011")
+	a.AppendBits(c)
+	if a.String() != "10011" {
+		t.Fatalf("concat = %q, want 10011", a.String())
+	}
+}
+
+func TestBitsEqualAndPrefix(t *testing.T) {
+	a := MustParse("101")
+	if !a.Equal(MustParse("101")) {
+		t.Error("equal strings must compare equal")
+	}
+	if a.Equal(MustParse("1010")) || a.Equal(MustParse("100")) {
+		t.Error("unequal strings must compare unequal")
+	}
+	if !MustParse("10").IsPrefixOf(a) {
+		t.Error("10 is a prefix of 101")
+	}
+	if !a.IsPrefixOf(a) {
+		t.Error("a string is a prefix of itself")
+	}
+	if MustParse("11").IsPrefixOf(a) {
+		t.Error("11 is not a prefix of 101")
+	}
+	if MustParse("1011").IsPrefixOf(a) {
+		t.Error("longer string is not a prefix")
+	}
+}
+
+func TestBitsValue(t *testing.T) {
+	// Little-endian: "101" means bit0=1, bit1=0, bit2=1 => 1 + 4 = 5.
+	if v := MustParse("101").Value(); v != 5 {
+		t.Errorf("value = %d, want 5", v)
+	}
+	if v := (Bits{}).Value(); v != 0 {
+		t.Errorf("empty value = %d, want 0", v)
+	}
+}
+
+func TestBitsValueTooLongPanics(t *testing.T) {
+	var b Bits
+	for i := 0; i < 65; i++ {
+		b.Append(0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value on >64 bits must panic")
+		}
+	}()
+	b.Value()
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("01x"); err == nil {
+		t.Fatal("Parse must reject non-bit characters")
+	}
+}
+
+func TestAppendRejectsNonBit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append(2) must panic")
+		}
+	}()
+	var b Bits
+	b.Append(2)
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit out of range must panic")
+		}
+	}()
+	MustParse("1").Bit(1)
+}
+
+func TestBinaryMSB(t *testing.T) {
+	cases := map[uint64]string{1: "1", 2: "10", 5: "101", 9: "1001", 16: "10000"}
+	for i, want := range cases {
+		if got := BinaryMSB(i).String(); got != want {
+			t.Errorf("B(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestBinaryMSBZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("B(0) must panic")
+		}
+	}()
+	BinaryMSB(0)
+}
+
+func TestBitsReaderExhaustion(t *testing.T) {
+	r := NewBitsReader(MustParse("10"))
+	if b, err := r.ReadBit(); err != nil || b != 1 {
+		t.Fatalf("first bit = (%d,%v)", b, err)
+	}
+	if b, err := r.ReadBit(); err != nil || b != 0 {
+		t.Fatalf("second bit = (%d,%v)", b, err)
+	}
+	if _, err := r.ReadBit(); err != ErrEndOfBits {
+		t.Fatalf("expected ErrEndOfBits, got %v", err)
+	}
+}
+
+func TestIntReaderStreamsLSBFirstWithPadding(t *testing.T) {
+	// 6 = 110b: LSB-first stream is 0, 1, 1, then infinite zeros.
+	r := NewIntReader(6)
+	want := []int{0, 1, 1, 0, 0, 0, 0}
+	for i, w := range want {
+		b, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("bit %d: unexpected error %v", i, err)
+		}
+		if b != w {
+			t.Fatalf("bit %d = %d, want %d", i, b, w)
+		}
+	}
+	// Far past 64 bits it must keep yielding zeros without error.
+	for i := 0; i < 200; i++ {
+		b, err := r.ReadBit()
+		if err != nil || b != 0 {
+			t.Fatalf("padding bit = (%d,%v), want (0,nil)", b, err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package prefixcode
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Code is a prefix-free binary code over the positive integers. All four
+// implementations in this package are complete or near-complete universal
+// codes; the scheduler only relies on prefix-freeness (§4: two distinct
+// colors can never both match the low bits of the same holiday number).
+type Code interface {
+	// Name identifies the code ("unary", "gamma", "delta", "omega").
+	Name() string
+	// Encode returns the codeword of i. Panics for i < 1.
+	Encode(i uint64) Bits
+	// Len returns len(Encode(i)) without materializing the codeword.
+	Len(i uint64) int
+	// Decode reads one codeword from r and returns its value. On an
+	// infinite reader it always terminates for streams that are eventually
+	// all zero (such as NewIntReader streams).
+	Decode(r BitReader) (uint64, error)
+}
+
+// checkArg panics for out-of-domain encode arguments.
+func checkArg(code string, i uint64) {
+	if i < 1 {
+		panic(fmt.Sprintf("prefixcode: %s code is defined for i >= 1, got %d", code, i))
+	}
+}
+
+// Unary is the unary code: i is encoded as i-1 ones followed by a zero.
+// Its length i is the worst possible universal code, included as the
+// degenerate baseline for the E11 code ablation.
+type Unary struct{}
+
+// Name implements Code.
+func (Unary) Name() string { return "unary" }
+
+// Encode implements Code.
+func (Unary) Encode(i uint64) Bits {
+	checkArg("unary", i)
+	var b Bits
+	for k := uint64(1); k < i; k++ {
+		b.Append(1)
+	}
+	b.Append(0)
+	return b
+}
+
+// Len implements Code.
+func (Unary) Len(i uint64) int {
+	checkArg("unary", i)
+	return int(i)
+}
+
+// Decode implements Code.
+func (Unary) Decode(r BitReader) (uint64, error) {
+	count := uint64(1)
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			return count, nil
+		}
+		count++
+	}
+}
+
+// Gamma is the Elias gamma code: ⌊log i⌋ zeros followed by B(i).
+// Length 2⌊log i⌋ + 1.
+type Gamma struct{}
+
+// Name implements Code.
+func (Gamma) Name() string { return "gamma" }
+
+// Encode implements Code.
+func (Gamma) Encode(i uint64) Bits {
+	checkArg("gamma", i)
+	var b Bits
+	for k := bits.Len64(i) - 1; k > 0; k-- {
+		b.Append(0)
+	}
+	b.AppendBits(BinaryMSB(i))
+	return b
+}
+
+// Len implements Code.
+func (Gamma) Len(i uint64) int {
+	checkArg("gamma", i)
+	return 2*(bits.Len64(i)-1) + 1
+}
+
+// Decode implements Code.
+func (Gamma) Decode(r BitReader) (uint64, error) {
+	zeros := 0
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 1 {
+			break
+		}
+		zeros++
+		if zeros > 64 {
+			return 0, fmt.Errorf("prefixcode: gamma codeword exceeds 64-bit range")
+		}
+	}
+	v := uint64(1)
+	for k := 0; k < zeros; k++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}
+
+// Delta is the Elias delta code: gamma(|B(i)|) followed by B(i) without its
+// leading 1. Length ⌊log i⌋ + 2⌊log(⌊log i⌋+1)⌋ + 1.
+type Delta struct{}
+
+// Name implements Code.
+func (Delta) Name() string { return "delta" }
+
+// Encode implements Code.
+func (Delta) Encode(i uint64) Bits {
+	checkArg("delta", i)
+	nb := uint64(bits.Len64(i)) // |B(i)|
+	b := Gamma{}.Encode(nb)
+	for k := bits.Len64(i) - 2; k >= 0; k-- {
+		b.Append(int(i>>uint(k)) & 1)
+	}
+	return b
+}
+
+// Len implements Code.
+func (Delta) Len(i uint64) int {
+	checkArg("delta", i)
+	nb := bits.Len64(i)
+	return Gamma{}.Len(uint64(nb)) + nb - 1
+}
+
+// Decode implements Code.
+func (Delta) Decode(r BitReader) (uint64, error) {
+	nb, err := Gamma{}.Decode(r)
+	if err != nil {
+		return 0, err
+	}
+	if nb > 64 {
+		return 0, fmt.Errorf("prefixcode: delta codeword exceeds 64-bit range")
+	}
+	v := uint64(1)
+	for k := uint64(1); k < nb; k++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}
+
+// Omega is the Elias omega code of Appendix B: re(1) = λ,
+// re(i) = re(|B(i)|−1) ∘ B(i), and ω(i) = re(i) ∘ 0. It is the code the
+// paper's Theorem 4.2 instantiates, with length ρ(i) within a factor
+// 2^{1+log* i} of the lower-bound product φ(i).
+type Omega struct{}
+
+// Name implements Code.
+func (Omega) Name() string { return "omega" }
+
+// Encode implements Code.
+func (Omega) Encode(i uint64) Bits {
+	checkArg("omega", i)
+	// Collect the group values along the recursion i -> |B(i)|-1, then emit
+	// them outermost-first followed by the terminating 0.
+	var groups []uint64
+	for i > 1 {
+		groups = append(groups, i)
+		i = uint64(bits.Len64(i)) - 1
+	}
+	var b Bits
+	for k := len(groups) - 1; k >= 0; k-- {
+		b.AppendBits(BinaryMSB(groups[k]))
+	}
+	b.Append(0)
+	return b
+}
+
+// Len implements Code. This is the exact codeword length; see Rho for the
+// relationship to the paper's closed-form ρ.
+func (Omega) Len(i uint64) int {
+	checkArg("omega", i)
+	n := 1 // terminating zero
+	for i > 1 {
+		nb := bits.Len64(i)
+		n += nb
+		i = uint64(nb) - 1
+	}
+	return n
+}
+
+// Decode implements Code.
+func (Omega) Decode(r BitReader) (uint64, error) {
+	v := uint64(1)
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if bit == 0 {
+			return v, nil
+		}
+		// The 1 just read is the most significant bit of a group of v+1
+		// bits encoding the next value.
+		if v >= 64 {
+			return 0, fmt.Errorf("prefixcode: omega codeword exceeds 64-bit range")
+		}
+		next := uint64(1)
+		for k := uint64(0); k < v; k++ {
+			b2, err := r.ReadBit()
+			if err != nil {
+				return 0, err
+			}
+			next = next<<1 | uint64(b2)
+		}
+		v = next
+	}
+}
+
+// All returns the four codes in ascending order of asymptotic efficiency.
+func All() []Code {
+	return []Code{Unary{}, Gamma{}, Delta{}, Omega{}}
+}
+
+// ByName returns the named code, or an error listing the valid names.
+func ByName(name string) (Code, error) {
+	for _, c := range All() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, c := range All() {
+		names = append(names, c.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("prefixcode: unknown code %q (valid: %v)", name, names)
+}

@@ -1,0 +1,299 @@
+package prefixcode
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// paperOmegaTable is the worked example from Appendix B: the Elias omega
+// codes of 1..15, spaces removed.
+var paperOmegaTable = []string{
+	1: "0", 2: "100", 3: "110",
+	4: "101000", 5: "101010", 6: "101100", 7: "101110",
+	8: "1110000", 9: "1110010", 10: "1110100", 11: "1110110",
+	12: "1111000", 13: "1111010", 14: "1111100", 15: "1111110",
+}
+
+func TestOmegaMatchesPaperTable(t *testing.T) {
+	for i := 1; i <= 15; i++ {
+		got := Omega{}.Encode(uint64(i)).String()
+		if got != paperOmegaTable[i] {
+			t.Errorf("omega(%d) = %s, want %s (Appendix B)", i, got, paperOmegaTable[i])
+		}
+	}
+}
+
+func TestOmegaPaperWorkedExample9(t *testing.T) {
+	// Appendix B example 2: re(9) = λ ∘ 11 ∘ 1001, omega = 1110010.
+	if got := (Omega{}).Encode(9).String(); got != "1110010" {
+		t.Fatalf("omega(9) = %s, want 1110010", got)
+	}
+}
+
+func TestGammaKnownValues(t *testing.T) {
+	cases := map[uint64]string{1: "1", 2: "010", 3: "011", 4: "00100", 9: "0001001"}
+	for i, want := range cases {
+		if got := (Gamma{}).Encode(i).String(); got != want {
+			t.Errorf("gamma(%d) = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestDeltaKnownValues(t *testing.T) {
+	// delta(i) = gamma(|B(i)|) ++ B(i) minus leading 1.
+	cases := map[uint64]string{1: "1", 2: "0100", 3: "0101", 4: "01100", 9: "00100001", 17: "001010001"}
+	for i, want := range cases {
+		if got := (Delta{}).Encode(i).String(); got != want {
+			t.Errorf("delta(%d) = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestUnaryKnownValues(t *testing.T) {
+	cases := map[uint64]string{1: "0", 2: "10", 4: "1110"}
+	for i, want := range cases {
+		if got := (Unary{}).Encode(i).String(); got != want {
+			t.Errorf("unary(%d) = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestRoundTripAllCodesSmall(t *testing.T) {
+	for _, c := range All() {
+		limit := uint64(2000)
+		if c.Name() == "unary" {
+			limit = 300
+		}
+		for i := uint64(1); i <= limit; i++ {
+			if err := RoundTrip(c, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRoundTripRandomLarge(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for _, c := range All() {
+		if c.Name() == "unary" {
+			continue // unary codewords of random uint64s are impractical
+		}
+		for k := 0; k < 500; k++ {
+			i := r.Uint64()
+			if i == 0 {
+				i = 1
+			}
+			if err := RoundTrip(c, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Property: round trip holds for arbitrary values (quick-generated).
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range []Code{Gamma{}, Delta{}, Omega{}} {
+		c := c
+		f := func(i uint64) bool {
+			if i == 0 {
+				i = 1
+			}
+			return RoundTrip(c, i) == nil
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestPrefixFreeAllCodes(t *testing.T) {
+	for _, c := range All() {
+		limit := uint64(4096)
+		if c.Name() == "unary" {
+			limit = 512
+		}
+		if err := CheckPrefixFree(c, limit); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	for _, c := range All() {
+		limit := uint64(1 << 14)
+		if c.Name() == "unary" {
+			limit = 60
+		}
+		if s := KraftSum(c, limit); s > 1+1e-9 {
+			t.Errorf("%s: Kraft sum %.6f exceeds 1", c.Name(), s)
+		}
+	}
+}
+
+func TestCodeLengthOrdering(t *testing.T) {
+	// delta and omega beat gamma, and gamma beats unary, for large values.
+	// (Omega overtakes delta only beyond uint64 range — the paper itself
+	// notes omega "is not the most practical code"; its advantage is the
+	// asymptotic iterated-log length that Theorem 4.2 needs.)
+	i := uint64(1 << 40)
+	u, g, d, o := Unary{}.Len(i), Gamma{}.Len(i), Delta{}.Len(i), Omega{}.Len(i)
+	if d >= g || o >= g {
+		t.Errorf("expected delta(%d) and omega(%d) below gamma(%d)", d, o, g)
+	}
+	if g >= u {
+		t.Errorf("gamma length %d must beat unary %d", g, u)
+	}
+}
+
+func TestDecodeFromHolidayStream(t *testing.T) {
+	// For every holiday t, decoding the LSB-first stream of t must yield the
+	// unique color whose codeword matches t's low bits.
+	for _, c := range All() {
+		for tt := uint64(1); tt <= 300; tt++ {
+			got, err := c.Decode(NewIntReader(tt))
+			if err != nil {
+				// Legitimate when the unique matching color exceeds uint64
+				// (e.g. delta at t=128 matches the color with a 128-bit
+				// binary representation). No graph color is that large, so
+				// such holidays simply have no happy node.
+				if strings.Contains(err.Error(), "64-bit range") {
+					continue
+				}
+				t.Fatalf("%s: decode holiday %d: %v", c.Name(), tt, err)
+			}
+			enc := c.Encode(got)
+			period := uint64(1) << uint(enc.Len())
+			if enc.Len() > 63 {
+				continue
+			}
+			if tt%period != enc.Value() {
+				t.Fatalf("%s: holiday %d decoded to %d but t mod 2^%d = %d != residue %d",
+					c.Name(), tt, got, enc.Len(), tt%period, enc.Value())
+			}
+		}
+	}
+}
+
+func TestEncodeZeroPanics(t *testing.T) {
+	for _, c := range All() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Encode(0) must panic", c.Name())
+				}
+			}()
+			c.Encode(0)
+		}()
+	}
+}
+
+func TestDecodeTruncatedErrors(t *testing.T) {
+	for _, c := range All() {
+		enc := c.Encode(9)
+		var truncated Bits
+		for i := 0; i < enc.Len()-1; i++ {
+			truncated.Append(enc.Bit(i))
+		}
+		if _, err := c.Decode(NewBitsReader(truncated)); err == nil {
+			t.Errorf("%s: decoding truncated codeword must fail", c.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"unary", "gamma", "delta", "omega"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if _, err := ByName("huffman"); err == nil {
+		t.Error("unknown code name must error")
+	}
+}
+
+func TestPhiKnownValues(t *testing.T) {
+	if Phi(1) != 1 || Phi(0.5) != 1 {
+		t.Error("phi(x<=1) = 1")
+	}
+	if got := Phi(2); got != 2 {
+		t.Errorf("phi(2) = %v, want 2 (2 * phi(1))", got)
+	}
+	if got := Phi(4); got != 8 {
+		t.Errorf("phi(4) = %v, want 8 (4 * 2 * 1)", got)
+	}
+	if got := Phi(16); got != 128 {
+		t.Errorf("phi(16) = %v, want 128 (16 * 4 * 2)", got)
+	}
+	if got := Phi(65536); math.Abs(got-65536*16*4*2) > 1e-6 {
+		t.Errorf("phi(65536) = %v, want %v", got, 65536.0*16*4*2)
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	cases := map[float64]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 16: 3, 17: 4, 65536: 4, 65537: 5}
+	for x, want := range cases {
+		if got := LogStar(x); got != want {
+			t.Errorf("log*(%v) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestIterLog(t *testing.T) {
+	if got := IterLog(256, 0); got != 256 {
+		t.Errorf("log^(0) 256 = %v", got)
+	}
+	if got := IterLog(256, 1); got != 8 {
+		t.Errorf("log^(1) 256 = %v, want 8", got)
+	}
+	if got := IterLog(256, 2); got != 3 {
+		t.Errorf("log^(2) 256 = %v, want 3", got)
+	}
+}
+
+func TestRhoMatchesOmegaLength(t *testing.T) {
+	for i := uint64(1); i <= 5000; i++ {
+		if Rho(i) != (Omega{}).Encode(i).Len() {
+			t.Fatalf("rho(%d) = %d != |omega(%d)| = %d", i, Rho(i), i, Omega{}.Encode(i).Len())
+		}
+	}
+}
+
+// Theorem 4.2: the omega-schedule period 2^rho(c) is bounded by
+// 2^{1+log* c} * phi(c).
+func TestTheorem42PeriodBound(t *testing.T) {
+	for c := uint64(1); c <= 1<<16; c++ {
+		period := math.Exp2(float64(Rho(c)))
+		bound := PeriodUpperBound(c)
+		if period > bound*(1+1e-9) {
+			t.Fatalf("Theorem 4.2 violated at c=%d: period 2^%d = %g > bound %g",
+				c, Rho(c), period, bound)
+		}
+	}
+}
+
+func TestRhoUpperBound(t *testing.T) {
+	for c := uint64(2); c <= 1<<16; c *= 3 {
+		if float64(Rho(c)) > RhoUpperBound(c)+1e-9 {
+			t.Errorf("rho(%d) = %d exceeds estimate %v", c, Rho(c), RhoUpperBound(c))
+		}
+	}
+}
+
+// Theorem 4.1 flavor: the Kraft sum over omega codeword lengths stays <= 1,
+// i.e. periods 2^rho(c) satisfy the feasibility inequality sum 1/f(c) <= 1.
+func TestOmegaPeriodsFeasible(t *testing.T) {
+	sum := 0.0
+	for c := uint64(1); c <= 1<<16; c++ {
+		sum += math.Exp2(-float64(Rho(c)))
+	}
+	if sum > 1 {
+		t.Errorf("sum of 2^-rho(c) = %v exceeds 1", sum)
+	}
+}

@@ -1,0 +1,40 @@
+package prefixcode_test
+
+import (
+	"fmt"
+
+	"repro/internal/prefixcode"
+)
+
+// The Appendix B worked example: the Elias omega code of 9.
+func ExampleOmega() {
+	var omega prefixcode.Omega
+	fmt.Println(omega.Encode(9))
+	fmt.Println(omega.Len(9), "bits")
+	// Output:
+	// 1110010
+	// 7 bits
+}
+
+// A node with color c hosts at holidays t whose low bits spell ω(c)
+// LSB-first: t ≡ offset (mod 2^len).
+func ExampleBits_Value() {
+	var omega prefixcode.Omega
+	enc := omega.Encode(2) // "100"
+	period := 1 << enc.Len()
+	fmt.Printf("color 2 hosts at t ≡ %d (mod %d)\n", enc.Value(), period)
+	// Output:
+	// color 2 hosts at t ≡ 1 (mod 8)
+}
+
+// φ is the iterated-log product of Definition 4.1, the Theorem 4.1 lower
+// bound on any color-based period guarantee.
+func ExamplePhi() {
+	fmt.Println(prefixcode.Phi(16))              // 16 * 4 * 2 * 1
+	fmt.Println(prefixcode.LogStar(65536))       // 65536 -> 16 -> 4 -> 2 -> 1
+	fmt.Println(prefixcode.PeriodUpperBound(16)) // 2^(1+3) * 128
+	// Output:
+	// 128
+	// 4
+	// 2048
+}

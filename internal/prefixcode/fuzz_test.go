@@ -1,0 +1,80 @@
+package prefixcode
+
+import "testing"
+
+// FuzzRoundTrip checks encode/decode inversion and length consistency for
+// every code on arbitrary inputs. Seeds cover the paper's worked examples.
+func FuzzRoundTrip(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 9, 15, 16, 255, 256, 65535, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, i uint64) {
+		if i == 0 {
+			i = 1
+		}
+		for _, c := range []Code{Gamma{}, Delta{}, Omega{}} {
+			if err := RoundTrip(c, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i <= 1<<12 {
+			if err := RoundTrip(Unary{}, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// FuzzHolidayDecode checks that decoding the LSB-first stream of any
+// holiday number either identifies the unique matching color (its codeword
+// equals the low bits) or reports a 64-bit range overflow.
+func FuzzHolidayDecode(f *testing.F) {
+	for _, seed := range []uint64{1, 2, 7, 127, 128, 1 << 20} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, holiday uint64) {
+		if holiday == 0 {
+			holiday = 1
+		}
+		for _, c := range []Code{Gamma{}, Delta{}, Omega{}} {
+			color, err := c.Decode(NewIntReader(holiday))
+			if err != nil {
+				continue // matching color exceeds uint64: legitimate
+			}
+			enc := c.Encode(color)
+			if enc.Len() > 63 {
+				continue
+			}
+			period := uint64(1) << uint(enc.Len())
+			if holiday%period != enc.Value() {
+				t.Fatalf("%s: holiday %d decoded to color %d whose codeword does not match the low bits",
+					c.Name(), holiday, color)
+			}
+		}
+	})
+}
+
+// FuzzParseBits checks that Parse accepts exactly the strings over {0,1}
+// and round-trips through String.
+func FuzzParseBits(f *testing.F) {
+	f.Add("0101")
+	f.Add("")
+	f.Add("1111111111111111111111111111111111111111111111111111111111111111111")
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := Parse(s)
+		for _, ch := range []byte(s) {
+			if ch != '0' && ch != '1' {
+				if err == nil {
+					t.Fatalf("Parse(%q) accepted a non-bit character", s)
+				}
+				return
+			}
+		}
+		if err != nil {
+			t.Fatalf("Parse(%q) rejected a valid bit string: %v", s, err)
+		}
+		if b.String() != s {
+			t.Fatalf("round trip %q -> %q", s, b.String())
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package prefixcode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KraftSum returns Σ_{i=1}^{maxI} 2^{-Len(i)} for the code. A prefix-free
+// code always satisfies KraftSum ≤ 1 (Kraft's inequality); the proof of
+// Theorem 4.1 is exactly this inequality applied to scheduling periods.
+func KraftSum(c Code, maxI uint64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= maxI; i++ {
+		sum += math.Exp2(-float64(c.Len(i)))
+	}
+	return sum
+}
+
+// CheckPrefixFree verifies that no codeword of c for values 1..maxI is a
+// prefix of another, returning a descriptive error for the first violation.
+// This is the property that makes the §4 scheduler emit independent sets.
+func CheckPrefixFree(c Code, maxI uint64) error {
+	type cw struct {
+		val uint64
+		s   string
+	}
+	words := make([]cw, 0, maxI)
+	for i := uint64(1); i <= maxI; i++ {
+		words = append(words, cw{i, c.Encode(i).String()})
+	}
+	sort.Slice(words, func(a, b int) bool { return words[a].s < words[b].s })
+	for k := 1; k < len(words); k++ {
+		prev, cur := words[k-1], words[k]
+		if len(prev.s) <= len(cur.s) && cur.s[:len(prev.s)] == prev.s {
+			return fmt.Errorf("prefixcode: %s(%d)=%s is a prefix of %s(%d)=%s",
+				c.Name(), prev.val, prev.s, c.Name(), cur.val, cur.s)
+		}
+	}
+	return nil
+}
+
+// RoundTrip encodes i and decodes it back, returning an error on mismatch.
+// Used by tests and the self-check harness.
+func RoundTrip(c Code, i uint64) error {
+	enc := c.Encode(i)
+	got, err := c.Decode(NewBitsReader(enc))
+	if err != nil {
+		return fmt.Errorf("prefixcode: %s(%d) decode failed: %w", c.Name(), i, err)
+	}
+	if got != i {
+		return fmt.Errorf("prefixcode: %s(%d) round-tripped to %d", c.Name(), i, got)
+	}
+	if enc.Len() != c.Len(i) {
+		return fmt.Errorf("prefixcode: %s(%d) Len()=%d but encoding has %d bits",
+			c.Name(), i, c.Len(i), enc.Len())
+	}
+	return nil
+}

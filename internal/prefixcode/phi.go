@@ -1,0 +1,72 @@
+package prefixcode
+
+import (
+	"math"
+)
+
+// Phi evaluates the paper's Definition 4.1:
+//
+//	φ(i) = 1            for i <= 1
+//	φ(i) = i · φ(log i) for i > 1
+//
+// i.e. φ(i) = i · log i · log log i · … down to 1, with logs base 2. This is
+// the Cauchy-condensation frontier of Theorem 4.1: any color-based schedule
+// must have period f(c) ∈ Ω(φ(c)).
+func Phi(x float64) float64 {
+	product := 1.0
+	for x > 1 {
+		product *= x
+		x = math.Log2(x)
+	}
+	return product
+}
+
+// LogStar returns log* x: the number of times log₂ must be iterated,
+// starting from x, before the value drops to at most 1. LogStar(1) = 0,
+// LogStar(2) = 1, LogStar(4) = 2, LogStar(16) = 3, LogStar(65536) = 4.
+func LogStar(x float64) int {
+	n := 0
+	for x > 1 {
+		x = math.Log2(x)
+		n++
+	}
+	return n
+}
+
+// IterLog returns log^(k) x, the k-fold iterated base-2 logarithm
+// (IterLog(x, 0) = x).
+func IterLog(x float64, k int) float64 {
+	for ; k > 0; k-- {
+		x = math.Log2(x)
+	}
+	return x
+}
+
+// Rho returns ρ(i), the exact bit length of the Elias omega codeword of i
+// (Properties 1.2 in Appendix B). The paper states the recursion as
+// rb(i) = ⌈log i⌉ + rb(⌈log i⌉ − 1) with ⌈log i⌉ read as the bit count
+// |B(i)| = ⌊log i⌋ + 1; with that reading the closed form coincides exactly
+// with the codeword length, which is what this function computes.
+func Rho(i uint64) int { return Omega{}.Len(i) }
+
+// RhoUpperBound returns the Theorem 4.2 estimate
+// 1 + log* c + Σ_{i=1}^{log* c} log^(i) c, which upper-bounds ρ(c).
+func RhoUpperBound(c uint64) float64 {
+	x := float64(c)
+	ls := LogStar(x)
+	sum := 1.0 + float64(ls)
+	v := x
+	for i := 1; i <= ls; i++ {
+		v = math.Log2(v)
+		sum += v
+	}
+	return sum
+}
+
+// PeriodUpperBound returns the Theorem 4.2 period bound
+// 2^{1 + log* c} · φ(c) for a node colored c under the omega-code schedule.
+// The realized period is exactly 2^ρ(c) and never exceeds this bound.
+func PeriodUpperBound(c uint64) float64 {
+	x := float64(c)
+	return math.Exp2(1+float64(LogStar(x))) * Phi(x)
+}

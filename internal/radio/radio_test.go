@@ -1,0 +1,112 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/prefixcode"
+)
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork(120, 0.12, 5)
+	if nw.G.N() != 120 || len(nw.Points) != 120 {
+		t.Fatal("network construction broken")
+	}
+	return nw
+}
+
+func TestRunDegreeBoundNoCollisions(t *testing.T) {
+	nw := testNetwork(t)
+	rep := nw.Run(core.NewDegreeBoundSequential(nw.G), 2000)
+	if rep.Collisions != 0 {
+		t.Fatalf("degree-bound schedule caused %d collisions", rep.Collisions)
+	}
+	// Periodic: radios sleep between slots, so awake == transmissions.
+	for v := 0; v < nw.G.N(); v++ {
+		if rep.AwakeSlots[v] != rep.Transmissions[v] {
+			t.Fatalf("radio %d awake %d != tx %d under a periodic schedule",
+				v, rep.AwakeSlots[v], rep.Transmissions[v])
+		}
+	}
+	if rep.MeanAwakePerTx < 0.99 || rep.MeanAwakePerTx > 1.01 {
+		t.Errorf("periodic energy cost %.3f, want 1.0", rep.MeanAwakePerTx)
+	}
+}
+
+func TestRunPhasedGreedyStaysAwake(t *testing.T) {
+	nw := testNetwork(t)
+	col := coloring.Greedy(nw.G, coloring.IdentityOrder(nw.G.N()))
+	pg, err := core.NewPhasedGreedy(nw.G, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Run(pg, 500)
+	if rep.Collisions != 0 {
+		t.Fatalf("phased greedy caused %d collisions", rep.Collisions)
+	}
+	for v := 0; v < nw.G.N(); v++ {
+		if rep.AwakeSlots[v] != 500 {
+			t.Fatalf("radio %d awake %d slots under non-periodic schedule, want all 500", v, rep.AwakeSlots[v])
+		}
+	}
+	if rep.MeanAwakePerTx <= 1.01 {
+		t.Error("non-periodic schedules must pay an energy premium over 1 awake slot per tx")
+	}
+}
+
+func TestThroughputMatchesPeriods(t *testing.T) {
+	nw := testNetwork(t)
+	db := core.NewDegreeBoundSequential(nw.G)
+	slots := int64(4096)
+	rep := nw.Run(db, slots)
+	for v := 0; v < nw.G.N(); v++ {
+		want := 1 / float64(db.Period(v))
+		if diff := rep.Throughput[v] - want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("radio %d throughput %.4f, want %.4f", v, rep.Throughput[v], want)
+		}
+	}
+}
+
+func TestFairnessOrdering(t *testing.T) {
+	// Degree-bound normalizes shares to the local fair share, so its Jain
+	// index must beat round-robin's on a degree-skewed network.
+	nw := testNetwork(t)
+	db := core.NewDegreeBoundSequential(nw.G)
+	dbRep := nw.Run(db, 4096)
+
+	col := coloring.Greedy(nw.G, coloring.IdentityOrder(nw.G.N()))
+	rr, err := core.NewRoundRobin(nw.G, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrRep := nw.Run(rr, 4096)
+	if dbRep.Fairness <= rrRep.Fairness {
+		t.Errorf("degree-bound fairness %.3f should beat round-robin %.3f",
+			dbRep.Fairness, rrRep.Fairness)
+	}
+}
+
+func TestColorBoundOnRadioNetwork(t *testing.T) {
+	nw := testNetwork(t)
+	col := coloring.SmallestLast(nw.G)
+	cb, err := core.NewColorBound(nw.G, col, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Run(cb, 2000)
+	if rep.Collisions != 0 {
+		t.Fatalf("color-bound schedule caused %d collisions", rep.Collisions)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	nw := NewNetwork(20, 0.2, 9)
+	rep := nw.Run(core.NewDegreeBoundSequential(nw.G), 64)
+	s := rep.String()
+	if !strings.Contains(s, "degree-bound") || !strings.Contains(s, "collisions=0") {
+		t.Errorf("summary %q missing fields", s)
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v, want sqrt(2.5)", s.Stddev)
+	}
+	if s.P50 != 3 {
+		t.Errorf("median = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.P99 != 7 || s.Stddev != 0 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{2, 4, 6})
+	if s.Mean != 4 || s.Min != 2 || s.Max != 6 {
+		t.Errorf("int summary = %+v", s)
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	// Sorted {0, 10}: the 25% quantile interpolates to 2.5.
+	got := Percentile([]float64{10, 0}, 0.25)
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("P25 = %v, want 2.5", got)
+	}
+}
+
+// Property: Min <= P50 <= Max and Min <= Mean <= Max for any input.
+func TestSummaryOrderingQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip pathological magnitudes whose sum overflows float64;
+			// Summarize does not promise finite-arithmetic rescue there.
+			if math.IsNaN(x) || math.Abs(x) > 1e300/float64(len(xs)+1) {
+				return true
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 9.99, 10, -1, 11} {
+		h.Add(x)
+	}
+	if h.Outside != 2 {
+		t.Errorf("outside = %d, want 2", h.Outside)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+	if h.Counts[0] != 2 { // 0 and 1 fall in [0,2)
+		t.Errorf("bucket 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[4] != 2 { // 9.99 and the boundary value 10
+		t.Errorf("bucket 4 = %d, want 2", h.Counts[4])
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram must panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestJainFairness(t *testing.T) {
+	if f := JainFairness([]float64{1, 1, 1, 1}); math.Abs(f-1) > 1e-12 {
+		t.Errorf("equal shares fairness = %v, want 1", f)
+	}
+	if f := JainFairness([]float64{1, 0, 0, 0}); math.Abs(f-0.25) > 1e-12 {
+		t.Errorf("single-winner fairness = %v, want 0.25", f)
+	}
+	if f := JainFairness(nil); f != 1 {
+		t.Errorf("empty fairness = %v, want 1", f)
+	}
+	if f := JainFairness([]float64{0, 0}); f != 1 {
+		t.Errorf("all-zero fairness = %v, want 1", f)
+	}
+}

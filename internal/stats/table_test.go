@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "node", "degree", "bound")
+	tb.Note = "Theorem X"
+	tb.AddRow(0, 3, 4.0)
+	tb.AddRow(1, 10, 0.123456)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "Theorem X", "node", "degree", "bound", "0.1235"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + note + header + separator + 2 rows
+	if len(lines) != 6 {
+		t.Errorf("got %d lines, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", 1)
+	tb.AddRow("y", 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\ny,2\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableAddRowFormats(t *testing.T) {
+	tb := NewTable("t", "c")
+	tb.AddRow(float32(2.5))
+	tb.AddRow("plain")
+	tb.AddRow(int64(9))
+	if tb.Rows[0][0] != "2.5" || tb.Rows[1][0] != "plain" || tb.Rows[2][0] != "9" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
