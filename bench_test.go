@@ -1,6 +1,7 @@
-// Benchmark harness: one benchmark per experiment (E1–E14, the reproduction
+// Benchmark harness: one benchmark per experiment (E1–E18, the reproduction
 // of every claim in the paper — see DESIGN.md §5 and EXPERIMENTS.md), plus
-// micro-benchmarks of the performance-critical primitives. Run with
+// micro-benchmarks of the performance-critical primitives and the
+// sequential-vs-parallel analysis engine comparison. Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -217,6 +218,76 @@ func BenchmarkAnalyzePeriodicClosedForm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.AnalyzePeriodic(db, g, 4096)
+	}
+}
+
+// --- analysis-engine benchmarks ---
+//
+// The E-scale workload below matches the full-size experiment instances
+// (n≈2048, horizon≈8192). BenchmarkAnalyzeParallelEScale shards the horizon
+// across GOMAXPROCS workers and checks independence via word-packed
+// bitsets; with GOMAXPROCS ≥ 4 it runs ≥ 2× faster than
+// BenchmarkAnalyzeSequentialEScale while producing an identical Report
+// (asserted by TestAnalyzeParallelMatchesAnalyze and the property tests in
+// internal/engine).
+
+const (
+	eScaleNodes   = 2048
+	eScaleHorizon = 8192
+)
+
+func eScaleGraph() *graph.Graph { return graph.GNP(eScaleNodes, 8.0/eScaleNodes, 12) }
+
+func BenchmarkAnalyzeSequentialEScale(b *testing.B) {
+	g := eScaleGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := holiday.Analyze(core.NewDegreeBoundSequential(g), g, eScaleHorizon)
+		if rep.IndependenceViolations != 0 {
+			b.Fatal("independence violated")
+		}
+	}
+}
+
+func BenchmarkAnalyzeParallelEScale(b *testing.B) {
+	g := eScaleGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := holiday.AnalyzeParallel(core.NewDegreeBoundSequential(g), g, eScaleHorizon)
+		if rep.IndependenceViolations != 0 {
+			b.Fatal("independence violated")
+		}
+	}
+}
+
+func BenchmarkAnalyzeParallelColorBoundEScale(b *testing.B) {
+	g := eScaleGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := holiday.New(g, holiday.ColorBound)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep := holiday.AnalyzeParallel(s, g, eScaleHorizon); rep.IndependenceViolations != 0 {
+			b.Fatal("independence violated")
+		}
+	}
+}
+
+func BenchmarkRunBatchEScale(b *testing.B) {
+	jobs := make([]holiday.BatchJob, 8)
+	for i := range jobs {
+		jobs[i] = holiday.BatchJob{
+			Graph:   graph.GNP(eScaleNodes/4, 32.0/eScaleNodes, uint64(20+i)),
+			Algo:    holiday.PhasedGreedy,
+			Horizon: eScaleHorizon / 4,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := holiday.RunBatch(jobs); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 // Command bench regenerates every experiment table of the reproduction
-// (E1–E14 in DESIGN.md/EXPERIMENTS.md), printing them to stdout and
-// optionally writing per-experiment .txt and .csv files.
+// (E1–E18 in EXPERIMENTS.md; layout in DESIGN.md §5), printing them to
+// stdout and optionally writing per-experiment .txt and .csv files.
+// Experiments run concurrently on the analysis engine's worker pool and
+// each experiment's scheduler runs take the engine's sharded/bitset hot
+// paths, so full-workload regeneration uses every core.
 //
 // Usage:
 //
@@ -8,9 +11,11 @@
 //	bench -quick          # CI-sized workloads
 //	bench -out results/   # also write results/E1.txt, results/E1.csv, …
 //	bench -run E3,E12     # only selected experiments
+//	bench -workers 4      # cap the experiment-level worker pool
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,16 +23,18 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "use reduced workload sizes")
-		seed   = flag.Uint64("seed", 1, "random seed for all workloads")
-		outDir = flag.String("out", "", "directory for per-experiment .txt/.csv output")
-		run    = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+		quick   = flag.Bool("quick", false, "use reduced workload sizes")
+		seed    = flag.Uint64("seed", 1, "random seed for all workloads")
+		outDir  = flag.String("out", "", "directory for per-experiment .txt/.csv output")
+		run     = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
+		workers = flag.Int("workers", 0, "concurrent experiments (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -43,27 +50,57 @@ func main() {
 			fatal(err)
 		}
 	}
-	start := time.Now()
-	count := 0
+	var chosen []experiments.Experiment
+	known := map[string]bool{}
 	for _, exp := range experiments.Registry() {
-		if len(selected) > 0 && !selected[exp.ID] {
-			continue
+		known[exp.ID] = true
+		if len(selected) == 0 || selected[exp.ID] {
+			chosen = append(chosen, exp)
 		}
-		count++
+	}
+	for id := range selected {
+		if !known[id] {
+			fatal(fmt.Errorf("unknown experiment id %q (valid: E1–E18)", id))
+		}
+	}
+
+	// Experiments run concurrently on the engine pool, but results stream
+	// to stdout (and -out files) in registry order as soon as each
+	// experiment's turn comes up, so a long or crashing run still shows
+	// everything finished before it.
+	start := time.Now()
+	type result struct {
+		table   *stats.Table
+		elapsed time.Duration
+	}
+	results := make([]result, len(chosen))
+	ready := make([]chan struct{}, len(chosen))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	go engine.ForEach(len(chosen), *workers, func(i int) {
 		t0 := time.Now()
-		tb := exp.Run(cfg)
-		fmt.Printf("# %s — %s (%.2fs)\n", exp.ID, exp.Desc, time.Since(t0).Seconds())
-		if err := tb.Render(os.Stdout); err != nil {
+		results[i] = result{chosen[i].Run(cfg), time.Since(t0)}
+		close(ready[i])
+	})
+	for i, exp := range chosen {
+		<-ready[i]
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "# %s — %s (%.2fs)\n", exp.ID, exp.Desc, results[i].elapsed.Seconds())
+		if err := results[i].table.Render(&buf); err != nil {
 			fatal(err)
 		}
-		fmt.Println()
+		buf.WriteByte('\n')
+		if _, err := buf.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
 		if *outDir != "" {
-			if err := writeFiles(*outDir, exp.ID, tb); err != nil {
+			if err := writeFiles(*outDir, exp.ID, results[i].table); err != nil {
 				fatal(err)
 			}
 		}
 	}
-	fmt.Printf("ran %d experiments in %.2fs\n", count, time.Since(start).Seconds())
+	fmt.Printf("ran %d experiments in %.2fs\n", len(chosen), time.Since(start).Seconds())
 }
 
 func writeFiles(dir, id string, tb *stats.Table) error {

@@ -15,7 +15,6 @@ import (
 	"sort"
 
 	holiday "repro"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -97,7 +96,9 @@ func printPlan(s holiday.Scheduler, years int64) {
 }
 
 func printStats(s holiday.Scheduler, g *graph.Graph, years int64) {
-	rep := core.Analyze(s, g, years)
+	// The engine shards periodic schedulers across cores and uses bitset
+	// independence checks; output is identical to sequential analysis.
+	rep := holiday.AnalyzeParallel(s, g, years)
 	tb := stats.NewTable("per-degree wait statistics",
 		"degree", "families", "max unhappy run", "max gap", "mean gap")
 	type agg struct {

@@ -1,0 +1,78 @@
+// Facade-level tests of the concurrent analysis engine: the public
+// AnalyzeParallel and RunBatch must reproduce sequential Analyze exactly
+// for every algorithm the facade exposes.
+package holiday_test
+
+import (
+	"reflect"
+	"testing"
+
+	holiday "repro"
+	"repro/internal/graph"
+)
+
+// TestAnalyzeParallelMatchesAnalyze asserts byte-identical Reports between
+// the sequential and parallel analysis paths for every facade algorithm.
+func TestAnalyzeParallelMatchesAnalyze(t *testing.T) {
+	g := graph.GNP(96, 0.06, 4)
+	const horizon = 512
+	for _, algo := range holiday.Algorithms() {
+		seq, err := holiday.New(g, algo, holiday.WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		par, err := holiday.New(g, algo, holiday.WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		want := holiday.Analyze(seq, g, horizon)
+		got := holiday.AnalyzeParallel(par, g, horizon)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: parallel report differs from sequential", algo)
+		}
+	}
+}
+
+func TestRunBatchMatchesAnalyze(t *testing.T) {
+	var jobs []holiday.BatchJob
+	graphs := []*graph.Graph{
+		graph.GNP(64, 0.08, 6),
+		graph.Cycle(50),
+		graph.Star(20),
+	}
+	for _, g := range graphs {
+		for _, algo := range []holiday.Algorithm{holiday.DegreeBound, holiday.PhasedGreedy, holiday.FirstGrab} {
+			jobs = append(jobs, holiday.BatchJob{
+				Graph: g, Algo: algo, Opts: []holiday.Option{holiday.WithSeed(9)}, Horizon: 300,
+			})
+		}
+	}
+	got, err := holiday.RunBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		s, err := holiday.New(j.Graph, j.Algo, j.Opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := holiday.Analyze(s, j.Graph, j.Horizon)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("job %d (%s): batch report differs from sequential", i, j.Algo)
+		}
+	}
+}
+
+func TestRunBatchBadAlgorithm(t *testing.T) {
+	g := graph.Cycle(8)
+	got, err := holiday.RunBatch([]holiday.BatchJob{
+		{Graph: g, Algo: holiday.Algorithm("no-such"), Horizon: 8},
+		{Graph: g, Algo: holiday.DegreeBound, Horizon: 8},
+	})
+	if err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+	if got[0] != nil || got[1] == nil {
+		t.Fatalf("want [nil, report], got [%v, %v]", got[0], got[1])
+	}
+}

@@ -24,6 +24,12 @@
 //	for year := 1; year <= 4; year++ {
 //	    fmt.Println(year, c.Names(s.Next()))
 //	}
+//
+// Analyze measures realized waits over a horizon; AnalyzeParallel and
+// RunBatch run the same analysis on the concurrent engine (horizon sharding
+// for periodic schedulers, batch fan-out for stateful ones, word-packed
+// bitset independence checks) with byte-identical Reports. See README.md,
+// DESIGN.md §4, and EXPERIMENTS.md.
 package holiday
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/prefixcode"
 )
@@ -149,6 +156,48 @@ func New(g *Graph, algo Algorithm, opts ...Option) (Scheduler, error) {
 // every happy set is independent and collecting per-family gap statistics.
 func Analyze(s Scheduler, g *Graph, holidays int64) *Report {
 	return core.Analyze(s, g, holidays)
+}
+
+// AnalyzeParallel is Analyze on the concurrent engine: byte-identical
+// Reports, but perfectly periodic schedulers (ColorBound, DegreeBound,
+// RoundRobin) are sharded across all cores by holiday range, and
+// independence checks use word-packed bitsets on graphs small enough for
+// the n²/8-byte adjacency matrix. Non-periodic schedulers fall back to a
+// bitset-accelerated sequential pass; parallelize those across runs with
+// RunBatch instead. When the periodic fast path engages, s is not advanced.
+func AnalyzeParallel(s Scheduler, g *Graph, holidays int64) *Report {
+	return engine.Analyze(s, g, holidays, engine.Options{})
+}
+
+// BatchJob describes one scheduler run for RunBatch: algorithm algo over
+// graph G for Horizon holidays, configured by Opts as in New.
+type BatchJob struct {
+	// Graph is the conflict graph to schedule.
+	Graph *Graph
+	// Algo selects the scheduling algorithm, as in New.
+	Algo Algorithm
+	// Opts configures the scheduler, as in New.
+	Opts []Option
+	// Horizon is the number of holidays to analyze.
+	Horizon int64
+}
+
+// RunBatch analyzes every job concurrently across GOMAXPROCS workers and
+// returns the reports in job order. This is the engine's second parallel
+// axis: experiments that sweep many (graph, algorithm, seed) combinations
+// scale across cores even when each individual scheduler is stateful. A
+// scheduler-construction failure leaves a nil report in that job's slot and
+// is returned as the error after every other job has finished.
+func RunBatch(jobs []BatchJob) ([]*Report, error) {
+	ejobs := make([]engine.Job, len(jobs))
+	for i, j := range jobs {
+		ejobs[i] = engine.Job{
+			Graph:   j.Graph,
+			New:     func() (Scheduler, error) { return New(j.Graph, j.Algo, j.Opts...) },
+			Horizon: j.Horizon,
+		}
+	}
+	return engine.RunBatch(ejobs, engine.Options{})
 }
 
 // GreedyColoring returns the default proper, degree-bounded coloring used

@@ -39,51 +39,22 @@ type Report struct {
 // verifying the independence invariant every holiday and collecting per-node
 // gap statistics.
 func Analyze(s Scheduler, g *graph.Graph, horizon int64) *Report {
-	n := g.N()
-	rep := &Report{Scheduler: s.Name(), Horizon: horizon, Nodes: make([]NodeReport, n)}
-	lastHappy := make([]int64, n)
-	var sumGaps []int64 = make([]int64, n)
-	var numGaps []int64 = make([]int64, n)
-	for v := 0; v < n; v++ {
-		rep.Nodes[v] = NodeReport{Node: v, Degree: g.Degree(v)}
-	}
+	return AnalyzeChecked(s, g, horizon, g.IsIndependent)
+}
+
+// AnalyzeChecked is Analyze with a pluggable independence check: indep must
+// agree with g.IsIndependent but may be faster (the engine passes a
+// word-packed graph.AdjacencyBits checker). The accumulation runs through
+// the same Partial machinery the parallel engine shards, so every analysis
+// path produces identical Reports.
+func AnalyzeChecked(s Scheduler, g *graph.Graph, horizon int64, indep func([]int) bool) *Report {
+	p := NewPartial(g.N(), 1, horizon)
 	for t := int64(1); t <= horizon; t++ {
-		happy := s.Next()
-		if len(happy) == 0 {
-			rep.EmptyHolidays++
-		}
-		if !g.IsIndependent(happy) {
-			rep.IndependenceViolations++
-		}
-		for _, v := range happy {
-			nr := &rep.Nodes[v]
-			run := t - lastHappy[v] - 1 // unhappy holidays since last happiness
-			if run > nr.MaxUnhappyRun {
-				nr.MaxUnhappyRun = run
-			}
-			if nr.HappyCount > 0 {
-				gap := t - lastHappy[v]
-				if gap > nr.MaxGap {
-					nr.MaxGap = gap
-				}
-				sumGaps[v] += gap
-				numGaps[v]++
-			} else {
-				nr.FirstHappy = t
-			}
-			nr.HappyCount++
-			lastHappy[v] = t
-		}
+		p.Observe(t, s.Next(), indep)
 	}
-	for v := 0; v < n; v++ {
-		nr := &rep.Nodes[v]
-		// Trailing partial run of unhappiness.
-		if run := horizon - lastHappy[v]; run > nr.MaxUnhappyRun {
-			nr.MaxUnhappyRun = run
-		}
-		if numGaps[v] > 0 {
-			nr.MeanGap = float64(sumGaps[v]) / float64(numGaps[v])
-		}
+	rep, err := p.Finalize(s.Name(), g)
+	if err != nil {
+		panic(err) // unreachable: the partial covers [1, horizon] over g's nodes
 	}
 	return rep
 }

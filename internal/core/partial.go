@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Partial accumulates the per-node gap statistics of Analyze over a
+// contiguous holiday range [Lo, Hi]. Partials over adjacent ranges merge
+// associatively, which is what lets the analysis engine split a horizon
+// across workers: each shard observes its own holidays, then the shards are
+// merged left-to-right and finalized into a Report that is byte-identical
+// to a single sequential pass.
+type Partial struct {
+	// Lo and Hi delimit the inclusive holiday range this partial covers.
+	Lo, Hi int64
+
+	nodes      []partialNode
+	empty      int64 // holidays in range with no happy node
+	violations int64 // holidays in range whose happy set induced an edge
+}
+
+// partialNode is one node's statistics restricted to the partial's range.
+type partialNode struct {
+	happyCount int64
+	firstHappy int64 // first happy holiday in range, 0 if none
+	lastHappy  int64 // last happy holiday in range, 0 if none
+	innerRun   int64 // longest unhappy run strictly between in-range happy holidays
+	maxGap     int64
+	sumGaps    int64
+	numGaps    int64
+}
+
+// NewPartial returns an empty partial for n nodes over holidays [lo, hi].
+func NewPartial(n int, lo, hi int64) *Partial {
+	return &Partial{Lo: lo, Hi: hi, nodes: make([]partialNode, n)}
+}
+
+// Observe records one holiday's happy set. t must progress strictly
+// upward within [Lo, Hi] across calls; indep is the independence check
+// (Graph.IsIndependent or a bitset-backed equivalent).
+func (p *Partial) Observe(t int64, happy []int, indep func([]int) bool) {
+	if len(happy) == 0 {
+		p.empty++
+	}
+	if !indep(happy) {
+		p.violations++
+	}
+	for _, v := range happy {
+		pn := &p.nodes[v]
+		if pn.happyCount > 0 {
+			gap := t - pn.lastHappy
+			if gap > pn.maxGap {
+				pn.maxGap = gap
+			}
+			if run := gap - 1; run > pn.innerRun {
+				pn.innerRun = run
+			}
+			pn.sumGaps += gap
+			pn.numGaps++
+		} else {
+			pn.firstHappy = t
+		}
+		pn.happyCount++
+		pn.lastHappy = t
+	}
+}
+
+// Merge absorbs next, which must cover the range immediately following p
+// (next.Lo == p.Hi+1) over the same node count. Gaps that straddle the
+// boundary are accounted for here, so merging is exactly equivalent to
+// having observed both ranges in one pass.
+func (p *Partial) Merge(next *Partial) error {
+	if next.Lo != p.Hi+1 {
+		return fmt.Errorf("core: merging non-adjacent partials [%d,%d] and [%d,%d]",
+			p.Lo, p.Hi, next.Lo, next.Hi)
+	}
+	if len(next.nodes) != len(p.nodes) {
+		return fmt.Errorf("core: merging partials over %d and %d nodes",
+			len(p.nodes), len(next.nodes))
+	}
+	for v := range p.nodes {
+		a, b := &p.nodes[v], &next.nodes[v]
+		switch {
+		case b.happyCount == 0:
+			// Nothing to bridge; a already holds the combined statistics.
+		case a.happyCount == 0:
+			*a = *b
+		default:
+			gap := b.firstHappy - a.lastHappy
+			if gap > a.maxGap {
+				a.maxGap = gap
+			}
+			if b.maxGap > a.maxGap {
+				a.maxGap = b.maxGap
+			}
+			run := gap - 1
+			if b.innerRun > run {
+				run = b.innerRun
+			}
+			if run > a.innerRun {
+				a.innerRun = run
+			}
+			a.sumGaps += gap + b.sumGaps
+			a.numGaps += 1 + b.numGaps
+			a.happyCount += b.happyCount
+			a.lastHappy = b.lastHappy
+		}
+	}
+	p.empty += next.empty
+	p.violations += next.violations
+	p.Hi = next.Hi
+	return nil
+}
+
+// Finalize converts the partial into a full Report. The partial must cover
+// a complete horizon starting at holiday 1; the leading and trailing
+// partial runs of unhappiness are added here.
+func (p *Partial) Finalize(scheduler string, g *graph.Graph) (*Report, error) {
+	if p.Lo != 1 {
+		return nil, fmt.Errorf("core: finalizing partial starting at holiday %d, want 1", p.Lo)
+	}
+	if len(p.nodes) != g.N() {
+		return nil, fmt.Errorf("core: partial over %d nodes, graph has %d", len(p.nodes), g.N())
+	}
+	rep := &Report{
+		Scheduler:              scheduler,
+		Horizon:                p.Hi,
+		Nodes:                  make([]NodeReport, len(p.nodes)),
+		EmptyHolidays:          p.empty,
+		IndependenceViolations: p.violations,
+	}
+	for v := range p.nodes {
+		pn := &p.nodes[v]
+		nr := &rep.Nodes[v]
+		nr.Node, nr.Degree = v, g.Degree(v)
+		nr.HappyCount = pn.happyCount
+		nr.FirstHappy = pn.firstHappy
+		nr.MaxGap = pn.maxGap
+		nr.MaxUnhappyRun = pn.innerRun
+		if lead := pn.firstHappy - 1; pn.happyCount > 0 && lead > nr.MaxUnhappyRun {
+			nr.MaxUnhappyRun = lead
+		}
+		if trail := p.Hi - pn.lastHappy; trail > nr.MaxUnhappyRun {
+			nr.MaxUnhappyRun = trail // lastHappy is 0 when never happy: run = Hi
+		}
+		if pn.numGaps > 0 {
+			nr.MeanGap = float64(pn.sumGaps) / float64(pn.numGaps)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,248 @@
+// Package engine is the concurrent batch analysis subsystem: it runs
+// schedulers over long horizons on large conflict graphs using every core
+// and a word-packed bitset hot path, producing Reports byte-identical to
+// the sequential core.Analyze.
+//
+// Two axes of parallelism cover the repo's workloads (DESIGN.md §4):
+//
+//   - Horizon sharding. A perfectly periodic scheduler (core.Periodic)
+//     fixes each node's happy holidays in closed form, so a horizon splits
+//     into contiguous shards that workers analyze independently; the
+//     per-shard core.Partial statistics merge associatively back into one
+//     Report. Stateful schedulers cannot be split this way and fall back
+//     to a single-threaded pass (still bitset-accelerated).
+//
+//   - Batch fan-out. An experiment's many (graph, algorithm, seed) runs are
+//     independent, so RunBatch spreads whole analyses across a worker pool.
+//
+// Independence checks use graph.AdjacencyBits — O(n/64) word AND scans per
+// happy node instead of adjacency-list walks with a per-holiday hash map —
+// whenever the graph is small enough that the n²/8-byte matrix is cheap.
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// DefaultBitsetNodeLimit is the largest node count for which Options zero
+// value builds an AdjacencyBits matrix (n²/8 bytes: 8 MiB at the limit).
+const DefaultBitsetNodeLimit = 1 << 13
+
+// minShardedHorizon is the horizon below which sharding overhead outweighs
+// the parallel win and Analyze stays sequential.
+const minShardedHorizon = 256
+
+// minBitsetHorizon is the horizon below which building the n²/8-byte
+// adjacency matrix costs more than the independence checks it accelerates.
+const minBitsetHorizon = 128
+
+// Options configures the engine. The zero value means: one worker per
+// GOMAXPROCS, bitset checks up to DefaultBitsetNodeLimit nodes.
+type Options struct {
+	// Workers is the number of concurrent workers; 0 means GOMAXPROCS.
+	Workers int
+	// BitsetNodeLimit is the largest graph (node count) for which the
+	// engine builds a packed adjacency matrix for independence checks;
+	// 0 means DefaultBitsetNodeLimit, negative disables bitsets entirely.
+	BitsetNodeLimit int
+}
+
+// workers resolves the effective worker count (≥ 1).
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// checkerFactory returns a function minting per-worker independence checks
+// for g: bitset-backed when the graph is within the configured limit and
+// the horizon amortizes the matrix construction, otherwise the
+// adjacency-list check shared by all workers.
+func (o Options) checkerFactory(g *graph.Graph, horizon int64) func() func([]int) bool {
+	limit := o.BitsetNodeLimit
+	if limit == 0 {
+		limit = DefaultBitsetNodeLimit
+	}
+	if limit < 0 || g.N() > limit || horizon < minBitsetHorizon {
+		return func() func([]int) bool { return g.IsIndependent }
+	}
+	bits := graph.NewAdjacencyBits(g)
+	return bits.Checker // one scratch buffer per worker
+}
+
+// Analyze produces the same Report as core.Analyze(s, g, horizon) using the
+// engine's hot paths. Periodic schedulers are analyzed by horizon sharding
+// across workers without ever calling Next (their schedule is reconstructed
+// from Period/Offset, which the core.Periodic contract guarantees matches
+// Next exactly); other schedulers run sequentially with bitset independence
+// checks. In the sharded path s is left unadvanced.
+func Analyze(s core.Scheduler, g *graph.Graph, horizon int64, opts Options) *core.Report {
+	newChecker := opts.checkerFactory(g, horizon)
+	w := opts.workers()
+	if p, ok := s.(core.Periodic); ok && w > 1 && horizon >= minShardedHorizon {
+		return analyzePeriodicSharded(p, g, horizon, w, newChecker)
+	}
+	return core.AnalyzeChecked(s, g, horizon, newChecker())
+}
+
+// analyzePeriodicSharded splits [1, horizon] into one contiguous shard per
+// worker, rebuilds each shard's holiday-by-holiday happy sets from the
+// periodic closed form, accumulates a core.Partial per shard concurrently,
+// and merges the partials in order.
+func analyzePeriodicSharded(p core.Periodic, g *graph.Graph, horizon int64, workers int,
+	newChecker func() func([]int) bool) *core.Report {
+	n := g.N()
+	if int64(workers) > horizon {
+		workers = int(horizon)
+	}
+	parts := make([]*core.Partial, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		lo := 1 + horizon*int64(i)/int64(workers)
+		hi := horizon * int64(i+1) / int64(workers)
+		part := core.NewPartial(n, lo, hi)
+		parts[i] = part
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			observeShard(p, n, part, newChecker())
+		}()
+	}
+	wg.Wait()
+	merged := parts[0]
+	for _, part := range parts[1:] {
+		if err := merged.Merge(part); err != nil {
+			panic(err) // unreachable: shards are adjacent by construction
+		}
+	}
+	rep, err := merged.Finalize(p.Name(), g)
+	if err != nil {
+		panic(err) // unreachable: merged covers [1, horizon]
+	}
+	return rep
+}
+
+// shardBlock is the number of holidays a shard worker buckets at a time,
+// bounding its working memory regardless of horizon length.
+const shardBlock = 4096
+
+// observeShard replays the holidays in part's range: every node's happy
+// holidays within [Lo, Hi] form an arithmetic progression (first hit of
+// t ≡ Offset(v) mod Period(v), stepping by the period), which is bucketed
+// per holiday and fed through the same Observe path as live simulation.
+// The range is processed in shardBlock-sized blocks with one reused bucket
+// array, keeping memory O(n + block) rather than O(happiness events).
+func observeShard(p core.Periodic, n int, part *core.Partial, indep func([]int) bool) {
+	lo, hi := part.Lo, part.Hi
+	next := make([]int64, n)
+	periods := make([]int64, n)
+	for v := 0; v < n; v++ {
+		period, offset := p.Period(v), p.Offset(v)
+		periods[v] = period
+		// Smallest t ≥ lo with t ≡ offset (mod period); lo ≥ 1 keeps t
+		// positive, so offset 0 correctly lands on period, 2·period, ….
+		next[v] = lo + ((offset-lo)%period+period)%period
+	}
+	blockLen := hi - lo + 1
+	if blockLen > shardBlock {
+		blockLen = shardBlock
+	}
+	happyAt := make([][]int, blockLen)
+	for blo := lo; blo <= hi; blo += blockLen {
+		bhi := blo + blockLen - 1
+		if bhi > hi {
+			bhi = hi
+		}
+		for i := range happyAt[:bhi-blo+1] {
+			happyAt[i] = happyAt[i][:0]
+		}
+		for v := 0; v < n; v++ {
+			t := next[v]
+			for ; t <= bhi; t += periods[v] {
+				happyAt[t-blo] = append(happyAt[t-blo], v)
+			}
+			next[v] = t
+		}
+		for t := blo; t <= bhi; t++ {
+			part.Observe(t, happyAt[t-blo], indep)
+		}
+	}
+}
+
+// Job is one unit of batch analysis: construct a scheduler and analyze it
+// over its graph for Horizon holidays.
+type Job struct {
+	// Graph is the conflict graph the scheduler runs on.
+	Graph *graph.Graph
+	// New constructs the job's scheduler; it is called inside the worker so
+	// construction cost parallelizes too.
+	New func() (core.Scheduler, error)
+	// Horizon is the number of holidays to analyze.
+	Horizon int64
+}
+
+// RunBatch analyzes every job across a pool of Options.Workers workers and
+// returns the reports in job order. Within a job the analysis itself runs
+// single-threaded (the batch is the parallel axis); the bitset hot path
+// still applies per Options. The first scheduler-construction error aborts
+// nothing — other jobs still run — but is returned, with nil at the failed
+// job's slot.
+func RunBatch(jobs []Job, opts Options) ([]*core.Report, error) {
+	reports := make([]*core.Report, len(jobs))
+	errs := make([]error, len(jobs))
+	seq := opts
+	seq.Workers = 1
+	ForEach(len(jobs), opts.workers(), func(i int) {
+		s, err := jobs[i].New()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		reports[i] = Analyze(s, jobs[i].Graph, jobs[i].Horizon, seq)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// ForEach runs fn(0), …, fn(n-1) across at most workers concurrent
+// goroutines and waits for all of them. It is the engine's generic fan-out
+// primitive, shared by RunBatch, the experiment harness, and cmd/bench.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// schedulerCase names a fresh-scheduler factory so equivalence tests can
+// construct identical scheduler pairs for the sequential and parallel runs.
+type schedulerCase struct {
+	name string
+	make func(g *graph.Graph, seed uint64) core.Scheduler
+}
+
+func schedulerCases() []schedulerCase {
+	greedy := func(g *graph.Graph) coloring.Coloring {
+		return coloring.Greedy(g, coloring.IdentityOrder(g.N()))
+	}
+	return []schedulerCase{
+		{"degree-bound", func(g *graph.Graph, _ uint64) core.Scheduler {
+			return core.NewDegreeBoundSequential(g)
+		}},
+		{"color-bound", func(g *graph.Graph, _ uint64) core.Scheduler {
+			s, err := core.NewColorBound(g, greedy(g), prefixcode.Omega{})
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}},
+		{"phased-greedy", func(g *graph.Graph, _ uint64) core.Scheduler {
+			s, err := core.NewPhasedGreedy(g, greedy(g))
+			if err != nil {
+				panic(err)
+			}
+			return s
+		}},
+		{"first-grab", func(g *graph.Graph, seed uint64) core.Scheduler {
+			return core.NewFirstGrab(g, seed)
+		}},
+	}
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnp":   graph.GNP(120, 0.05, 11),
+		"cycle": graph.Cycle(97),
+		"star":  graph.Star(33),
+		"tree":  graph.RandomTree(80, 5),
+	}
+}
+
+// TestAnalyzeMatchesSequential is the tentpole equivalence property: for
+// every algorithm, graph, seed, and worker count, the engine's Report must
+// be byte-identical to sequential core.Analyze.
+func TestAnalyzeMatchesSequential(t *testing.T) {
+	const horizon = 600 // above minShardedHorizon so sharding engages
+	for gname, g := range testGraphs() {
+		for _, sc := range schedulerCases() {
+			for _, seed := range []uint64{1, 42} {
+				want := core.Analyze(sc.make(g, seed), g, horizon)
+				for _, workers := range []int{1, 2, 3, 7, 16} {
+					for _, limit := range []int{0, -1} { // bitset on and off
+						got := Analyze(sc.make(g, seed), g, horizon,
+							Options{Workers: workers, BitsetNodeLimit: limit})
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s/%s seed=%d workers=%d limit=%d: reports differ\ngot  %+v\nwant %+v",
+								gname, sc.name, seed, workers, limit, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeShortHorizon covers the horizons below the sharding threshold
+// and the degenerate cases around it.
+func TestAnalyzeShortHorizon(t *testing.T) {
+	g := graph.GNP(60, 0.1, 3)
+	for _, horizon := range []int64{1, 2, 63, 255, 256, 257} {
+		want := core.Analyze(core.NewDegreeBoundSequential(g), g, horizon)
+		got := Analyze(core.NewDegreeBoundSequential(g), g, horizon, Options{Workers: 8})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("horizon %d: reports differ", horizon)
+		}
+	}
+}
+
+// TestAnalyzeCrossesShardBlocks exercises shard lengths beyond shardBlock,
+// so the block-wise bucket reuse in observeShard covers multiple blocks per
+// worker (including a final partial block) and must still be exact.
+func TestAnalyzeCrossesShardBlocks(t *testing.T) {
+	g := graph.GNP(64, 0.08, 17)
+	const horizon = 2*shardBlock + 2*shardBlock/3 // ~1.3 blocks per shard at 2 workers
+	want := core.Analyze(core.NewDegreeBoundSequential(g), g, horizon)
+	for _, workers := range []int{1, 2, 5} {
+		got := Analyze(core.NewDegreeBoundSequential(g), g, horizon, Options{Workers: workers})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: reports differ across shard blocks", workers)
+		}
+	}
+}
+
+// TestAnalyzeMoreWorkersThanHolidays pins the workers-clamp: 1000 workers
+// over a 300-holiday horizon must still produce the sequential report.
+func TestAnalyzeMoreWorkersThanHolidays(t *testing.T) {
+	g := graph.Cycle(40)
+	want := core.Analyze(core.NewDegreeBoundSequential(g), g, 300)
+	got := Analyze(core.NewDegreeBoundSequential(g), g, 300, Options{Workers: 1000})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("reports differ with workers > horizon")
+	}
+}
+
+// TestAnalyzeLeavesPeriodicUnadvanced documents the sharded path's contract:
+// the scheduler's Next state is untouched because the schedule is
+// reconstructed from Period/Offset.
+func TestAnalyzeLeavesPeriodicUnadvanced(t *testing.T) {
+	g := graph.GNP(50, 0.1, 9)
+	db := core.NewDegreeBoundSequential(g)
+	Analyze(db, g, 512, Options{Workers: 4})
+	if db.Holiday() != 0 {
+		t.Fatalf("sharded analysis advanced the scheduler to holiday %d", db.Holiday())
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	graphs := testGraphs()
+	var jobs []Job
+	var want []*core.Report
+	for _, g := range graphs {
+		for _, sc := range schedulerCases() {
+			g, sc := g, sc
+			jobs = append(jobs, Job{
+				Graph:   g,
+				New:     func() (core.Scheduler, error) { return sc.make(g, 1), nil },
+				Horizon: 200,
+			})
+			want = append(want, core.Analyze(sc.make(g, 1), g, 200))
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := RunBatch(jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batch reports differ from sequential", workers)
+		}
+	}
+}
+
+func TestRunBatchError(t *testing.T) {
+	g := graph.Cycle(10)
+	jobs := []Job{
+		{Graph: g, New: func() (core.Scheduler, error) { return nil, fmt.Errorf("boom") }, Horizon: 10},
+		{Graph: g, New: func() (core.Scheduler, error) { return core.NewDegreeBoundSequential(g), nil }, Horizon: 10},
+	}
+	got, err := RunBatch(jobs, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("want construction error")
+	}
+	if got[0] != nil {
+		t.Fatal("failed job should have a nil report")
+	}
+	if got[1] == nil {
+		t.Fatal("healthy job should still run when a sibling fails")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 50} {
+		var sum atomic.Int64
+		ForEach(100, workers, func(i int) { sum.Add(int64(i)) })
+		if got := sum.Load(); got != 4950 {
+			t.Fatalf("workers=%d: sum = %d, want 4950", workers, got)
+		}
+	}
+	ForEach(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+// TestPartialMergeRandomSplits drives core.Partial directly: any chain of
+// contiguous shards must finalize to the sequential report.
+func TestPartialMergeRandomSplits(t *testing.T) {
+	g := graph.GNP(80, 0.08, 21)
+	const horizon = 400
+	want := core.Analyze(core.NewDegreeBoundSequential(g), g, horizon)
+	for _, cuts := range [][]int64{{200}, {1}, {399}, {100, 200, 300}, {7, 8, 9, 350}} {
+		bounds := append([]int64{0}, cuts...)
+		bounds = append(bounds, horizon)
+		db := core.NewDegreeBoundSequential(g)
+		var merged *core.Partial
+		for i := 0; i+1 < len(bounds); i++ {
+			part := core.NewPartial(g.N(), bounds[i]+1, bounds[i+1])
+			for t := bounds[i] + 1; t <= bounds[i+1]; t++ {
+				part.Observe(t, db.Next(), g.IsIndependent)
+			}
+			if merged == nil {
+				merged = part
+			} else if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := merged.Finalize(db.Name(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cuts %v: merged report differs from sequential", cuts)
+		}
+	}
+}
+
+func TestPartialMergeRejectsGaps(t *testing.T) {
+	a := core.NewPartial(5, 1, 10)
+	b := core.NewPartial(5, 12, 20)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("want error merging non-adjacent partials")
+	}
+	c := core.NewPartial(6, 11, 20)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("want error merging partials over different node counts")
+	}
+	if _, err := core.NewPartial(5, 2, 10).Finalize("x", graph.Cycle(5)); err == nil {
+		t.Fatal("want error finalizing partial not starting at holiday 1")
+	}
+}

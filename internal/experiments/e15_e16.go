@@ -38,7 +38,7 @@ func E15Chairman(cfg Config) *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		rep := core.Analyze(pg, g, int64(16*n))
+		rep := analyze(pg, g, int64(16*n))
 		pgGap := int64(0)
 		for _, nr := range rep.Nodes {
 			if nr.MaxGap > pgGap {
@@ -99,7 +99,7 @@ func E16ColoringQuality(cfg Config) *stats.Table {
 					maxPeriod = cb.Period(v)
 				}
 			}
-			rep := core.Analyze(cb, f.g, horizon)
+			rep := analyze(cb, f.g, horizon)
 			maxRun := int64(0)
 			for _, nr := range rep.Nodes {
 				if nr.MaxUnhappyRun > maxRun {

@@ -42,7 +42,7 @@ func E17ColeVishkin(cfg Config) *stats.Table {
 				maxPeriod = cb.Period(v)
 			}
 		}
-		rep := core.Analyze(cb, g, 64)
+		rep := analyze(cb, g, 64)
 		maxRun := int64(0)
 		for _, nr := range rep.Nodes {
 			if nr.MaxUnhappyRun > maxRun {

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/prefixcode"
 	"repro/internal/stats"
@@ -26,7 +26,7 @@ func E1PhasedGreedy(cfg Config) *stats.Table {
 			panic(fmt.Sprintf("E1 %s: %v", f.name, err))
 		}
 		horizon := int64(4 * (f.g.MaxDegree() + 2))
-		rep := core.Analyze(pg, f.g, horizon)
+		rep := analyze(pg, f.g, horizon)
 		maxRun, slack := maxRunStats(rep, func(nr core.NodeReport) int64 { return int64(nr.Degree) })
 		rows[i] = []any{f.name, f.g.N(), f.g.M(), f.g.MaxDegree(), horizon,
 			maxRun, slack, rep.IndependenceViolations, boolCell(slack <= 0 && rep.IndependenceViolations == 0)}
@@ -62,7 +62,7 @@ func E2ColorBound(cfg Config) *stats.Table {
 		panic(err)
 	}
 	horizon := int64(cfg.pick(4096, 1024))
-	rep := core.Analyze(cb, g, horizon)
+	rep := analyze(cb, g, horizon)
 	mismatch := 0
 	for _, nr := range rep.Nodes {
 		p := cb.Period(nr.Node)
@@ -115,7 +115,7 @@ func E3DegreeBound(cfg Config) *stats.Table {
 					}
 				}
 			}
-			rep := core.Analyze(db, f.g, int64(cfg.pick(2048, 512)))
+			rep := analyze(db, f.g, int64(cfg.pick(2048, 512)))
 			rows[i] = append(rows[i], row{[]any{f.name, variant, f.g.N(), f.g.MaxDegree(),
 				maxPeriod, worstRatio, conflicts, rep.IndependenceViolations, distRounds,
 				boolCell(conflicts == 0 && worstRatio <= 1 && rep.IndependenceViolations == 0)}})
@@ -161,15 +161,9 @@ func E4SchedulerComparison(cfg Config) *stats.Table {
 	schedulers = append(schedulers, rr, pg, cb,
 		core.NewDegreeBoundSequential(g), core.NewFirstGrab(g, cfg.Seed+77),
 		core.NewGreedyMIS(g, cfg.Seed+78))
-	var wg sync.WaitGroup
-	for i, s := range schedulers {
-		wg.Add(1)
-		go func(i int, s core.Scheduler) {
-			defer wg.Done()
-			reports[i] = core.Analyze(s, g, horizon)
-		}(i, s)
-	}
-	wg.Wait()
+	engine.ForEach(len(schedulers), 0, func(i int) {
+		reports[i] = analyze(schedulers[i], g, horizon)
+	})
 	byDeg := make([]map[int]int64, len(reports))
 	for i, rep := range reports {
 		byDeg[i] = rep.MaxUnhappyRunByDegree()

@@ -117,7 +117,7 @@ func E7FirstGrab(cfg Config) *stats.Table {
 	groups := make([]rowGroup, len(fams))
 	forEach(fams, func(i int, f family) {
 		fg := core.NewFirstGrab(f.g, cfg.Seed+uint64(i))
-		rep := core.Analyze(fg, f.g, horizon)
+		rep := analyze(fg, f.g, horizon)
 		// Aggregate by degree class.
 		type agg struct {
 			nodes  int

@@ -104,7 +104,7 @@ func E11Codes(cfg Config) *stats.Table {
 			rows[i] = rowT{[]any{code.Name(), period(4), period(64), period(1024), "overflow", "-"}}
 			return
 		}
-		rep := core.Analyze(cb, g, horizon)
+		rep := analyze(cb, g, horizon)
 		maxRun := int64(0)
 		for _, nr := range rep.Nodes {
 			if nr.MaxUnhappyRun > maxRun {
@@ -174,8 +174,8 @@ func E13Bipartite(cfg Config) *stats.Table {
 			panic(err)
 		}
 		horizon := int64(8 * (2*a + 2))
-		cbRep := core.Analyze(cb, g, horizon)
-		dbRep := core.Analyze(core.NewDegreeBoundSequential(g), g, horizon)
+		cbRep := analyze(cb, g, horizon)
+		dbRep := analyze(core.NewDegreeBoundSequential(g), g, horizon)
 		cbMax, _ := maxRunStats(cbRep, func(nr core.NodeReport) int64 { return 1 << 62 })
 		dbMax, _ := maxRunStats(dbRep, func(nr core.NodeReport) int64 { return 1 << 62 })
 		tb.AddRow(a, g.MaxDegree(), cbMax, dbMax, boolCell(cbMax < dbMax || a <= 4))

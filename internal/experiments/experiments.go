@@ -14,10 +14,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
@@ -69,20 +69,14 @@ func Registry() []Experiment {
 	}
 }
 
-// All runs every experiment concurrently and returns the tables in registry
-// order.
+// All runs every experiment across the engine's worker pool and returns the
+// tables in registry order.
 func All(cfg Config) []*stats.Table {
 	reg := Registry()
 	tables := make([]*stats.Table, len(reg))
-	var wg sync.WaitGroup
-	for i, exp := range reg {
-		wg.Add(1)
-		go func(i int, exp Experiment) {
-			defer wg.Done()
-			tables[i] = exp.Run(cfg)
-		}(i, exp)
-	}
-	wg.Wait()
+	engine.ForEach(len(reg), 0, func(i int) {
+		tables[i] = reg[i].Run(cfg)
+	})
 	return tables
 }
 
@@ -110,18 +104,21 @@ func standardFamilies(cfg Config) []family {
 	}
 }
 
-// forEach runs fn over the families concurrently, preserving order of
-// results via the index.
+// forEach runs fn over the families on the engine's worker pool, preserving
+// order of results via the index.
 func forEach(fams []family, fn func(i int, f family)) {
-	var wg sync.WaitGroup
-	for i, f := range fams {
-		wg.Add(1)
-		go func(i int, f family) {
-			defer wg.Done()
-			fn(i, f)
-		}(i, f)
-	}
-	wg.Wait()
+	engine.ForEach(len(fams), 0, func(i int) { fn(i, fams[i]) })
+}
+
+// analyze routes every experiment's scheduler run through the engine's
+// bitset hot path. The harness already saturates the cores with the
+// experiment×family fan-out (All and forEach run on the engine pool), so
+// each individual run stays single-threaded — horizon sharding is for
+// standalone large analyses (holiday.AnalyzeParallel, cmd/holiday) where
+// it is the only parallel axis. Reports are byte-identical to core.Analyze
+// (see internal/engine tests).
+func analyze(s core.Scheduler, g *graph.Graph, horizon int64) *core.Report {
+	return engine.Analyze(s, g, horizon, engine.Options{Workers: 1})
 }
 
 // boolCell renders a pass/fail cell.

@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count after Clear = %d, want 7", got)
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+}
+
+func TestBitsetIntersects(t *testing.T) {
+	a, b := NewBitset(200), NewBitset(200)
+	a.Set(77)
+	b.Set(78)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets reported as intersecting")
+	}
+	b.Set(77)
+	if !a.Intersects(b) {
+		t.Fatal("intersecting sets reported as disjoint")
+	}
+}
+
+func TestAdjacencyBitsMatchesGraph(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := GNP(150, 0.05, seed)
+		bits := NewAdjacencyBits(g)
+		if bits.N() != g.N() {
+			t.Fatalf("seed %d: N = %d, want %d", seed, bits.N(), g.N())
+		}
+		for u := 0; u < g.N(); u++ {
+			if got := bits.Row(u).Count(); got != g.Degree(u) {
+				t.Fatalf("seed %d: row %d popcount %d, want degree %d", seed, u, got, g.Degree(u))
+			}
+			for v := 0; v < g.N(); v++ {
+				if bits.Adjacent(u, v) != g.Adjacent(u, v) {
+					t.Fatalf("seed %d: Adjacent(%d,%d) disagrees with graph", seed, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestAdjacencyBitsIndependenceAgrees is the satellite property test:
+// bitset independence checks must agree with the adjacency-list check on
+// random sets over random graphs, including duplicated ids and empty sets.
+func TestAdjacencyBitsIndependenceAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 17, 64, 65, 200} {
+		for _, p := range []float64{0.01, 0.1, 0.5} {
+			g := GNP(n, p, uint64(n)+uint64(100*p))
+			bits := NewAdjacencyBits(g)
+			scratch := NewBitset(n)
+			check := bits.Checker()
+			for trial := 0; trial < 200; trial++ {
+				set := make([]int, rng.Intn(n+1))
+				for i := range set {
+					set[i] = rng.Intn(n)
+				}
+				if trial%5 == 0 && len(set) > 0 { // force duplicates
+					set = append(set, set[0])
+				}
+				want := g.IsIndependent(set)
+				if got := bits.IsIndependent(set, scratch); got != want {
+					t.Fatalf("n=%d p=%g set=%v: bits=%v list=%v", n, p, set, got, want)
+				}
+				if got := check(set); got != want {
+					t.Fatalf("n=%d p=%g set=%v: Checker=%v list=%v", n, p, set, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjacencyBitsEmptyGraph(t *testing.T) {
+	g := MustFromEdges(0, nil)
+	bits := NewAdjacencyBits(g)
+	if !bits.IsIndependent(nil, NewBitset(0)) {
+		t.Fatal("empty set on empty graph must be independent")
+	}
+}
+
+func BenchmarkIsIndependentList(b *testing.B) {
+	g := GNP(2048, 0.01, 3)
+	set := halfHappySet(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.IsIndependent(set)
+	}
+}
+
+func BenchmarkIsIndependentBits(b *testing.B) {
+	g := GNP(2048, 0.01, 3)
+	set := halfHappySet(g)
+	bits := NewAdjacencyBits(g)
+	scratch := NewBitset(g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bits.IsIndependent(set, scratch)
+	}
+}
+
+// halfHappySet greedily packs an independent set from the even nodes,
+// approximating a realistic happy set for the independence benchmarks.
+func halfHappySet(g *Graph) []int {
+	in := make([]bool, g.N())
+	var set []int
+	for v := 0; v < g.N(); v += 2 {
+		ok := true
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			in[v] = true
+			set = append(set, v)
+		}
+	}
+	return set
+}
