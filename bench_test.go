@@ -21,6 +21,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/mis"
 	"repro/internal/prefixcode"
+	"repro/internal/service"
 	"repro/internal/stats"
 )
 
@@ -289,6 +290,78 @@ func BenchmarkRunBatchEScale(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- schedule / serving-path benchmarks ---
+//
+// BenchmarkWindow streams a full E-scale horizon through the random-access
+// Schedule (the path the engine shards); BenchmarkWindowRandomAccess pays
+// for 52-holiday pages at arbitrary offsets, which closed-form schedules
+// answer without simulating the prefix. BenchmarkServiceWindowThroughput
+// is the serving-path baseline: concurrent window queries against one
+// community's cached frozen schedule, reported in queries/sec.
+
+func BenchmarkWindow(b *testing.B) {
+	g := eScaleGraph()
+	sched, err := holiday.NewSchedule(g, holiday.DegreeBound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var events int64
+		sched.Window(1, eScaleHorizon, func(t int64, happy []int) { events += int64(len(happy)) })
+		if events == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+func BenchmarkWindowRandomAccess(b *testing.B) {
+	g := eScaleGraph()
+	sched, err := holiday.NewSchedule(g, holiday.DegreeBound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := int64(i%1024)*1_000_000 + 1 // far-future pages cost the same as page one
+		var events int64
+		sched.Window(from, from+51, func(t int64, happy []int) { events += int64(len(happy)) })
+		if events == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+func BenchmarkServiceWindowThroughput(b *testing.B) {
+	g := graph.GNP(1024, 8.0/1024, 13)
+	reg := service.NewRegistry()
+	c, err := reg.CreateFromGraph("bench", g, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Window(1, 52); err != nil { // freeze the schedule once
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			from := int64(i%1000)*52 + 1
+			rows, err := c.Window(from, from+51)
+			if err != nil || len(rows) != 52 {
+				b.Errorf("window failed: %v (%d rows)", err, len(rows))
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if misses := c.Stats().CacheMisses; misses != 1 {
+		b.Fatalf("cached serving froze %d schedules, want 1", misses)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 }
 
 func BenchmarkChairmanStep(b *testing.B) {

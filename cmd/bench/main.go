@@ -2,8 +2,9 @@
 // (E1–E18 in EXPERIMENTS.md; layout in DESIGN.md §5), printing them to
 // stdout and optionally writing per-experiment .txt and .csv files.
 // Experiments run concurrently on the analysis engine's worker pool and
-// each experiment's scheduler runs take the engine's sharded/bitset hot
-// paths, so full-workload regeneration uses every core.
+// each experiment's scheduler runs stream through the random-access
+// core.Schedule path with bitset independence checks, so full-workload
+// regeneration uses every core.
 //
 // Usage:
 //

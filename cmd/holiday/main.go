@@ -6,6 +6,12 @@
 //	holiday -gen gnp:n=50,p=0.1 -algo degree-bound -years 40
 //	holiday -graph family.edges -algo phased-greedy -stats
 //	holiday -gen star:n=9 -algo color-bound -code omega -years 32
+//	holiday -gen cycle:n=12 -algo degree-bound -from 1000000 -years 8
+//
+// The schedule is a random-access value (holiday.NewSchedule): the plan can
+// start at any holiday (-from) without simulating the prefix for periodic
+// algorithms, and the statistics pass reuses the same schedule instead of
+// re-running the scheduler.
 package main
 
 import (
@@ -13,22 +19,34 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	holiday "repro"
 	"repro/internal/graph"
 	"repro/internal/stats"
 )
 
+// algoNames renders the valid -algo values from the facade's registry, so
+// the help text can never drift from the implemented set.
+func algoNames() string {
+	names := make([]string, 0, len(holiday.Algorithms()))
+	for _, a := range holiday.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, " | ")
+}
+
 func main() {
 	var (
 		genSpec   = flag.String("gen", "", "generate a graph from a spec, e.g. gnp:n=50,p=0.1 (see internal/graph.ParseSpec)")
 		graphFile = flag.String("graph", "", "read an edge-list graph file (header 'n m', then 'u v' lines)")
-		algoName  = flag.String("algo", "degree-bound", "algorithm: phased-greedy | color-bound | degree-bound | degree-bound-distributed | round-robin | first-grab")
-		years     = flag.Int64("years", 24, "holidays to simulate")
+		algoName  = flag.String("algo", "degree-bound", "algorithm: "+algoNames())
+		years     = flag.Int64("years", 24, "holidays to analyze")
+		from      = flag.Int64("from", 1, "first holiday of the printed plan (random access; periodic algorithms pay nothing for large values)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		code      = flag.String("code", "omega", "prefix code for color-bound: unary | gamma | delta | omega")
 		showStats = flag.Bool("stats", true, "print per-degree wait statistics")
-		showPlan  = flag.Bool("plan", true, "print the holiday-by-holiday schedule (first 40 holidays)")
+		showPlan  = flag.Bool("plan", true, "print the holiday-by-holiday schedule (first 40 holidays from -from)")
 	)
 	flag.Parse()
 
@@ -38,25 +56,21 @@ func main() {
 	}
 	fmt.Printf("conflict graph: %v\n", g)
 
-	s, err := holiday.New(g, holiday.Algorithm(*algoName),
+	// One random-access schedule serves both the plan and the statistics:
+	// no second scheduler construction, and a typoed -code or -algo fails
+	// loudly here instead of being silently defaulted.
+	sched, err := holiday.NewSchedule(g, holiday.Algorithm(*algoName),
 		holiday.WithSeed(*seed), holiday.WithCode(*code))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("algorithm: %s\n\n", s.Name())
+	fmt.Printf("algorithm: %s\n\n", sched.Name())
 
 	if *showPlan {
-		printPlan(s, *years)
+		printPlan(sched, *from, *years)
 	}
 	if *showStats {
-		// Re-create the scheduler so statistics cover the full horizon from
-		// holiday 1 even when the plan was printed.
-		s2, err := holiday.New(g, holiday.Algorithm(*algoName),
-			holiday.WithSeed(*seed), holiday.WithCode(*code))
-		if err != nil {
-			fatal(err)
-		}
-		printStats(s2, g, *years)
+		printStats(sched, g, *years)
 	}
 }
 
@@ -78,27 +92,32 @@ func loadGraph(genSpec, graphFile string, seed uint64) (*graph.Graph, error) {
 	}
 }
 
-func printPlan(s holiday.Scheduler, years int64) {
-	limit := years
-	if limit > 40 {
-		limit = 40
+func printPlan(sched holiday.Schedule, from, years int64) {
+	if from < 1 {
+		from = 1
+	}
+	to := from + years - 1
+	if limit := from + 39; to > limit {
+		to = limit
 	}
 	fmt.Println("holiday  happy families")
-	for t := int64(1); t <= limit; t++ {
-		happy := s.Next()
-		sort.Ints(happy)
-		fmt.Printf("%7d  %v\n", t, happy)
-	}
-	if limit < years {
-		fmt.Printf("… (%d more holidays analyzed for statistics)\n", years-limit)
+	sched.Window(from, to, func(t int64, happy []int) {
+		// The callback slice is a reused buffer; copy before sorting.
+		row := append([]int(nil), happy...)
+		sort.Ints(row)
+		fmt.Printf("%7d  %v\n", t, row)
+	})
+	if printed := to - from + 1; printed < years {
+		fmt.Printf("… (%d more holidays analyzed for statistics)\n", years-printed)
 	}
 	fmt.Println()
 }
 
-func printStats(s holiday.Scheduler, g *graph.Graph, years int64) {
-	// The engine shards periodic schedulers across cores and uses bitset
-	// independence checks; output is identical to sequential analysis.
-	rep := holiday.AnalyzeParallel(s, g, years)
+func printStats(sched holiday.Schedule, g *graph.Graph, years int64) {
+	// The engine shards random-access schedules across cores and uses
+	// bitset independence checks; output is identical to sequential
+	// analysis from holiday 1.
+	rep := holiday.AnalyzeSchedule(sched, g, years)
 	tb := stats.NewTable("per-degree wait statistics",
 		"degree", "families", "max unhappy run", "max gap", "mean gap")
 	type agg struct {

@@ -1,0 +1,82 @@
+// Command holidayd serves the family holiday gathering scheduler over
+// HTTP/JSON: a concurrent registry of communities, each scheduled by the §6
+// dynamic color-bound scheduler, answering window and next-happy queries
+// from cached perfectly periodic schedules.
+//
+// Usage:
+//
+//	holidayd -addr :8080
+//	holidayd -addr :8080 -demo gnp:n=100,p=0.05
+//
+// With -demo, a community named "demo" is created at startup from the graph
+// spec (see internal/graph.ParseSpec), so the API is queryable immediately:
+//
+//	curl 'localhost:8080/communities/demo/window?from=1&to=52'
+//	curl 'localhost:8080/communities/demo/families/3/next?from=10'
+//
+// See README.md for the full endpoint list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		demoSpec = flag.String("demo", "", "create a community 'demo' from a graph spec at startup, e.g. gnp:n=100,p=0.05")
+		seed     = flag.Uint64("seed", 1, "random seed for the -demo graph generator")
+	)
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if *demoSpec != "" {
+		g, err := graph.ParseSpec(*demoSpec, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := reg.CreateFromGraph("demo", g, ""); err != nil {
+			fatal(err)
+		}
+		log.Printf("created community %q: %d families, %d marriages", "demo", g.N(), g.M())
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("holidayd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "holidayd:", err)
+	os.Exit(1)
+}

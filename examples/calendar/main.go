@@ -1,0 +1,49 @@
+// Example calendar: the schedule as a random-access value.
+//
+// The paper's periodic schedulers fix every family's happy holidays in
+// closed form, so a calendar for any future year — or one family's next
+// gathering — costs nothing to look up. This example builds a small
+// community, lifts the degree-bound scheduler to a holiday.Schedule, and
+// answers three kinds of query without ever simulating the sequence:
+// a window a million holidays in, each family's next happy holiday, and a
+// spot check of one far-future holiday.
+package main
+
+import (
+	"fmt"
+
+	holiday "repro"
+)
+
+func main() {
+	c := holiday.NewCommunity()
+	c.MustMarry("Cohen", "Levi")
+	c.MustMarry("Cohen", "Mizrahi")
+	c.MustMarry("Levi", "Peretz")
+	c.MustMarry("Mizrahi", "Biton")
+	c.MustMarry("Peretz", "Biton")
+	g := c.Graph()
+
+	sched, err := holiday.NewSchedule(g, holiday.DegreeBound)
+	if err != nil {
+		panic(err)
+	}
+
+	// A week of holidays starting one million holidays from now: random
+	// access means this window costs the same as holidays 1..7.
+	const start = 1_000_001
+	fmt.Println("holiday    happy families")
+	sched.Window(start, start+6, func(t int64, happy []int) {
+		fmt.Printf("%9d  %v\n", t, c.Names(happy))
+	})
+
+	// Every family can compute its own next gathering in closed form.
+	fmt.Println("\nnext happy holiday at or after", start)
+	for v := 0; v < g.N(); v++ {
+		fmt.Printf("  %-8s → %d\n", c.FamilyName(v), sched.NextHappy(v, start))
+	}
+
+	// Spot-check one holiday directly.
+	t := int64(start + 3)
+	fmt.Printf("\nHappySet(%d) = %v\n", t, c.Names(sched.HappySet(t)))
+}

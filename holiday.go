@@ -25,11 +25,15 @@
 //	    fmt.Println(year, c.Names(s.Next()))
 //	}
 //
-// Analyze measures realized waits over a horizon; AnalyzeParallel and
+// NewSchedule lifts an algorithm to a random-access Schedule — HappySet(t),
+// Window(from, to), NextHappy(v, t) — closed-form for the periodic
+// algorithms, bounded replay for the stateful ones. Analyze measures
+// realized waits over a horizon; AnalyzeParallel, AnalyzeSchedule, and
 // RunBatch run the same analysis on the concurrent engine (horizon sharding
-// for periodic schedulers, batch fan-out for stateful ones, word-packed
-// bitset independence checks) with byte-identical Reports. See README.md,
-// DESIGN.md §4, and EXPERIMENTS.md.
+// over Schedule.Window, batch fan-out, word-packed bitset independence
+// checks) with byte-identical Reports. cmd/holidayd serves schedules for
+// many communities over HTTP. See README.md, DESIGN.md §4/§6, and
+// EXPERIMENTS.md.
 package holiday
 
 import (
@@ -52,6 +56,10 @@ type (
 	Scheduler = core.Scheduler
 	// Periodic is a perfectly periodic scheduler (Period/Offset per node).
 	Periodic = core.Periodic
+	// Schedule is random access into a scheduler's sequence: HappySet(t),
+	// Window(from, to), NextHappy(v, t). Closed-form for the periodic
+	// algorithms, bounded replay for the stateful ones. See NewSchedule.
+	Schedule = core.Schedule
 	// Report summarizes realized per-family waits over a horizon.
 	Report = core.Report
 	// NodeReport is one family's statistics within a Report.
@@ -97,6 +105,9 @@ type options struct {
 	seed     uint64
 	code     prefixcode.Code
 	coloring coloring.Coloring
+	// err records an invalid option (e.g. an unknown prefix-code name) so
+	// New can surface it instead of silently using a default.
+	err error
 }
 
 // Option configures New.
@@ -106,12 +117,16 @@ type Option func(*options)
 func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 
 // WithCode selects the prefix code for ColorBound: "unary", "gamma",
-// "delta", or "omega" (the default, matching Theorem 4.2).
+// "delta", or "omega" (the default, matching Theorem 4.2). An unknown name
+// is an error, surfaced by New.
 func WithCode(name string) Option {
 	return func(o *options) {
-		if c, err := prefixcode.ByName(name); err == nil {
-			o.code = c
+		c, err := prefixcode.ByName(name)
+		if err != nil {
+			o.err = fmt.Errorf("holiday: %w", err)
+			return
 		}
+		o.code = c
 	}
 }
 
@@ -124,6 +139,9 @@ func New(g *Graph, algo Algorithm, opts ...Option) (Scheduler, error) {
 	o := options{seed: 1, code: prefixcode.Omega{}}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.err != nil {
+		return nil, o.err
 	}
 	col := o.coloring
 	if col == nil {
@@ -150,6 +168,34 @@ func New(g *Graph, algo Algorithm, opts ...Option) (Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("holiday: unknown algorithm %q (valid: %v)", algo, Algorithms())
 	}
+}
+
+// NewSchedule constructs the requested algorithm's schedule as a
+// random-access value: any holiday, window, or per-family query can be
+// answered without replaying from the start (closed-form for the perfectly
+// periodic algorithms; a bounded replay/memo cursor that reconstructs the
+// scheduler on backward seeks for the stateful ones). The returned Schedule
+// is safe for concurrent use.
+func NewSchedule(g *Graph, algo Algorithm, opts ...Option) (Schedule, error) {
+	s, err := New(g, algo, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if p, ok := s.(core.Periodic); ok {
+		return core.NewPeriodicSchedule(p, g.N()), nil
+	}
+	return core.NewReplaySchedule(s, func() (Scheduler, error) {
+		return New(g, algo, opts...)
+	}), nil
+}
+
+// AnalyzeSchedule is AnalyzeParallel over an existing Schedule: random-
+// access schedules shard the horizon across all cores, replay schedules
+// stream one sequential window. It lets a caller that already holds a
+// schedule (e.g. for serving window queries) analyze it without
+// reconstructing the scheduler.
+func AnalyzeSchedule(sched Schedule, g *Graph, holidays int64) *Report {
+	return engine.AnalyzeSchedule(sched, g, holidays, engine.Options{})
 }
 
 // Analyze runs a scheduler for the given number of holidays, verifying that

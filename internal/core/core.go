@@ -19,6 +19,13 @@
 // The Analyzer measures realized unhappiness intervals and verifies that
 // every emitted happy set is independent; Reduction extracts a proper
 // coloring from any bounded-gap schedule (§1, "Connection to coloring").
+//
+// Schedule lifts a scheduler from a one-way cursor to a random-access
+// value: HappySet(t), Window(from, to), and NextHappy(v, t) answer in
+// closed form for the perfectly periodic algorithms and through a bounded
+// replay/memo cursor for the stateful ones. The analysis engine shards over
+// Schedule.Window, and the serving layer caches frozen schedules per
+// community.
 package core
 
 // Scheduler produces the infinite gathering sequence, one holiday at a time.

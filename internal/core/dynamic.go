@@ -135,6 +135,25 @@ func (dc *DynamicColorBound) CurrentPeriod(v int) int64 {
 	return int64(1) << uint(dc.code.Len(uint64(dc.col[v])))
 }
 
+// FrozenSchedule snapshots the current coloring's periodic assignment as an
+// immutable random-access Schedule. The snapshot stays internally consistent
+// (every happy set independent in the graph at freeze time) while the live
+// scheduler keeps absorbing churn — this is the value the serving layer
+// caches between recolorings.
+func (dc *DynamicColorBound) FrozenSchedule() (Schedule, error) {
+	periods := make([]int64, dc.d.N())
+	offsets := make([]int64, dc.d.N())
+	for v := range periods {
+		enc := dc.code.Encode(uint64(dc.col[v]))
+		if enc.Len() > 62 {
+			return nil, fmt.Errorf("core: codeword of color %d is %d bits; period overflows int64", dc.col[v], enc.Len())
+		}
+		periods[v] = int64(1) << uint(enc.Len())
+		offsets[v] = int64(enc.Value())
+	}
+	return NewFixedPeriodic(dc.Name(), periods, offsets)
+}
+
 // Color returns v's current color.
 func (dc *DynamicColorBound) Color(v int) int { return dc.col[v] }
 
@@ -143,6 +162,9 @@ func (dc *DynamicColorBound) Degree(v int) int { return dc.d.Degree(v) }
 
 // N returns the current number of parents.
 func (dc *DynamicColorBound) N() int { return dc.d.N() }
+
+// M returns the current number of in-law edges.
+func (dc *DynamicColorBound) M() int { return dc.d.M() }
 
 // Graph snapshots the current conflict graph.
 func (dc *DynamicColorBound) Graph() *graph.Graph { return dc.d.Snapshot() }

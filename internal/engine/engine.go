@@ -5,12 +5,14 @@
 //
 // Two axes of parallelism cover the repo's workloads (DESIGN.md §4):
 //
-//   - Horizon sharding. A perfectly periodic scheduler (core.Periodic)
-//     fixes each node's happy holidays in closed form, so a horizon splits
-//     into contiguous shards that workers analyze independently; the
-//     per-shard core.Partial statistics merge associatively back into one
-//     Report. Stateful schedulers cannot be split this way and fall back
-//     to a single-threaded pass (still bitset-accelerated).
+//   - Horizon sharding. Every analysis goes through core.Schedule, the
+//     random-access view of a scheduler's sequence. When the schedule is
+//     random access (the perfectly periodic algorithms, closed form over
+//     Period/Offset), a horizon splits into contiguous windows that workers
+//     stream independently through Schedule.Window; the per-shard
+//     core.Partial statistics merge associatively back into one Report.
+//     Replay-cursor schedules cannot be split this way and stream a single
+//     window sequentially (still bitset-accelerated).
 //
 //   - Batch fan-out. An experiment's many (graph, algorithm, seed) runs are
 //     independent, so RunBatch spreads whole analyses across a worker pool.
@@ -76,25 +78,42 @@ func (o Options) checkerFactory(g *graph.Graph, horizon int64) func() func([]int
 }
 
 // Analyze produces the same Report as core.Analyze(s, g, horizon) using the
-// engine's hot paths. Periodic schedulers are analyzed by horizon sharding
-// across workers without ever calling Next (their schedule is reconstructed
-// from Period/Offset, which the core.Periodic contract guarantees matches
-// Next exactly); other schedulers run sequentially with bitset independence
-// checks. In the sharded path s is left unadvanced.
+// engine's hot paths. The scheduler is adapted through core.ScheduleOf:
+// perfectly periodic schedulers become closed-form random-access schedules
+// (sharded across workers, s never advanced); stateful schedulers stream a
+// single sequential window (advancing s, as core.Analyze would).
 func Analyze(s core.Scheduler, g *graph.Graph, horizon int64, opts Options) *core.Report {
-	newChecker := opts.checkerFactory(g, horizon)
-	w := opts.workers()
-	if p, ok := s.(core.Periodic); ok && w > 1 && horizon >= minShardedHorizon {
-		return analyzePeriodicSharded(p, g, horizon, w, newChecker)
-	}
-	return core.AnalyzeChecked(s, g, horizon, newChecker())
+	return AnalyzeSchedule(core.ScheduleOf(s, g.N()), g, horizon, opts)
 }
 
-// analyzePeriodicSharded splits [1, horizon] into one contiguous shard per
-// worker, rebuilds each shard's holiday-by-holiday happy sets from the
-// periodic closed form, accumulates a core.Partial per shard concurrently,
-// and merges the partials in order.
-func analyzePeriodicSharded(p core.Periodic, g *graph.Graph, horizon int64, workers int,
+// AnalyzeSchedule analyzes a random-access or replay schedule over
+// [1, horizon]. Random-access schedules are split into one contiguous
+// window per worker, each streamed concurrently through Schedule.Window
+// into a core.Partial and merged in order; other schedules stream one
+// sequential window. Either way the Report is byte-identical to
+// core.Analyze on the underlying scheduler.
+func AnalyzeSchedule(sched core.Schedule, g *graph.Graph, horizon int64, opts Options) *core.Report {
+	newChecker := opts.checkerFactory(g, horizon)
+	if w := opts.workers(); sched.RandomAccess() && w > 1 && horizon >= minShardedHorizon {
+		return analyzeSharded(sched, g, horizon, w, newChecker)
+	}
+	part := core.NewPartial(g.N(), 1, horizon)
+	indep := newChecker()
+	sched.Window(1, horizon, func(t int64, happy []int) {
+		part.Observe(t, happy, indep)
+	})
+	rep, err := part.Finalize(sched.Name(), g)
+	if err != nil {
+		panic(err) // unreachable: the partial covers [1, horizon] over g's nodes
+	}
+	return rep
+}
+
+// analyzeSharded splits [1, horizon] into one contiguous window per worker,
+// streams each window through Schedule.Window concurrently (safe because
+// random-access schedules are immutable), accumulates a core.Partial per
+// shard, and merges the partials in order.
+func analyzeSharded(sched core.Schedule, g *graph.Graph, horizon int64, workers int,
 	newChecker func() func([]int) bool) *core.Report {
 	n := g.N()
 	if int64(workers) > horizon {
@@ -110,7 +129,10 @@ func analyzePeriodicSharded(p core.Periodic, g *graph.Graph, horizon int64, work
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			observeShard(p, n, part, newChecker())
+			indep := newChecker()
+			sched.Window(lo, hi, func(t int64, happy []int) {
+				part.Observe(t, happy, indep)
+			})
 		}()
 	}
 	wg.Wait()
@@ -120,58 +142,11 @@ func analyzePeriodicSharded(p core.Periodic, g *graph.Graph, horizon int64, work
 			panic(err) // unreachable: shards are adjacent by construction
 		}
 	}
-	rep, err := merged.Finalize(p.Name(), g)
+	rep, err := merged.Finalize(sched.Name(), g)
 	if err != nil {
 		panic(err) // unreachable: merged covers [1, horizon]
 	}
 	return rep
-}
-
-// shardBlock is the number of holidays a shard worker buckets at a time,
-// bounding its working memory regardless of horizon length.
-const shardBlock = 4096
-
-// observeShard replays the holidays in part's range: every node's happy
-// holidays within [Lo, Hi] form an arithmetic progression (first hit of
-// t ≡ Offset(v) mod Period(v), stepping by the period), which is bucketed
-// per holiday and fed through the same Observe path as live simulation.
-// The range is processed in shardBlock-sized blocks with one reused bucket
-// array, keeping memory O(n + block) rather than O(happiness events).
-func observeShard(p core.Periodic, n int, part *core.Partial, indep func([]int) bool) {
-	lo, hi := part.Lo, part.Hi
-	next := make([]int64, n)
-	periods := make([]int64, n)
-	for v := 0; v < n; v++ {
-		period, offset := p.Period(v), p.Offset(v)
-		periods[v] = period
-		// Smallest t ≥ lo with t ≡ offset (mod period); lo ≥ 1 keeps t
-		// positive, so offset 0 correctly lands on period, 2·period, ….
-		next[v] = lo + ((offset-lo)%period+period)%period
-	}
-	blockLen := hi - lo + 1
-	if blockLen > shardBlock {
-		blockLen = shardBlock
-	}
-	happyAt := make([][]int, blockLen)
-	for blo := lo; blo <= hi; blo += blockLen {
-		bhi := blo + blockLen - 1
-		if bhi > hi {
-			bhi = hi
-		}
-		for i := range happyAt[:bhi-blo+1] {
-			happyAt[i] = happyAt[i][:0]
-		}
-		for v := 0; v < n; v++ {
-			t := next[v]
-			for ; t <= bhi; t += periods[v] {
-				happyAt[t-blo] = append(happyAt[t-blo], v)
-			}
-			next[v] = t
-		}
-		for t := blo; t <= bhi; t++ {
-			part.Observe(t, happyAt[t-blo], indep)
-		}
-	}
 }
 
 // Job is one unit of batch analysis: construct a scheduler and analyze it

@@ -93,12 +93,14 @@ func TestAnalyzeShortHorizon(t *testing.T) {
 	}
 }
 
-// TestAnalyzeCrossesShardBlocks exercises shard lengths beyond shardBlock,
-// so the block-wise bucket reuse in observeShard covers multiple blocks per
+// TestAnalyzeCrossesShardBlocks exercises shard windows beyond the
+// schedule's internal bucketing block (core's windowBlock, 4096), so the
+// block-wise bucket reuse in Schedule.Window covers multiple blocks per
 // worker (including a final partial block) and must still be exact.
 func TestAnalyzeCrossesShardBlocks(t *testing.T) {
 	g := graph.GNP(64, 0.08, 17)
-	const horizon = 2*shardBlock + 2*shardBlock/3 // ~1.3 blocks per shard at 2 workers
+	const block = 4096
+	const horizon = 2*block + 2*block/3 // ~1.3 blocks per shard at 2 workers
 	want := core.Analyze(core.NewDegreeBoundSequential(g), g, horizon)
 	for _, workers := range []int{1, 2, 5} {
 		got := Analyze(core.NewDegreeBoundSequential(g), g, horizon, Options{Workers: workers})
@@ -128,6 +130,46 @@ func TestAnalyzeLeavesPeriodicUnadvanced(t *testing.T) {
 	Analyze(db, g, 512, Options{Workers: 4})
 	if db.Holiday() != 0 {
 		t.Fatalf("sharded analysis advanced the scheduler to holiday %d", db.Holiday())
+	}
+}
+
+// TestAnalyzeScheduleMatchesSequential drives the schedule-first entry
+// point directly: a closed-form schedule sharded across workers and a
+// factory-backed replay schedule must both reproduce core.Analyze.
+func TestAnalyzeScheduleMatchesSequential(t *testing.T) {
+	g := graph.GNP(90, 0.07, 13)
+	const horizon = core.DefaultReplayMemo + 200 // beyond the replay memo, forcing a factory rewind below
+	mkPeriodic := func() core.Scheduler { return core.NewDegreeBoundSequential(g) }
+	mkStateful := func() (core.Scheduler, error) {
+		return core.NewPhasedGreedy(g, coloring.Greedy(g, coloring.IdentityOrder(g.N())))
+	}
+
+	want := core.Analyze(mkPeriodic(), g, horizon)
+	for _, workers := range []int{1, 3, 8} {
+		got := AnalyzeSchedule(core.ScheduleOf(mkPeriodic(), g.N()), g, horizon, Options{Workers: workers})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: periodic schedule report differs from sequential", workers)
+		}
+	}
+
+	s, err := mkStateful()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPG := core.Analyze(s, g, horizon)
+	fresh, err := mkStateful()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.NewReplaySchedule(fresh, mkStateful)
+	got := AnalyzeSchedule(sched, g, horizon, Options{Workers: 8})
+	if !reflect.DeepEqual(got, wantPG) {
+		t.Fatal("replay schedule report differs from sequential")
+	}
+	// The same schedule can be analyzed again: the cursor rewinds through
+	// the factory instead of silently continuing mid-sequence.
+	if got := AnalyzeSchedule(sched, g, horizon/2, Options{Workers: 2}); got.Horizon != horizon/2 {
+		t.Fatalf("re-analysis horizon = %d, want %d", got.Horizon, horizon/2)
 	}
 }
 

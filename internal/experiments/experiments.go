@@ -111,12 +111,13 @@ func forEach(fams []family, fn func(i int, f family)) {
 }
 
 // analyze routes every experiment's scheduler run through the engine's
-// bitset hot path. The harness already saturates the cores with the
+// bitset hot path (the engine adapts the scheduler to its random-access or
+// replay Schedule internally). The harness already saturates the cores with the
 // experiment×family fan-out (All and forEach run on the engine pool), so
 // each individual run stays single-threaded — horizon sharding is for
-// standalone large analyses (holiday.AnalyzeParallel, cmd/holiday) where
-// it is the only parallel axis. Reports are byte-identical to core.Analyze
-// (see internal/engine tests).
+// standalone large analyses (holiday.AnalyzeParallel, cmd/holiday,
+// cmd/holidayd) where it is the only parallel axis. Reports are
+// byte-identical to core.Analyze (see internal/engine tests).
 func analyze(s core.Scheduler, g *graph.Graph, horizon int64) *core.Report {
 	return engine.Analyze(s, g, horizon, engine.Options{Workers: 1})
 }

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler exposes a registry over HTTP/JSON:
+//
+//	POST   /communities                          create {id, families, edges, code}
+//	GET    /communities                          list ids
+//	GET    /communities/{id}                     stats
+//	DELETE /communities/{id}                     unregister
+//	POST   /communities/{id}/families            append a family → {family}
+//	POST   /communities/{id}/edges               marry {u, v} → {recolored}
+//	DELETE /communities/{id}/edges?u=U&v=V       divorce → {removed, recolored}
+//	GET    /communities/{id}/window?from=F&to=T  schedule window
+//	GET    /communities/{id}/families/{v}/next?from=F  next happy holiday
+//	GET    /healthz                              liveness
+//
+// Window and next queries answer from the community's cached frozen
+// schedule; churn endpoints route through the §6 dynamic recoloring.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /communities", func(w http.ResponseWriter, r *http.Request) {
+		var req createRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		c, err := reg.Create(req.ID, req.Families, req.Edges, req.Code)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, c.Stats())
+	})
+	mux.HandleFunc("GET /communities", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"communities": reg.List()})
+	})
+	mux.HandleFunc("GET /communities/{id}", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		writeJSON(w, http.StatusOK, c.Stats())
+	}))
+	mux.HandleFunc("DELETE /communities/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !reg.Delete(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no community %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+	})
+	mux.HandleFunc("POST /communities/{id}/families", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		writeJSON(w, http.StatusCreated, map[string]int{"family": c.AddFamily()})
+	}))
+	mux.HandleFunc("POST /communities/{id}/edges", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		var req edgeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		recolored, err := c.Marry(req.U, req.V)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"recolored": recolored})
+	}))
+	mux.HandleFunc("DELETE /communities/{id}/edges", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
+		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+		if errU != nil || errV != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("query params u and v must be integers"))
+			return
+		}
+		removed, recolored, err := c.Divorce(u, v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"removed": removed, "recolored": recolored})
+	}))
+	mux.HandleFunc("GET /communities/{id}/window", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		from, err := queryInt64(r, "from", 1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		to, err := queryInt64(r, "to", from+51) // default: one year of weekly holidays
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rows, err := c.Window(from, to)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, windowResponse{Community: c.ID(), From: from, To: to, Holidays: rows})
+	}))
+	mux.HandleFunc("GET /communities/{id}/families/{v}/next", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		v, err := strconv.Atoi(r.PathValue("v"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("family id %q is not an integer", r.PathValue("v")))
+			return
+		}
+		from, err := queryInt64(r, "from", 1)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		next, err := c.NextHappy(v, from)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, nextResponse{Community: c.ID(), Family: v, From: from, Next: next})
+	}))
+	return mux
+}
+
+// createRequest is the POST /communities body.
+type createRequest struct {
+	ID       string   `json:"id"`
+	Families int      `json:"families"`
+	Edges    [][2]int `json:"edges"`
+	Code     string   `json:"code"`
+}
+
+// edgeRequest is the POST /communities/{id}/edges body.
+type edgeRequest struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// windowResponse is the GET window answer.
+type windowResponse struct {
+	Community string       `json:"community"`
+	From      int64        `json:"from"`
+	To        int64        `json:"to"`
+	Holidays  []HolidayRow `json:"holidays"`
+}
+
+// nextResponse is the GET next answer.
+type nextResponse struct {
+	Community string `json:"community"`
+	Family    int    `json:"family"`
+	From      int64  `json:"from"`
+	// Next is the first holiday ≥ from at which the family is happy.
+	Next int64 `json:"next"`
+}
+
+// withCommunity resolves {id} or responds 404.
+func withCommunity(reg *Registry, fn func(http.ResponseWriter, *http.Request, *Community)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := reg.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no community %q", r.PathValue("id")))
+			return
+		}
+		fn(w, r, c)
+	}
+}
+
+// queryInt64 parses an optional integer query parameter.
+func queryInt64(r *http.Request, key string, def int64) (int64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query param %q must be an integer, got %q", key, s)
+	}
+	return v, nil
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders an error payload.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

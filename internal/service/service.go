@@ -1,0 +1,320 @@
+// Package service is the concurrent multi-community serving layer: a
+// registry of independently evolving communities, each scheduled by the §6
+// dynamic color-bound scheduler, answering random-access schedule queries
+// (windows of holidays, a family's next happy holiday) from a cached
+// frozen core.Schedule.
+//
+// The cache exploits the paper's headline property: the schedule is
+// perfectly periodic, so a snapshot of the current coloring answers any
+// window in closed form with no per-query scheduling work. Edge churn
+// (marriages and divorces) routes through core.DynamicColorBound; the
+// cached schedule is invalidated only when churn actually recolors a
+// family or changes the family set — an insertion between differently
+// colored families leaves every answer valid and keeps serving from cache.
+//
+// All types are safe for concurrent use: the registry and each community
+// take RW locks, reads serve concurrently, and the frozen schedules handed
+// out are immutable values, so in-flight queries keep a consistent snapshot
+// even while churn rebuilds the cache underneath them.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// MaxWindow bounds the holidays a single Window query may span, keeping
+// per-request work and response size proportional to one page.
+const MaxWindow = 4096
+
+// Registry is the concurrent community store.
+type Registry struct {
+	mu          sync.RWMutex
+	communities map[string]*Community
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{communities: make(map[string]*Community)}
+}
+
+// Create registers a new community of n families with the given initial
+// marriages, scheduled by the dynamic color-bound scheduler over the named
+// prefix code ("" means omega, the paper's choice). Errors on duplicate
+// ids, unknown codes, and invalid edges.
+func (r *Registry) Create(id string, n int, edges [][2]int, codeName string) (*Community, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("service: community %q needs at least one family, got %d", id, n)
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := validEdge(n, e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: community %q: %w", id, err)
+		}
+		if err := b.AddEdgeErr(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: community %q: %w", id, err)
+		}
+	}
+	return r.CreateFromGraph(id, b.Graph(), codeName)
+}
+
+// CreateFromGraph registers a new community over an existing conflict
+// graph, avoiding the edge-list round trip of Create. The graph is not
+// retained; the community evolves its own dynamic copy.
+func (r *Registry) CreateFromGraph(id string, g *graph.Graph, codeName string) (*Community, error) {
+	if id == "" {
+		return nil, fmt.Errorf("service: empty community id")
+	}
+	if g.N() < 1 {
+		return nil, fmt.Errorf("service: community %q needs at least one family", id)
+	}
+	if codeName == "" {
+		codeName = "omega"
+	}
+	code, err := prefixcode.ByName(codeName)
+	if err != nil {
+		return nil, fmt.Errorf("service: community %q: %w", id, err)
+	}
+	dyn, err := core.NewDynamicColorBound(g, code)
+	if err != nil {
+		return nil, fmt.Errorf("service: community %q: %w", id, err)
+	}
+	c := &Community{id: id, dyn: dyn}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.communities[id]; dup {
+		return nil, fmt.Errorf("service: community %q already exists", id)
+	}
+	r.communities[id] = c
+	return c, nil
+}
+
+// Get returns the community with the given id, if registered.
+func (r *Registry) Get(id string) (*Community, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.communities[id]
+	return c, ok
+}
+
+// Delete unregisters a community, reporting whether it existed.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.communities[id]
+	delete(r.communities, id)
+	return ok
+}
+
+// List returns the registered community ids, sorted.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.communities))
+	for id := range r.communities {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// validEdge checks an edge against the community size.
+func validEdge(n, u, v int) error {
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("edge (%d,%d) outside families [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("self-marriage at family %d", u)
+	}
+	return nil
+}
+
+// Community is one conflict graph under churn plus its cached frozen
+// schedule. Queries (Window, NextHappy, Schedule) serve concurrently under
+// a read lock; churn takes the write lock and invalidates the cache only
+// when the periodic assignment actually changed.
+type Community struct {
+	id string
+
+	mu     sync.RWMutex
+	dyn    *core.DynamicColorBound
+	cached core.Schedule // nil when invalidated; rebuilt lazily
+	// version counts cache invalidations (recolorings or family-set
+	// changes) — a cheap staleness signal for clients.
+	version int64
+
+	hits   atomic.Int64 // queries answered from the cached schedule
+	misses atomic.Int64 // queries that had to freeze a new schedule
+}
+
+// ID returns the community's registry id.
+func (c *Community) ID() string { return c.id }
+
+// Stats is a point-in-time summary of a community.
+type Stats struct {
+	ID          string `json:"id"`
+	Families    int    `json:"families"`
+	Marriages   int    `json:"marriages"`
+	Scheduler   string `json:"scheduler"`
+	Version     int64  `json:"version"`
+	Recolorings int64  `json:"recolorings"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+}
+
+// Stats snapshots the community's counters.
+func (c *Community) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{
+		ID:          c.id,
+		Families:    c.dyn.N(),
+		Marriages:   c.dyn.M(),
+		Scheduler:   c.dyn.Name(),
+		Version:     c.version,
+		Recolorings: c.dyn.Recolorings,
+		CacheHits:   c.hits.Load(),
+		CacheMisses: c.misses.Load(),
+	}
+}
+
+// Families returns the current number of families.
+func (c *Community) Families() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dyn.N()
+}
+
+// AddFamily appends a new isolated family and returns its id. The schedule
+// gains a node, so the cache is invalidated.
+func (c *Community) AddFamily() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.dyn.AddNode()
+	c.invalidateLocked()
+	return id
+}
+
+// Marry inserts an in-law edge, routed through the §6 dynamic recoloring.
+// The cached schedule survives unless the insertion forced a recoloring.
+func (c *Community) Marry(u, v int) (recolored bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := validEdge(c.dyn.N(), u, v); err != nil {
+		return false, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	recolored, err = c.dyn.AddEdge(u, v)
+	if err != nil {
+		return false, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	if recolored {
+		c.invalidateLocked()
+	}
+	return recolored, nil
+}
+
+// Divorce removes an in-law edge (§6 deletion path), reporting whether the
+// edge existed and whether a family was recolored. The cache survives
+// deletions that recolor nobody.
+func (c *Community) Divorce(u, v int) (removed, recolored bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := validEdge(c.dyn.N(), u, v); err != nil {
+		return false, false, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	before := c.dyn.Recolorings
+	removed = c.dyn.RemoveEdge(u, v)
+	recolored = c.dyn.Recolorings > before
+	if recolored {
+		c.invalidateLocked()
+	}
+	return removed, recolored, nil
+}
+
+// invalidateLocked drops the cached schedule; the caller holds c.mu.
+func (c *Community) invalidateLocked() {
+	c.cached = nil
+	c.version++
+}
+
+// Schedule returns the community's frozen periodic schedule, rebuilding it
+// only when churn invalidated the cache. The returned Schedule is an
+// immutable value: callers may query it without locks, and it stays
+// consistent even if the community recolors afterwards.
+func (c *Community) Schedule() (core.Schedule, error) {
+	c.mu.RLock()
+	if s := c.cached; s != nil {
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return s, nil
+	}
+	c.mu.RUnlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cached != nil { // another writer rebuilt while we waited
+		c.hits.Add(1)
+		return c.cached, nil
+	}
+	s, err := c.dyn.FrozenSchedule()
+	if err != nil {
+		return nil, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	c.cached = s
+	c.misses.Add(1)
+	return s, nil
+}
+
+// HolidayRow is one holiday of a window response.
+type HolidayRow struct {
+	Holiday int64 `json:"holiday"`
+	Happy   []int `json:"happy"`
+}
+
+// Window answers a closed-form window query [from, to] from the cached
+// schedule. from must be ≥ 1, to ≥ from, and the span at most MaxWindow.
+func (c *Community) Window(from, to int64) ([]HolidayRow, error) {
+	if from < 1 {
+		return nil, fmt.Errorf("service: window start %d < 1", from)
+	}
+	if to > core.MaxHoliday {
+		return nil, fmt.Errorf("service: window end %d beyond last servable holiday %d", to, core.MaxHoliday)
+	}
+	if to < from {
+		return nil, fmt.Errorf("service: window [%d,%d] is empty", from, to)
+	}
+	if span := to - from + 1; span > MaxWindow {
+		return nil, fmt.Errorf("service: window spans %d holidays, max %d", span, MaxWindow)
+	}
+	sched, err := c.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HolidayRow, 0, to-from+1)
+	sched.Window(from, to, func(t int64, happy []int) {
+		rows = append(rows, HolidayRow{Holiday: t, Happy: append([]int{}, happy...)})
+	})
+	return rows, nil
+}
+
+// NextHappy answers a family's next happy holiday at or after from
+// (from < 1 is clamped to 1) from the cached schedule.
+func (c *Community) NextHappy(v int, from int64) (int64, error) {
+	if v < 0 || v >= c.Families() {
+		return 0, fmt.Errorf("service: community %q has no family %d", c.id, v)
+	}
+	if from > core.MaxHoliday {
+		return 0, fmt.Errorf("service: holiday %d beyond last servable holiday %d", from, core.MaxHoliday)
+	}
+	sched, err := c.Schedule()
+	if err != nil {
+		return 0, err
+	}
+	return sched.NextHappy(v, from), nil
+}

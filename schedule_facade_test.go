@@ -1,0 +1,167 @@
+// Facade-level property tests of the Schedule abstraction: for every
+// algorithm the facade exposes, every window of the random-access schedule
+// must be byte-identical to replaying the scheduler's Next sequence, at
+// every alignment — including windows that start nowhere near holiday 1.
+package holiday_test
+
+import (
+	"reflect"
+	"testing"
+
+	holiday "repro"
+	"repro/internal/graph"
+)
+
+// replayNext records a fresh scheduler's happy sets for holidays 1..horizon.
+func replayNext(t *testing.T, g *graph.Graph, algo holiday.Algorithm, opts []holiday.Option, horizon int64) [][]int {
+	t.Helper()
+	s, err := holiday.New(g, algo, opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", algo, err)
+	}
+	out := make([][]int, horizon)
+	for tt := int64(1); tt <= horizon; tt++ {
+		out[tt-1] = append([]int(nil), s.Next()...)
+	}
+	return out
+}
+
+// equalSets treats nil and empty happy sets as equal.
+func equalSets(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestScheduleWindowMatchesNextReplay is the tentpole equivalence property:
+// every Schedule.Window(from, to) must reproduce the sequential Next replay
+// exactly, across all algorithms × seeds × window boundaries.
+func TestScheduleWindowMatchesNextReplay(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnp":   graph.GNP(72, 0.07, 19),
+		"star":  graph.Star(17),
+		"cycle": graph.Cycle(31),
+	}
+	const horizon = 1400 // beyond the replay memo, so backward seeks rewind
+	windows := [][2]int64{
+		{1, horizon},           // full pass
+		{1, 1},                 // single first holiday
+		{37, 211},              // interior, not starting at 1
+		{512, 600},             // crosses the engine's sharding scale
+		{horizon - 5, horizon}, // tail
+	}
+	for gname, g := range graphs {
+		for _, algo := range holiday.Algorithms() {
+			for _, seed := range []uint64{1, 7} {
+				opts := []holiday.Option{holiday.WithSeed(seed)}
+				want := replayNext(t, g, algo, opts, horizon)
+				sched, err := holiday.NewSchedule(g, algo, opts...)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", gname, algo, err)
+				}
+				for _, w := range windows {
+					next := w[0]
+					sched.Window(w[0], w[1], func(tt int64, happy []int) {
+						if tt != next {
+							t.Fatalf("%s/%s seed=%d: window [%d,%d] visited %d, want %d",
+								gname, algo, seed, w[0], w[1], tt, next)
+						}
+						if !equalSets(happy, want[tt-1]) {
+							t.Fatalf("%s/%s seed=%d: holiday %d: Window %v ≠ Next %v",
+								gname, algo, seed, tt, happy, want[tt-1])
+						}
+						next++
+					})
+					if next != w[1]+1 {
+						t.Fatalf("%s/%s seed=%d: window [%d,%d] ended at %d",
+							gname, algo, seed, w[0], w[1], next)
+					}
+				}
+				// Out-of-order access after the full pass: a backward window
+				// must still match (replay schedules rewind via their factory).
+				for _, w := range [][2]int64{{3, 9}, {1023, 1026}} {
+					sched.Window(w[0], w[1], func(tt int64, happy []int) {
+						if !equalSets(happy, want[tt-1]) {
+							t.Fatalf("%s/%s seed=%d: re-read holiday %d: %v ≠ %v",
+								gname, algo, seed, tt, happy, want[tt-1])
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleNextHappyMatchesReplay: NextHappy must agree with the first
+// occurrence in the Next replay for every algorithm.
+func TestScheduleNextHappyMatchesReplay(t *testing.T) {
+	g := graph.GNP(40, 0.1, 23)
+	const horizon = 300
+	for _, algo := range holiday.Algorithms() {
+		opts := []holiday.Option{holiday.WithSeed(5)}
+		want := replayNext(t, g, algo, opts, horizon)
+		sched, err := holiday.NewSchedule(g, algo, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for v := 0; v < g.N(); v += 5 {
+			for _, from := range []int64{1, 17, 150} {
+				wantNext := int64(0)
+				for tt := from; tt <= horizon; tt++ {
+					for _, u := range want[tt-1] {
+						if u == v {
+							wantNext = tt
+							break
+						}
+					}
+					if wantNext != 0 {
+						break
+					}
+				}
+				if wantNext == 0 {
+					continue // not happy within the recorded horizon
+				}
+				if got := sched.NextHappy(v, from); got != wantNext {
+					t.Fatalf("%s: NextHappy(%d, %d) = %d, want %d", algo, v, from, got, wantNext)
+				}
+			}
+		}
+	}
+}
+
+// TestWithCodeUnknownName: a typoed prefix-code name must surface as an
+// error from New instead of being silently replaced by the default.
+func TestWithCodeUnknownName(t *testing.T) {
+	g := graph.Star(5)
+	if _, err := holiday.New(g, holiday.ColorBound, holiday.WithCode("omgea")); err == nil {
+		t.Fatal("want error for unknown prefix-code name")
+	}
+	if _, err := holiday.NewSchedule(g, holiday.ColorBound, holiday.WithCode("nope")); err == nil {
+		t.Fatal("want error for unknown prefix-code name via NewSchedule")
+	}
+	if _, err := holiday.New(g, holiday.ColorBound, holiday.WithCode("gamma")); err != nil {
+		t.Fatalf("valid code rejected: %v", err)
+	}
+}
+
+// TestAnalyzeScheduleMatchesAnalyze: analyzing through a Schedule must equal
+// the classic scheduler analysis for every algorithm.
+func TestAnalyzeScheduleMatchesAnalyze(t *testing.T) {
+	g := graph.GNP(64, 0.08, 29)
+	const horizon = 512
+	for _, algo := range holiday.Algorithms() {
+		s, err := holiday.New(g, algo, holiday.WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		want := holiday.Analyze(s, g, horizon)
+		sched, err := holiday.NewSchedule(g, algo, holiday.WithSeed(3))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got := holiday.AnalyzeSchedule(sched, g, horizon); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: schedule report differs from sequential", algo)
+		}
+	}
+}
