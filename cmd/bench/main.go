@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -35,9 +36,16 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed for all workloads")
 		outDir  = flag.String("out", "", "directory for per-experiment .txt/.csv output")
 		run     = flag.String("run", "", "comma-separated experiment ids to run (default: all)")
-		workers = flag.Int("workers", 0, "concurrent experiments (default GOMAXPROCS)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiments")
 	)
 	flag.Parse()
+	// A mistyped worker count fails loudly instead of silently falling back
+	// to a default the caller did not ask for.
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "bench: -workers must be ≥ 1, got %d\n", *workers)
+		flag.Usage()
+		os.Exit(1)
+	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 	selected := map[string]bool{}

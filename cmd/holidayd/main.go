@@ -39,6 +39,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed for the -demo graph generator")
 	)
 	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "holidayd: -addr must not be empty")
+		flag.Usage()
+		os.Exit(1)
+	}
 
 	reg := service.NewRegistry()
 	if *demoSpec != "" {

@@ -1,0 +1,169 @@
+// Command holidayload is the load generator and perf tracker for the
+// serving layer: it drives a named multi-community workload (mixes of
+// window, next-happy, and marry/divorce churn ops over G(n,p)/ring/clique
+// communities) either in-process against a fresh service.Registry or over
+// HTTP against a live holidayd, records latency quantiles, throughput,
+// cache hit ratio, and allocation counts into a BENCH_<rev>.json snapshot,
+// and can compare the run against a prior snapshot with a regression
+// verdict (the CI bench-gate).
+//
+// Usage:
+//
+//	holidayload -scenario ci -duration 2s            # in-process, write BENCH_<rev>.json
+//	holidayload -scenario mixed -target http://127.0.0.1:8080
+//	holidayload -scenario read -qps 5000 -workers 8
+//	holidayload -scenario ci -compare BENCH_baseline.json -threshold 0.25
+//	holidayload -replay BENCH_pr.json -compare BENCH_baseline.json
+//	holidayload -list
+//
+// Exit status: 0 on success (and a passing comparison), 1 on usage or run
+// errors, 2 when -compare detects a regression beyond the threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"repro/internal/benchkit"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		scenario  = flag.String("scenario", "ci", "named workload to run (see -list)")
+		list      = flag.Bool("list", false, "list the known scenarios and exit")
+		duration  = flag.Duration("duration", 0, "measured run length (default: the scenario's)")
+		qps       = flag.Float64("qps", 0, "aggregate target rate; 0 = unthrottled")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
+		seed      = flag.Uint64("seed", 1, "seed for community generation and op streams")
+		target    = flag.String("target", "", "drive a live holidayd at this base URL instead of in-process")
+		out       = flag.String("out", "", "snapshot output path (default BENCH_<rev>.json; \"-\" skips writing)")
+		replay    = flag.String("replay", "", "load the current snapshot from a file instead of running")
+		compare   = flag.String("compare", "", "prior snapshot to compare against; regression fails the exit status")
+		threshold = flag.Float64("threshold", 0.25, "gated-metric regression tolerance for -compare (0.25 = 25%)")
+		note      = flag.String("note", "", "free-form note recorded in the snapshot")
+		rev       = flag.String("rev", "", "revision label for the snapshot (default: git short rev)")
+	)
+	flag.Parse()
+	if *list {
+		for _, sc := range benchkit.Scenarios() {
+			fmt.Printf("%-8s %s (%d communities, default %s)\n", sc.Name, sc.Desc, len(sc.Communities), sc.Duration)
+		}
+		return
+	}
+	// Numeric flags fail loudly instead of silently defaulting: a CI job
+	// that typos -workers 0 should not gate on a one-worker run.
+	if *workers < 1 {
+		usageError("-workers must be ≥ 1, got %d", *workers)
+	}
+	if *qps < 0 {
+		usageError("-qps must be ≥ 0, got %g", *qps)
+	}
+	if *duration < 0 {
+		usageError("-duration must be positive, got %s", *duration)
+	}
+	if *threshold <= 0 || *threshold >= 1 {
+		usageError("-threshold must be in (0,1), got %g", *threshold)
+	}
+	if *replay != "" && (*target != "" || *duration != 0) {
+		usageError("-replay loads a recorded snapshot; it cannot be combined with -target or -duration")
+	}
+
+	var snap *benchkit.Snapshot
+	var err error
+	if *replay != "" {
+		snap, err = benchkit.LoadSnapshot(*replay)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sc, err := benchkit.ScenarioByName(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		var driver benchkit.Driver
+		if *target != "" {
+			driver = benchkit.NewHTTPDriver(*target, *workers)
+		} else {
+			driver = benchkit.NewInProcDriver(service.NewRegistry())
+		}
+		if *rev == "" {
+			*rev = gitRev()
+		}
+		opt := benchkit.Options{
+			Duration: *duration,
+			Workers:  *workers,
+			QPS:      *qps,
+			Seed:     *seed,
+			Rev:      *rev,
+			Note:     *note,
+		}
+		snap, err = benchkit.Run(sc, driver, opt)
+		if err != nil {
+			fatal(err)
+		}
+		benchkit.RenderSnapshot(os.Stdout, snap)
+		if *out != "-" {
+			path := *out
+			if path == "" {
+				path = "BENCH_" + sanitize(snap.Rev) + ".json"
+			}
+			if err := snap.WriteFile(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	if *compare == "" {
+		return
+	}
+	old, err := benchkit.LoadSnapshot(*compare)
+	if err != nil {
+		fatal(err)
+	}
+	cmp := benchkit.Compare(old, snap, *threshold)
+	fmt.Printf("\ncomparing against %s (rev %s, %s):\n", *compare, old.Rev, old.Timestamp)
+	cmp.Render(os.Stdout, *threshold)
+	if !cmp.Pass {
+		os.Exit(2)
+	}
+}
+
+// gitRev labels snapshots with the working tree's short revision, falling
+// back to "dev" outside a git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// sanitize keeps revision labels filename-safe.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// usageError reports a flag mistake and exits 1.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "holidayload: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "holidayload:", err)
+	os.Exit(1)
+}

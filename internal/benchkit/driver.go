@@ -1,0 +1,308 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// Driver executes generated ops against a target. Implementations must be
+// safe for concurrent Do calls: the runner issues them from every worker.
+type Driver interface {
+	// Name tags the snapshot ("inproc" or "http").
+	Name() string
+	// Setup creates the scenario's communities on the target and returns
+	// their family counts, which seed the op generators.
+	Setup(sc *Scenario, seed uint64) (sizes []int, err error)
+	// Do executes one op, returning an error only for genuine failures
+	// (benign outcomes like divorcing a couple that never married count as
+	// served traffic).
+	Do(op Op) error
+	// CacheStats sums the frozen-schedule cache counters across the
+	// scenario's communities.
+	CacheStats() (hits, misses int64, err error)
+	// Close releases the scenario's communities.
+	Close() error
+}
+
+// InProcDriver drives a service.Registry in the same process — the
+// lowest-overhead view of the serving path, and the one whose allocation
+// counts are meaningful.
+type InProcDriver struct {
+	reg   *service.Registry
+	comms []*service.Community
+	rows  sync.Pool // *[]service.HolidayRow window buffers, reused across ops
+}
+
+// NewInProcDriver wraps a registry (usually a fresh one).
+func NewInProcDriver(reg *service.Registry) *InProcDriver {
+	return &InProcDriver{
+		reg:  reg,
+		rows: sync.Pool{New: func() any { return new([]service.HolidayRow) }},
+	}
+}
+
+// Name implements Driver.
+func (d *InProcDriver) Name() string { return "inproc" }
+
+// Setup implements Driver.
+func (d *InProcDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
+	sizes := make([]int, len(sc.Communities))
+	for i, cs := range sc.Communities {
+		g, err := graph.ParseSpec(cs.Spec, seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: community %q: %w", cs.ID, err)
+		}
+		c, err := d.reg.CreateFromGraph(cs.ID, g, "")
+		if err != nil {
+			return nil, err
+		}
+		d.comms = append(d.comms, c)
+		sizes[i] = g.N()
+	}
+	return sizes, nil
+}
+
+// Do implements Driver.
+func (d *InProcDriver) Do(op Op) error {
+	c := d.comms[op.Community]
+	switch op.Kind {
+	case OpWindow:
+		buf := d.rows.Get().(*[]service.HolidayRow)
+		rows, err := c.AppendWindow((*buf)[:0], op.From, op.To)
+		if err == nil && int64(len(rows)) != op.To-op.From+1 {
+			err = fmt.Errorf("benchkit: window [%d,%d] returned %d rows", op.From, op.To, len(rows))
+		}
+		*buf = rows
+		d.rows.Put(buf)
+		return err
+	case OpNext:
+		_, err := c.NextHappy(op.U, op.From)
+		return err
+	case OpMarry:
+		_, err := c.Marry(op.U, op.V)
+		return err
+	case OpDivorce:
+		_, _, err := c.Divorce(op.U, op.V)
+		return err
+	default:
+		return fmt.Errorf("benchkit: unknown op kind %d", op.Kind)
+	}
+}
+
+// CacheStats implements Driver.
+func (d *InProcDriver) CacheStats() (hits, misses int64, err error) {
+	for _, c := range d.comms {
+		st := c.Stats()
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	return hits, misses, nil
+}
+
+// Close implements Driver: the scenario's communities are unregistered so a
+// registry can be reused across runs.
+func (d *InProcDriver) Close() error {
+	for _, c := range d.comms {
+		d.reg.Delete(c.ID())
+	}
+	d.comms = nil
+	return nil
+}
+
+// HTTPDriver drives a live holidayd over its JSON API, measuring the full
+// stack: routing, handler, JSON encoding, and the network path to the
+// target. Allocation counts in its snapshots include client-side cost.
+type HTTPDriver struct {
+	base   string // no trailing slash
+	client *http.Client
+	ids    []string
+}
+
+// NewHTTPDriver targets a base URL such as "http://127.0.0.1:8080". The
+// connection pool is sized for workers concurrent streams.
+func NewHTTPDriver(base string, workers int) *HTTPDriver {
+	if workers < 1 {
+		workers = 1
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        workers * 2,
+		MaxIdleConnsPerHost: workers * 2,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	return &HTTPDriver{
+		base:   trimTrailingSlash(base),
+		client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// trimTrailingSlash normalizes the base URL.
+func trimTrailingSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Name implements Driver.
+func (d *HTTPDriver) Name() string { return "http" }
+
+// Setup implements Driver: each community is deleted if present (leftovers
+// of an aborted run) and recreated from its spec's edge list.
+func (d *HTTPDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
+	sizes := make([]int, len(sc.Communities))
+	for i, cs := range sc.Communities {
+		g, err := graph.ParseSpec(cs.Spec, seed+uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: community %q: %w", cs.ID, err)
+		}
+		req, err := http.NewRequest(http.MethodDelete, d.base+"/communities/"+url.PathEscape(cs.ID), nil)
+		if err != nil {
+			return nil, err
+		}
+		if resp, err := d.client.Do(req); err == nil {
+			drain(resp)
+		}
+		edges := make([][2]int, 0, g.M())
+		for _, e := range g.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		body, err := json.Marshal(map[string]any{
+			"id": cs.ID, "families": g.N(), "edges": edges,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := d.client.Post(d.base+"/communities", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: create %q: %w", cs.ID, err)
+		}
+		if err := drainExpect(resp, http.StatusCreated); err != nil {
+			return nil, fmt.Errorf("benchkit: create %q: %w", cs.ID, err)
+		}
+		d.ids = append(d.ids, cs.ID)
+		sizes[i] = g.N()
+	}
+	return sizes, nil
+}
+
+// Do implements Driver. Responses are drained (a requirement for connection
+// reuse) and status-checked, not decoded — decoding on the load generator
+// would dominate the measurement.
+func (d *HTTPDriver) Do(op Op) error {
+	id := url.PathEscape(d.ids[op.Community])
+	switch op.Kind {
+	case OpWindow:
+		resp, err := d.client.Get(d.base + "/communities/" + id + "/window?from=" +
+			strconv.FormatInt(op.From, 10) + "&to=" + strconv.FormatInt(op.To, 10))
+		if err != nil {
+			return err
+		}
+		return drainExpect(resp, http.StatusOK)
+	case OpNext:
+		resp, err := d.client.Get(d.base + "/communities/" + id + "/families/" +
+			strconv.Itoa(op.U) + "/next?from=" + strconv.FormatInt(op.From, 10))
+		if err != nil {
+			return err
+		}
+		return drainExpect(resp, http.StatusOK)
+	case OpMarry:
+		body, _ := json.Marshal(map[string]int{"u": op.U, "v": op.V})
+		resp, err := d.client.Post(d.base+"/communities/"+id+"/edges", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		return drainExpect(resp, http.StatusOK)
+	case OpDivorce:
+		req, err := http.NewRequest(http.MethodDelete, d.base+"/communities/"+id+"/edges?u="+
+			strconv.Itoa(op.U)+"&v="+strconv.Itoa(op.V), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			return err
+		}
+		return drainExpect(resp, http.StatusOK)
+	default:
+		return fmt.Errorf("benchkit: unknown op kind %d", op.Kind)
+	}
+}
+
+// CacheStats implements Driver via the per-community stats endpoint.
+func (d *HTTPDriver) CacheStats() (hits, misses int64, err error) {
+	for _, id := range d.ids {
+		resp, err := d.client.Get(d.base + "/communities/" + url.PathEscape(id))
+		if err != nil {
+			return 0, 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			// An error payload would decode into all-zero Stats; fail the
+			// run instead of silently zeroing the cache ratio.
+			err := drainExpect(resp, http.StatusOK)
+			return 0, 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
+		}
+		var st service.Stats
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
+		}
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	return hits, misses, nil
+}
+
+// Close implements Driver: the scenario's communities are deleted from the
+// target so repeated runs start clean.
+func (d *HTTPDriver) Close() error {
+	var firstErr error
+	for _, id := range d.ids {
+		req, err := http.NewRequest(http.MethodDelete, d.base+"/communities/"+url.PathEscape(id), nil)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		resp, err := d.client.Do(req)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		drain(resp)
+	}
+	d.ids = nil
+	d.client.CloseIdleConnections()
+	return firstErr
+}
+
+// drain consumes and closes a response body so the connection can be reused.
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// drainExpect drains the body and errors unless the status matches.
+func drainExpect(resp *http.Response, want int) error {
+	if resp.StatusCode != want {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return fmt.Errorf("benchkit: %s %s: status %d (want %d): %s",
+			resp.Request.Method, resp.Request.URL.Path, resp.StatusCode, want, bytes.TrimSpace(msg))
+	}
+	drain(resp)
+	return nil
+}

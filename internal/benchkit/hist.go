@@ -1,0 +1,120 @@
+package benchkit
+
+import (
+	"math"
+	"time"
+)
+
+// Hist is a geometric-bucket latency histogram: bucket i covers
+// [histBase·histRatio^i, histBase·histRatio^(i+1)) nanoseconds, giving
+// ~9% relative quantile error from 100ns to beyond 100s with a few hundred
+// buckets and O(1) lock-free recording per sample (each worker owns one Hist
+// and they merge after the run).
+type Hist struct {
+	counts [histBuckets]int64
+	n      int64
+	sum    int64 // total nanoseconds, for Mean
+	min    int64
+	max    int64
+}
+
+const (
+	histBase    = 100.0 // ns: everything faster lands in bucket 0
+	histRatio   = 1.09
+	histBuckets = 256
+)
+
+// histLogRatio caches 1/ln(histRatio) for bucket indexing.
+var histLogRatio = 1 / math.Log(histRatio)
+
+// bucketOf maps a latency in nanoseconds to its bucket.
+func bucketOf(ns int64) int {
+	if ns < histBase {
+		return 0
+	}
+	b := int(math.Log(float64(ns)/histBase) * histLogRatio)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketValue returns the representative latency (geometric midpoint) of a
+// bucket, in nanoseconds.
+func bucketValue(b int) int64 {
+	return int64(histBase * math.Pow(histRatio, float64(b)+0.5))
+}
+
+// Record adds one sample.
+func (h *Hist) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)]++
+	h.sum += ns
+	if h.n == 0 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+	h.n++
+}
+
+// Merge folds another histogram into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.n }
+
+// Mean returns the average sample.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as a duration, clamped to the
+// observed min/max so tiny sample counts do not report bucket-boundary
+// artifacts. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,205 @@
+package benchkit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure one load run.
+type Options struct {
+	// Duration of the measured phase; <= 0 uses the scenario default.
+	Duration time.Duration
+	// Workers issuing ops concurrently; < 1 uses GOMAXPROCS.
+	Workers int
+	// QPS is the aggregate target rate across workers; 0 runs unthrottled
+	// (measures the maximum the target sustains).
+	QPS float64
+	// Seed drives community generation and every worker's op stream.
+	Seed uint64
+	// Rev and Note annotate the snapshot (git revision, free-form context).
+	Rev, Note string
+}
+
+// workerState is one worker's private measurement, merged after the run so
+// the hot loop never shares memory.
+type workerState struct {
+	overall  Hist
+	perKind  [numOpKinds]Hist
+	errors   [numOpKinds]int64
+	firstErr error
+}
+
+// Run drives the scenario against the driver and returns the measured
+// snapshot. Community creation and one cache-warming window query per
+// community happen before the clock starts, so the measured phase sees the
+// steady serving state. An error is returned for setup failures or a run in
+// which every op failed; sporadic op errors are counted in the snapshot.
+func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = sc.Duration
+	}
+	if opt.Workers < 1 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	sizes, err := d.Setup(sc, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+	if err := sc.ValidateSizes(sizes); err != nil {
+		return nil, err
+	}
+
+	// Warm the frozen-schedule caches: the first query per community pays
+	// the freeze; steady-state serving is what the snapshot tracks.
+	for ci := range sc.Communities {
+		if err := d.Do(Op{Kind: OpWindow, Community: ci, From: 1, To: 1}); err != nil {
+			return nil, fmt.Errorf("benchkit: warmup query on %q failed: %w", sc.Communities[ci].ID, err)
+		}
+	}
+	hits0, misses0, err := d.CacheStats()
+	if err != nil {
+		return nil, err
+	}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
+
+	states := make([]workerState, opt.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(opt.Duration)
+	// Pacing: each worker owns a 1/Workers share of the target rate and
+	// walks a fixed tick grid, skipping sleeps when it falls behind.
+	var interval time.Duration
+	if opt.QPS > 0 {
+		interval = time.Duration(float64(opt.Workers) / opt.QPS * float64(time.Second))
+	}
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &states[w]
+			// Distinct, widely separated streams per worker; the offset
+			// keeps worker 0 of different worker counts distinct too.
+			gen := NewOpGen(sc, sizes, opt.Seed+0x100000001b3*uint64(w+1))
+			next := start.Add(interval * time.Duration(w) / time.Duration(opt.Workers))
+			for {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					next = next.Add(interval)
+				}
+				if !time.Now().Before(deadline) {
+					return
+				}
+				op := gen.Next()
+				t0 := time.Now()
+				err := d.Do(op)
+				lat := time.Since(t0)
+				st.overall.Record(lat)
+				st.perKind[op.Kind].Record(lat)
+				if err != nil {
+					st.errors[op.Kind]++
+					if st.firstErr == nil {
+						st.firstErr = err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	hits1, misses1, err := d.CacheStats()
+	if err != nil {
+		return nil, err
+	}
+
+	var merged Hist
+	var perKind [numOpKinds]Hist
+	var errs int64
+	var firstErr error
+	for w := range states {
+		merged.Merge(&states[w].overall)
+		for k := range perKind {
+			perKind[k].Merge(&states[w].perKind[k])
+			errs += states[w].errors[k]
+		}
+		if firstErr == nil {
+			firstErr = states[w].firstErr
+		}
+	}
+	ops := merged.Count()
+	if ops == 0 {
+		return nil, fmt.Errorf("benchkit: run completed no ops (duration %s too short?)", opt.Duration)
+	}
+	if errs == ops {
+		return nil, fmt.Errorf("benchkit: all %d ops failed; first error: %w", ops, firstErr)
+	}
+
+	s := &Snapshot{
+		Schema:      SchemaVersion,
+		Rev:         opt.Rev,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Scenario:    sc.Name,
+		Driver:      d.Name(),
+		Workers:     opt.Workers,
+		QPSTarget:   opt.QPS,
+		DurationSec: elapsed.Seconds(),
+		Seed:        opt.Seed,
+		GoVersion:   runtime.Version(),
+		Maxprocs:    runtime.GOMAXPROCS(0),
+		Note:        opt.Note,
+		Totals: Metrics{
+			Ops:    ops,
+			Errors: errs,
+			// Only successfully served ops count toward the gated
+			// throughput: a change that fails an op class fast must read
+			// as a qps regression, not a speedup.
+			QPS:         float64(ops-errs) / elapsed.Seconds(),
+			P50Micro:    micros(merged.Quantile(0.50)),
+			P95Micro:    micros(merged.Quantile(0.95)),
+			P99Micro:    micros(merged.Quantile(0.99)),
+			AllocsPerOp: float64(mem1.Mallocs-mem0.Mallocs) / float64(ops),
+			BytesPerOp:  float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(ops),
+		},
+		PerOp: map[string]OpStats{},
+	}
+	if lookups := (hits1 - hits0) + (misses1 - misses0); lookups > 0 {
+		s.Totals.CacheHitRatio = float64(hits1-hits0) / float64(lookups)
+	}
+	for k := range perKind {
+		h := &perKind[k]
+		if h.Count() == 0 {
+			continue
+		}
+		s.PerOp[OpKind(k).String()] = OpStats{
+			Count:    h.Count(),
+			Errors:   sumErrors(states, OpKind(k)),
+			P50Micro: micros(h.Quantile(0.50)),
+			P95Micro: micros(h.Quantile(0.95)),
+			P99Micro: micros(h.Quantile(0.99)),
+		}
+	}
+	return s, nil
+}
+
+// micros converts a duration to fractional microseconds for the snapshot.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// sumErrors totals one op kind's errors across workers.
+func sumErrors(states []workerState, k OpKind) int64 {
+	var n int64
+	for w := range states {
+		n += states[w].errors[k]
+	}
+	return n
+}

@@ -1,0 +1,301 @@
+// Package benchkit is the load-generation and performance-tracking
+// subsystem: it synthesizes multi-community workloads (configurable mixes of
+// window, next-happy, and churn marry/divorce operations over G(n,p), ring,
+// and clique communities at several scales), drives them either in-process
+// against a service.Registry or over HTTP against a live holidayd, and
+// records latency quantiles, throughput, cache hit ratio, and allocation
+// counts into versioned BENCH_<rev>.json snapshots that successive revisions
+// compare against (see Compare and cmd/holidayload).
+//
+// Scenario op streams are deterministic under a fixed seed: each worker of
+// a run draws from its own OpGen seeded by a fixed function of the run seed
+// and worker index (see Run), so two runs of the same scenario and seed
+// request identical work and differ only in timing.
+package benchkit
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// OpKind enumerates the request types a scenario mixes.
+type OpKind int
+
+const (
+	// OpWindow is a closed-form schedule window query (the read hot path).
+	OpWindow OpKind = iota
+	// OpNext is a family's next-happy-holiday query.
+	OpNext
+	// OpMarry inserts an in-law edge, possibly forcing a §6 recoloring and a
+	// cache invalidation.
+	OpMarry
+	// OpDivorce removes an in-law edge.
+	OpDivorce
+	numOpKinds
+)
+
+// String names the op kind as it appears in snapshots.
+func (k OpKind) String() string {
+	switch k {
+	case OpWindow:
+		return "window"
+	case OpNext:
+		return "next"
+	case OpMarry:
+		return "marry"
+	case OpDivorce:
+		return "divorce"
+	default:
+		return fmt.Sprintf("opkind(%d)", int(k))
+	}
+}
+
+// OpMix weights the four op kinds. Weights are relative (they need not sum
+// to anything particular); a zero weight disables the kind.
+type OpMix struct {
+	Window  int `json:"window"`
+	Next    int `json:"next"`
+	Marry   int `json:"marry"`
+	Divorce int `json:"divorce"`
+}
+
+// weights returns the mix as an indexable array.
+func (m OpMix) weights() [numOpKinds]int {
+	return [numOpKinds]int{m.Window, m.Next, m.Marry, m.Divorce}
+}
+
+// total sums the weights.
+func (m OpMix) total() int { return m.Window + m.Next + m.Marry + m.Divorce }
+
+// CommunitySpec names one community of a scenario and the graph it starts
+// from (a graph.ParseSpec string, e.g. "gnp:n=256,p=0.03").
+type CommunitySpec struct {
+	ID   string `json:"id"`
+	Spec string `json:"spec"`
+}
+
+// Scenario is a named synthetic workload: a set of communities at chosen
+// scales and an op mix drawn over them.
+type Scenario struct {
+	Name        string
+	Desc        string
+	Communities []CommunitySpec
+	Mix         OpMix
+	// WindowSpan is the maximum holidays one window query covers.
+	WindowSpan int
+	// Horizon bounds the holiday range queries are drawn from.
+	Horizon int64
+	// Duration is the default run length (overridable per run).
+	Duration time.Duration
+}
+
+// Scenarios returns the built-in named workloads, in presentation order.
+// "ci" is deliberately small: it is the workload the bench-gate CI job runs
+// on every PR.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		{
+			Name: "ci",
+			Desc: "small mixed read/churn workload sized for the CI regression gate",
+			Communities: []CommunitySpec{
+				{ID: "gnp-s", Spec: "gnp:n=128,p=0.05"},
+				{ID: "ring-s", Spec: "cycle:n=64"},
+				{ID: "clique-s", Spec: "clique:n=16"},
+			},
+			Mix:        OpMix{Window: 70, Next: 20, Marry: 6, Divorce: 4},
+			WindowSpan: 52,
+			Horizon:    1 << 20,
+			Duration:   2 * time.Second,
+		},
+		{
+			Name: "read",
+			Desc: "read-only window/next traffic over mid-size communities (pure cache-hit path)",
+			Communities: []CommunitySpec{
+				{ID: "gnp-m", Spec: "gnp:n=1024,p=0.01"},
+				{ID: "ring-m", Spec: "cycle:n=512"},
+				{ID: "clique-m", Spec: "clique:n=32"},
+			},
+			Mix:        OpMix{Window: 75, Next: 25},
+			WindowSpan: 52,
+			Horizon:    1 << 30,
+			Duration:   10 * time.Second,
+		},
+		{
+			Name: "churn",
+			Desc: "marriage/divorce heavy traffic stressing §6 recoloring and cache invalidation",
+			Communities: []CommunitySpec{
+				{ID: "gnp-m", Spec: "gnp:n=512,p=0.02"},
+				{ID: "ring-m", Spec: "cycle:n=256"},
+				{ID: "clique-s", Spec: "clique:n=24"},
+			},
+			Mix:        OpMix{Window: 35, Next: 15, Marry: 30, Divorce: 20},
+			WindowSpan: 26,
+			Horizon:    1 << 20,
+			Duration:   10 * time.Second,
+		},
+		{
+			Name: "mixed",
+			Desc: "mixed read/churn traffic across small-to-large communities",
+			Communities: []CommunitySpec{
+				{ID: "gnp-s", Spec: "gnp:n=256,p=0.03"},
+				{ID: "gnp-l", Spec: "gnp:n=4096,p=0.002"},
+				{ID: "ring-l", Spec: "cycle:n=2048"},
+				{ID: "clique-m", Spec: "clique:n=48"},
+			},
+			Mix:        OpMix{Window: 60, Next: 25, Marry: 9, Divorce: 6},
+			WindowSpan: 52,
+			Horizon:    1 << 30,
+			Duration:   15 * time.Second,
+		},
+		{
+			Name: "large",
+			Desc: "window scans over one large sparse community (allocation pressure path)",
+			Communities: []CommunitySpec{
+				{ID: "gnp-xl", Spec: "gnp:n=16384,p=0.0005"},
+			},
+			Mix:        OpMix{Window: 90, Next: 10},
+			WindowSpan: 365,
+			Horizon:    1 << 40,
+			Duration:   15 * time.Second,
+		},
+	}
+}
+
+// ScenarioByName resolves a named workload.
+func ScenarioByName(name string) (*Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("benchkit: unknown scenario %q (known: %s)", name, scenarioNames())
+}
+
+// scenarioNames joins the known scenario names for error messages.
+func scenarioNames() string {
+	s := ""
+	for i, sc := range Scenarios() {
+		if i > 0 {
+			s += ", "
+		}
+		s += sc.Name
+	}
+	return s
+}
+
+// Validate checks a scenario is runnable: at least one community, a positive
+// mix, and sane bounds.
+func (sc *Scenario) Validate() error {
+	if len(sc.Communities) == 0 {
+		return fmt.Errorf("benchkit: scenario %q has no communities", sc.Name)
+	}
+	if sc.Mix.total() <= 0 {
+		return fmt.Errorf("benchkit: scenario %q has an empty op mix", sc.Name)
+	}
+	if sc.Mix.Window < 0 || sc.Mix.Next < 0 || sc.Mix.Marry < 0 || sc.Mix.Divorce < 0 {
+		return fmt.Errorf("benchkit: scenario %q has a negative op weight", sc.Name)
+	}
+	if sc.WindowSpan < 1 {
+		return fmt.Errorf("benchkit: scenario %q has window span %d < 1", sc.Name, sc.WindowSpan)
+	}
+	if sc.Horizon < 1 {
+		return fmt.Errorf("benchkit: scenario %q has horizon %d < 1", sc.Name, sc.Horizon)
+	}
+	return nil
+}
+
+// ValidateSizes checks the created communities can serve the mix: every
+// community has at least one family, and at least two when churn ops are
+// enabled (a couple needs two distinct families).
+func (sc *Scenario) ValidateSizes(sizes []int) error {
+	churn := sc.Mix.Marry > 0 || sc.Mix.Divorce > 0
+	for i, n := range sizes {
+		if n < 1 {
+			return fmt.Errorf("benchkit: scenario %q community %d has %d families", sc.Name, i, n)
+		}
+		if churn && n < 2 {
+			return fmt.Errorf("benchkit: scenario %q mixes marry/divorce ops but community %q has only %d family",
+				sc.Name, sc.Communities[i].ID, n)
+		}
+	}
+	return nil
+}
+
+// Op is one generated request. Community indexes the scenario's community
+// list; U/V are family ids (U the queried family for OpNext, the couple for
+// churn ops); From/To bound OpWindow and OpNext queries.
+type Op struct {
+	Kind      OpKind
+	Community int
+	U, V      int
+	From, To  int64
+}
+
+// OpGen deterministically generates a scenario's op stream. sizes gives the
+// current family count of each community (as created by the driver); two
+// generators with equal (scenario, sizes, seed) yield identical streams.
+type OpGen struct {
+	sc      *Scenario
+	sizes   []int
+	r       *rand.Rand
+	weights [numOpKinds]int
+	total   int
+}
+
+// NewOpGen builds a generator for the scenario over communities of the given
+// sizes. It panics if sizes does not match the scenario's community list or
+// a community is too small for the mix — the runner pre-checks both via
+// ValidateSizes, so the panics only fire on direct misuse.
+func NewOpGen(sc *Scenario, sizes []int, seed uint64) *OpGen {
+	if len(sizes) != len(sc.Communities) {
+		panic(fmt.Sprintf("benchkit: %d sizes for %d communities", len(sizes), len(sc.Communities)))
+	}
+	if err := sc.ValidateSizes(sizes); err != nil {
+		panic(err.Error())
+	}
+	return &OpGen{
+		sc:      sc,
+		sizes:   append([]int(nil), sizes...),
+		r:       rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		weights: sc.Mix.weights(),
+		total:   sc.Mix.total(),
+	}
+}
+
+// Next returns the following op of the stream.
+func (g *OpGen) Next() Op {
+	ci := g.r.IntN(len(g.sizes))
+	n := g.sizes[ci]
+	op := Op{Community: ci, Kind: g.kind()}
+	switch op.Kind {
+	case OpWindow:
+		span := int64(1 + g.r.IntN(g.sc.WindowSpan))
+		op.From = 1 + g.r.Int64N(g.sc.Horizon)
+		op.To = op.From + span - 1
+	case OpNext:
+		op.U = g.r.IntN(n)
+		op.From = 1 + g.r.Int64N(g.sc.Horizon)
+	case OpMarry, OpDivorce:
+		// Distinct couple; ValidateSizes guarantees n ≥ 2 when churn ops
+		// are enabled, so the draw below cannot degenerate.
+		op.U = g.r.IntN(n)
+		op.V = g.r.IntN(n - 1)
+		if op.V >= op.U {
+			op.V++
+		}
+	}
+	return op
+}
+
+// kind draws an op kind by mix weight.
+func (g *OpGen) kind() OpKind {
+	x := g.r.IntN(g.total)
+	for k, w := range g.weights {
+		if x < w {
+			return OpKind(k)
+		}
+		x -= w
+	}
+	return OpWindow // unreachable: weights sum to total
+}

@@ -1,0 +1,162 @@
+package benchkit
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScenariosValidate checks every built-in workload is runnable and that
+// its communities parse (Setup exercises the specs in runner_test.go; here
+// we only need structural validity).
+func TestScenariosValidate(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %q: %v", sc.Name, err)
+		}
+		if sc.Duration <= 0 {
+			t.Errorf("scenario %q has no default duration", sc.Name)
+		}
+		ids := map[string]bool{}
+		for _, cs := range sc.Communities {
+			if ids[cs.ID] {
+				t.Errorf("scenario %q reuses community id %q", sc.Name, cs.ID)
+			}
+			ids[cs.ID] = true
+		}
+	}
+	if !seen["ci"] {
+		t.Fatal("the bench-gate scenario \"ci\" must exist")
+	}
+}
+
+func TestScenarioByNameUnknown(t *testing.T) {
+	if _, err := ScenarioByName("no-such-workload"); err == nil {
+		t.Fatal("want error for unknown scenario")
+	}
+}
+
+// TestOpGenDeterministic: two generators with equal (scenario, sizes, seed)
+// yield identical op streams; a different seed diverges.
+func TestOpGenDeterministic(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sizes := make([]int, len(sc.Communities))
+		for i := range sizes {
+			sizes[i] = 64 + i
+		}
+		a := NewOpGen(sc, sizes, 42)
+		b := NewOpGen(sc, sizes, 42)
+		c := NewOpGen(sc, sizes, 43)
+		diverged := false
+		for i := 0; i < 5000; i++ {
+			opA, opB := a.Next(), b.Next()
+			if opA != opB {
+				t.Fatalf("scenario %q: op %d differs under equal seeds: %+v vs %+v", sc.Name, i, opA, opB)
+			}
+			if opA != c.Next() {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("scenario %q: seeds 42 and 43 generated identical streams", sc.Name)
+		}
+	}
+}
+
+// TestOpGenMixRatios: over a large sample the generated kind frequencies
+// honor the scenario's weights within a small tolerance, for a table of
+// mixes including one-sided and disabled kinds.
+func TestOpGenMixRatios(t *testing.T) {
+	cases := []struct {
+		name string
+		mix  OpMix
+	}{
+		{"ci-like", OpMix{Window: 70, Next: 20, Marry: 6, Divorce: 4}},
+		{"read-only", OpMix{Window: 75, Next: 25}},
+		{"churn-heavy", OpMix{Window: 35, Next: 15, Marry: 30, Divorce: 20}},
+		{"window-only", OpMix{Window: 1}},
+		{"even", OpMix{Window: 1, Next: 1, Marry: 1, Divorce: 1}},
+	}
+	const samples = 200_000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &Scenario{
+				Name:        tc.name,
+				Communities: []CommunitySpec{{ID: "a", Spec: "cycle:n=32"}, {ID: "b", Spec: "clique:n=8"}},
+				Mix:         tc.mix,
+				WindowSpan:  52,
+				Horizon:     1 << 20,
+			}
+			if err := sc.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			gen := NewOpGen(sc, []int{32, 8}, 7)
+			var counts [numOpKinds]int
+			for i := 0; i < samples; i++ {
+				counts[gen.Next().Kind]++
+			}
+			total := float64(tc.mix.total())
+			for k, w := range tc.mix.weights() {
+				want := float64(w) / total
+				got := float64(counts[k]) / samples
+				if w == 0 {
+					if counts[k] != 0 {
+						t.Errorf("%v: weight 0 but %d ops generated", OpKind(k), counts[k])
+					}
+					continue
+				}
+				if math.Abs(got-want) > 0.01 {
+					t.Errorf("%v: frequency %.4f, want %.4f ±0.01", OpKind(k), got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestOpGenBounds: generated parameters stay inside the scenario's bounds
+// and community sizes for every op kind.
+func TestOpGenBounds(t *testing.T) {
+	sc := &Scenario{
+		Name:        "bounds",
+		Communities: []CommunitySpec{{ID: "a", Spec: "cycle:n=9"}, {ID: "b", Spec: "cycle:n=3"}},
+		Mix:         OpMix{Window: 1, Next: 1, Marry: 1, Divorce: 1},
+		WindowSpan:  13,
+		Horizon:     1000,
+	}
+	sizes := []int{9, 3}
+	gen := NewOpGen(sc, sizes, 11)
+	for i := 0; i < 50_000; i++ {
+		op := gen.Next()
+		if op.Community < 0 || op.Community >= len(sizes) {
+			t.Fatalf("op %d: community %d out of range", i, op.Community)
+		}
+		n := sizes[op.Community]
+		switch op.Kind {
+		case OpWindow:
+			if op.From < 1 || op.From > sc.Horizon {
+				t.Fatalf("op %d: window from %d outside [1,%d]", i, op.From, sc.Horizon)
+			}
+			if span := op.To - op.From + 1; span < 1 || span > int64(sc.WindowSpan) {
+				t.Fatalf("op %d: window span %d outside [1,%d]", i, span, sc.WindowSpan)
+			}
+		case OpNext:
+			if op.U < 0 || op.U >= n {
+				t.Fatalf("op %d: next family %d outside [0,%d)", i, op.U, n)
+			}
+			if op.From < 1 || op.From > sc.Horizon {
+				t.Fatalf("op %d: next from %d outside [1,%d]", i, op.From, sc.Horizon)
+			}
+		case OpMarry, OpDivorce:
+			if op.U < 0 || op.U >= n || op.V < 0 || op.V >= n {
+				t.Fatalf("op %d: couple (%d,%d) outside [0,%d)", i, op.U, op.V, n)
+			}
+			if op.U == op.V {
+				t.Fatalf("op %d: self-marriage at %d", i, op.U)
+			}
+		}
+	}
+}

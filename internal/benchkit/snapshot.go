@@ -1,0 +1,215 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout; bump it on breaking
+// changes so Compare can refuse mismatched snapshots instead of misreading
+// them.
+const SchemaVersion = 1
+
+// Snapshot is one recorded benchmark run — the unit of the repo's
+// performance trajectory. Snapshots are committed as BENCH_<rev>.json and
+// compared across revisions by the CI bench-gate.
+type Snapshot struct {
+	Schema    int    `json:"schema"`
+	Rev       string `json:"rev"`
+	Timestamp string `json:"timestamp"` // RFC3339
+	Scenario  string `json:"scenario"`
+	Driver    string `json:"driver"`
+	Workers   int    `json:"workers"`
+	// QPSTarget is the requested rate; 0 means unthrottled (measure the
+	// maximum the target sustains).
+	QPSTarget   float64 `json:"qps_target"`
+	DurationSec float64 `json:"duration_sec"`
+	Seed        uint64  `json:"seed"`
+	GoVersion   string  `json:"go_version"`
+	Maxprocs    int     `json:"maxprocs"`
+	// Note carries free-form context, e.g. before/after numbers of the
+	// optimization a revision landed.
+	Note   string             `json:"note,omitempty"`
+	Totals Metrics            `json:"totals"`
+	PerOp  map[string]OpStats `json:"per_op"`
+}
+
+// Metrics are the run-wide aggregates the regression gate inspects.
+type Metrics struct {
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+	// QPS is successfully served ops per second over the measured run —
+	// the gated throughput metric. Errored ops are excluded so failing
+	// fast never reads as throughput.
+	QPS      float64 `json:"qps"`
+	P50Micro float64 `json:"p50_us"`
+	P95Micro float64 `json:"p95_us"`
+	P99Micro float64 `json:"p99_us"`
+	// CacheHitRatio is hits/(hits+misses) of the frozen-schedule cache
+	// accumulated across the scenario's communities during the run.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// AllocsPerOp and BytesPerOp come from runtime.MemStats deltas and are
+	// only meaningful for the in-process driver (they include load-generator
+	// overhead on the HTTP driver).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// OpStats is the per-op-kind latency breakdown.
+type OpStats struct {
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	P50Micro float64 `json:"p50_us"`
+	P95Micro float64 `json:"p95_us"`
+	P99Micro float64 `json:"p99_us"`
+}
+
+// WriteFile writes the snapshot as indented JSON (stable key order via the
+// struct layout) to path.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSnapshot reads and validates a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchkit: %s has schema %d, this build reads %d", path, s.Schema, SchemaVersion)
+	}
+	if s.Totals.Ops <= 0 {
+		return nil, fmt.Errorf("benchkit: %s records no completed ops", path)
+	}
+	return &s, nil
+}
+
+// Delta is one metric of a snapshot comparison. Pct is the relative change
+// new vs old (positive = the number went up). Gated marks the metrics whose
+// regression fails the comparison; the others are informational.
+type Delta struct {
+	Metric    string
+	Old, New  float64
+	Pct       float64
+	Gated     bool
+	Regressed bool
+}
+
+// Comparison is the verdict of comparing a new snapshot against an old one.
+type Comparison struct {
+	Deltas []Delta
+	// Pass is false when a gated metric regressed beyond the threshold.
+	Pass bool
+	// Mismatch notes scenario/driver differences that make the numbers
+	// incomparable; a mismatch fails the comparison outright.
+	Mismatch string
+}
+
+// Compare evaluates new against old with the given regression threshold
+// (0.25 = fail on >25% drop). Throughput (qps) is the gated metric — the
+// threshold is deliberately generous so shared-runner noise does not flap
+// the CI gate — while latency quantiles, cache hit ratio, and allocation
+// counts are reported for trend reading.
+func Compare(old, new *Snapshot, threshold float64) *Comparison {
+	cmp := &Comparison{Pass: true}
+	if old.Scenario != new.Scenario || old.Driver != new.Driver {
+		cmp.Mismatch = fmt.Sprintf("scenario/driver mismatch: old ran %s on %s, new ran %s on %s",
+			old.Scenario, old.Driver, new.Scenario, new.Driver)
+		cmp.Pass = false
+		return cmp
+	}
+	if old.Workers != new.Workers {
+		cmp.Mismatch = fmt.Sprintf("worker-count mismatch: old ran %d workers, new ran %d — throughput is not comparable (rerun with -workers %d)",
+			old.Workers, new.Workers, old.Workers)
+		cmp.Pass = false
+		return cmp
+	}
+	add := func(metric string, o, n float64, gated, lowerIsBetter bool) {
+		d := Delta{Metric: metric, Old: o, New: n, Gated: gated}
+		if o != 0 {
+			d.Pct = (n - o) / o
+		}
+		if gated && o > 0 {
+			if lowerIsBetter {
+				d.Regressed = n > o*(1+threshold)
+			} else {
+				d.Regressed = n < o*(1-threshold)
+			}
+			if d.Regressed {
+				cmp.Pass = false
+			}
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	add("qps", old.Totals.QPS, new.Totals.QPS, true, false)
+	add("p50_us", old.Totals.P50Micro, new.Totals.P50Micro, false, true)
+	add("p95_us", old.Totals.P95Micro, new.Totals.P95Micro, false, true)
+	add("p99_us", old.Totals.P99Micro, new.Totals.P99Micro, false, true)
+	add("cache_hit_ratio", old.Totals.CacheHitRatio, new.Totals.CacheHitRatio, false, false)
+	add("allocs_per_op", old.Totals.AllocsPerOp, new.Totals.AllocsPerOp, false, true)
+	add("bytes_per_op", old.Totals.BytesPerOp, new.Totals.BytesPerOp, false, true)
+	add("errors", float64(old.Totals.Errors), float64(new.Totals.Errors), false, true)
+	return cmp
+}
+
+// Render prints the comparison as an aligned table plus verdict line
+// ("BENCH PASS"/"BENCH FAIL", the strings the CI gate greps).
+func (c *Comparison) Render(w io.Writer, threshold float64) {
+	if c.Mismatch != "" {
+		fmt.Fprintf(w, "BENCH FAIL: %s\n", c.Mismatch)
+		return
+	}
+	fmt.Fprintf(w, "%-16s %14s %14s %9s  %s\n", "metric", "old", "new", "delta", "gate")
+	for _, d := range c.Deltas {
+		gate := ""
+		if d.Gated {
+			gate = fmt.Sprintf("±%.0f%%", threshold*100)
+			if d.Regressed {
+				gate += "  REGRESSED"
+			}
+		}
+		fmt.Fprintf(w, "%-16s %14.2f %14.2f %+8.1f%%  %s\n", d.Metric, d.Old, d.New, d.Pct*100, gate)
+	}
+	if c.Pass {
+		fmt.Fprintln(w, "BENCH PASS: no gated metric regressed beyond threshold")
+	} else {
+		fmt.Fprintln(w, "BENCH FAIL: gated metric regressed beyond threshold")
+	}
+}
+
+// opNames returns the per-op keys of a snapshot, sorted, for stable output.
+func opNames(per map[string]OpStats) []string {
+	names := make([]string, 0, len(per))
+	for k := range per {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RenderSnapshot prints a human-readable summary of one run.
+func RenderSnapshot(w io.Writer, s *Snapshot) {
+	fmt.Fprintf(w, "scenario %s on %s driver: %d workers, %.1fs, rev %s\n",
+		s.Scenario, s.Driver, s.Workers, s.DurationSec, s.Rev)
+	fmt.Fprintf(w, "  ops %d (errors %d)  qps %.0f  p50 %.0fµs  p95 %.0fµs  p99 %.0fµs\n",
+		s.Totals.Ops, s.Totals.Errors, s.Totals.QPS, s.Totals.P50Micro, s.Totals.P95Micro, s.Totals.P99Micro)
+	fmt.Fprintf(w, "  cache hit ratio %.4f  allocs/op %.1f  bytes/op %.0f\n",
+		s.Totals.CacheHitRatio, s.Totals.AllocsPerOp, s.Totals.BytesPerOp)
+	for _, k := range opNames(s.PerOp) {
+		o := s.PerOp[k]
+		fmt.Fprintf(w, "  %-8s count %-9d p50 %.0fµs  p95 %.0fµs  p99 %.0fµs\n",
+			k, o.Count, o.P50Micro, o.P95Micro, o.P99Micro)
+	}
+}

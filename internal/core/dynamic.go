@@ -139,7 +139,10 @@ func (dc *DynamicColorBound) CurrentPeriod(v int) int64 {
 // immutable random-access Schedule. The snapshot stays internally consistent
 // (every happy set independent in the graph at freeze time) while the live
 // scheduler keeps absorbing churn — this is the value the serving layer
-// caches between recolorings.
+// caches between recolorings. The assignment is valid by construction
+// (period = 2^len ≥ 1 and offset = codeword value < 2^len), so the snapshot
+// skips NewFixedPeriodic's copy-and-validate pass: rebuilds sit on the
+// serving path after every recoloring.
 func (dc *DynamicColorBound) FrozenSchedule() (Schedule, error) {
 	periods := make([]int64, dc.d.N())
 	offsets := make([]int64, dc.d.N())
@@ -151,7 +154,7 @@ func (dc *DynamicColorBound) FrozenSchedule() (Schedule, error) {
 		periods[v] = int64(1) << uint(enc.Len())
 		offsets[v] = int64(enc.Value())
 	}
-	return NewFixedPeriodic(dc.Name(), periods, offsets)
+	return newPeriodicSchedule(dc.Name(), periods, offsets), nil
 }
 
 // Color returns v's current color.

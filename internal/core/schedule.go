@@ -42,6 +42,14 @@ type Schedule interface {
 	RandomAccess() bool
 }
 
+// NodeCounter is the optional interface of schedules that know how many
+// families they cover (the closed-form periodic snapshots do; replay cursors
+// do not). The serving layer uses it to bounds-check family ids against the
+// frozen snapshot it already holds instead of re-locking the live community.
+type NodeCounter interface {
+	Nodes() int
+}
+
 // windowBlock is the number of holidays a Window call buckets at a time,
 // bounding working memory regardless of window length.
 const windowBlock = 4096
@@ -58,11 +66,29 @@ const MaxHoliday = int64(1) << 62
 const MaxNextHappyScan = 1 << 16
 
 // periodicSchedule answers every query in closed form from a snapshot of
-// per-node periods and offsets. It is immutable after construction.
+// per-node periods and offsets. The assignment is immutable after
+// construction; scratch only holds reusable Window working buffers.
 type periodicSchedule struct {
 	name    string
 	periods []int64
 	offsets []int64
+	scratch sync.Pool // *windowScratch, see Window
+}
+
+// windowScratch is the per-Window working set (next-event cursor per node
+// plus one block of happy-set buckets), pooled per schedule so concurrent
+// window queries against a cached schedule allocate nothing in steady state.
+type windowScratch struct {
+	next    []int64
+	happyAt [][]int
+}
+
+// newPeriodicSchedule takes ownership of the slices without copying or
+// re-validating — for construction sites whose assignments are valid by
+// construction (e.g. DynamicColorBound.FrozenSchedule, which rebuilds on
+// every cache invalidation of the serving layer).
+func newPeriodicSchedule(name string, periods, offsets []int64) *periodicSchedule {
+	return &periodicSchedule{name: name, periods: periods, offsets: offsets}
 }
 
 // NewPeriodicSchedule snapshots a perfectly periodic scheduler's closed form
@@ -107,6 +133,12 @@ func NewFixedPeriodic(name string, periods, offsets []int64) (Schedule, error) {
 // Name implements Schedule.
 func (ps *periodicSchedule) Name() string { return ps.name }
 
+// Nodes returns the number of families the closed-form snapshot covers. It
+// is not part of the Schedule interface (replay cursors do not know their
+// node count); callers holding a frozen periodic schedule discover it via
+// the NodeCounter optional interface.
+func (ps *periodicSchedule) Nodes() int { return len(ps.periods) }
+
 // RandomAccess implements Schedule: closed-form queries cost O(1) per node.
 func (ps *periodicSchedule) RandomAccess() bool { return true }
 
@@ -138,7 +170,9 @@ func (ps *periodicSchedule) NextHappy(v int, from int64) int64 {
 // through the window in windowBlock-sized chunks: each block buckets the
 // progressions per holiday with one reused bucket array, so memory stays
 // O(n + block) and work is O(n + window + happiness events) — never a scan
-// of the holidays before from.
+// of the holidays before from. The working buffers are pooled per schedule,
+// so steady-state serving (many concurrent windows against one cached
+// schedule) does not allocate them per query.
 func (ps *periodicSchedule) Window(from, to int64, visit func(t int64, happy []int)) {
 	if to > MaxHoliday {
 		to = MaxHoliday
@@ -147,7 +181,15 @@ func (ps *periodicSchedule) Window(from, to int64, visit func(t int64, happy []i
 		return
 	}
 	n := len(ps.periods)
-	next := make([]int64, n)
+	ws, _ := ps.scratch.Get().(*windowScratch)
+	if ws == nil {
+		ws = &windowScratch{}
+	}
+	defer ps.scratch.Put(ws)
+	if cap(ws.next) < n {
+		ws.next = make([]int64, n)
+	}
+	next := ws.next[:n]
 	for v := 0; v < n; v++ {
 		next[v] = ps.NextHappy(v, from)
 	}
@@ -155,7 +197,12 @@ func (ps *periodicSchedule) Window(from, to int64, visit func(t int64, happy []i
 	if blockLen > windowBlock {
 		blockLen = windowBlock
 	}
-	happyAt := make([][]int, blockLen)
+	if int64(cap(ws.happyAt)) < blockLen {
+		grown := make([][]int, blockLen)
+		copy(grown, ws.happyAt[:cap(ws.happyAt)])
+		ws.happyAt = grown
+	}
+	happyAt := ws.happyAt[:blockLen]
 	for blo := from; blo <= to; blo += blockLen {
 		bhi := blo + blockLen - 1
 		if bhi > to {

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 )
 
 // NewHandler exposes a registry over HTTP/JSON:
@@ -94,12 +96,20 @@ func NewHandler(reg *Registry) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		rows, err := c.Window(from, to)
+		// The response rows (and their happy-set buffers) are pooled: the
+		// window endpoint is the serving hot path and steady-state queries
+		// should not allocate per row. AppendWindow overwrites the reused
+		// slots, and writeJSON finishes encoding before the rows go back.
+		wr := windowPool.Get().(*windowResponse)
+		wr.Holidays, err = c.AppendWindow(wr.Holidays[:0], from, to)
 		if err != nil {
+			putWindowResponse(wr)
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, windowResponse{Community: c.ID(), From: from, To: to, Holidays: rows})
+		wr.Community, wr.From, wr.To = c.ID(), from, to
+		writeJSON(w, http.StatusOK, wr)
+		putWindowResponse(wr)
 	}))
 	mux.HandleFunc("GET /communities/{id}/families/{v}/next", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
 		v, err := strconv.Atoi(r.PathValue("v"))
@@ -144,6 +154,22 @@ type windowResponse struct {
 	Holidays  []HolidayRow `json:"holidays"`
 }
 
+// windowPool recycles window responses, rows included, across requests.
+var windowPool = sync.Pool{New: func() any { return new(windowResponse) }}
+
+// windowPoolMaxRows caps the row slices the pool retains: a rare MaxWindow
+// query over a dense community should not pin its multi-megabyte response
+// forever (same policy as encodeBufMax). Typical windows are ≤ one year.
+const windowPoolMaxRows = 512
+
+// putWindowResponse returns a response to the pool unless its rows grew
+// beyond the retention cap.
+func putWindowResponse(wr *windowResponse) {
+	if cap(wr.Holidays) <= windowPoolMaxRows {
+		windowPool.Put(wr)
+	}
+}
+
 // nextResponse is the GET next answer.
 type nextResponse struct {
 	Community string `json:"community"`
@@ -178,11 +204,34 @@ func queryInt64(r *http.Request, key string, def int64) (int64, error) {
 	return v, nil
 }
 
-// writeJSON renders v with the given status.
+// encodeBufPool recycles the JSON staging buffers of writeJSON.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeBufMax caps the buffers the pool retains; a rare giant response
+// (e.g. a MaxWindow query over a dense community) should not pin its buffer
+// forever.
+const encodeBufMax = 1 << 20
+
+// writeJSON renders v with the given status. Encoding stages through a
+// pooled buffer: one Write to the connection, a Content-Length header for
+// clients, and no per-response buffer allocations on the hot path.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Encoding failures are programming errors (all payloads are plain
+		// structs); degrade to an opaque 500 rather than a torn body.
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		encodeBufPool.Put(buf)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= encodeBufMax {
+		encodeBufPool.Put(buf)
+	}
 }
 
 // writeError renders an error payload.

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops items under it, so allocation-count assertions are
+// meaningless there.
+const raceEnabled = true

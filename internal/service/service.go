@@ -280,41 +280,76 @@ type HolidayRow struct {
 // Window answers a closed-form window query [from, to] from the cached
 // schedule. from must be ≥ 1, to ≥ from, and the span at most MaxWindow.
 func (c *Community) Window(from, to int64) ([]HolidayRow, error) {
+	return c.AppendWindow(nil, from, to)
+}
+
+// AppendWindow answers the same query as Window but appends into rows,
+// reusing both its capacity and the Happy backing array of every row slot it
+// overwrites. Callers that serve windows in a loop (the HTTP handler, the
+// load generator) hand back the previous response's rows and steady-state
+// queries allocate nothing. Rows beyond the returned length keep their
+// buffers for the next reuse.
+func (c *Community) AppendWindow(rows []HolidayRow, from, to int64) ([]HolidayRow, error) {
 	if from < 1 {
-		return nil, fmt.Errorf("service: window start %d < 1", from)
+		return rows, fmt.Errorf("service: window start %d < 1", from)
 	}
 	if to > core.MaxHoliday {
-		return nil, fmt.Errorf("service: window end %d beyond last servable holiday %d", to, core.MaxHoliday)
+		return rows, fmt.Errorf("service: window end %d beyond last servable holiday %d", to, core.MaxHoliday)
 	}
 	if to < from {
-		return nil, fmt.Errorf("service: window [%d,%d] is empty", from, to)
+		return rows, fmt.Errorf("service: window [%d,%d] is empty", from, to)
 	}
 	if span := to - from + 1; span > MaxWindow {
-		return nil, fmt.Errorf("service: window spans %d holidays, max %d", span, MaxWindow)
+		return rows, fmt.Errorf("service: window spans %d holidays, max %d", span, MaxWindow)
 	}
 	sched, err := c.Schedule()
 	if err != nil {
-		return nil, err
+		return rows, err
 	}
-	rows := make([]HolidayRow, 0, to-from+1)
 	sched.Window(from, to, func(t int64, happy []int) {
-		rows = append(rows, HolidayRow{Holiday: t, Happy: append([]int{}, happy...)})
+		n := len(rows)
+		if cap(rows) > n {
+			rows = rows[:n+1] // revive the spare slot, Happy buffer included
+		} else {
+			rows = append(rows, HolidayRow{})
+		}
+		r := &rows[n]
+		r.Holiday = t
+		r.Happy = append(r.Happy[:0], happy...)
+		if r.Happy == nil {
+			// A fresh slot on an empty holiday must still marshal "happy":[],
+			// never null — the wire format does not depend on slot reuse.
+			r.Happy = emptyHappy
+		}
 	})
 	return rows, nil
 }
 
+// emptyHappy is the shared zero-length happy set of holidays nobody hosts;
+// its zero capacity means a later reuse appends into a fresh buffer.
+var emptyHappy = make([]int, 0)
+
 // NextHappy answers a family's next happy holiday at or after from
-// (from < 1 is clamped to 1) from the cached schedule.
+// (from < 1 is clamped to 1) from the cached schedule. The family id is
+// bounds-checked against the frozen snapshot itself, so a cache hit costs a
+// single lock acquisition rather than one for the family count and one for
+// the schedule.
 func (c *Community) NextHappy(v int, from int64) (int64, error) {
-	if v < 0 || v >= c.Families() {
-		return 0, fmt.Errorf("service: community %q has no family %d", c.id, v)
-	}
 	if from > core.MaxHoliday {
 		return 0, fmt.Errorf("service: holiday %d beyond last servable holiday %d", from, core.MaxHoliday)
 	}
 	sched, err := c.Schedule()
 	if err != nil {
 		return 0, err
+	}
+	n := 0
+	if nc, ok := sched.(core.NodeCounter); ok {
+		n = nc.Nodes()
+	} else {
+		n = c.Families()
+	}
+	if v < 0 || v >= n {
+		return 0, fmt.Errorf("service: community %q has no family %d", c.id, v)
 	}
 	return sched.NextHappy(v, from), nil
 }
