@@ -7,12 +7,19 @@
 //
 //	holidayd -addr :8080
 //	holidayd -addr :8080 -demo gnp:n=100,p=0.05
+//	holidayd -addr :8080 -data-dir /var/lib/holidayd
 //
 // With -demo, a community named "demo" is created at startup from the graph
 // spec (see internal/graph.ParseSpec), so the API is queryable immediately:
 //
 //	curl 'localhost:8080/communities/demo/window?from=1&to=52'
 //	curl 'localhost:8080/communities/demo/families/3/next?from=10'
+//
+// With -data-dir, the registry is durable: every mutation is written to an
+// append-only WAL before it is acknowledged, the registry is snapshotted
+// periodically (-snapshot-every) and on graceful shutdown (SIGINT/SIGTERM),
+// and on boot the previous state is restored from snapshot + WAL replay —
+// restored communities answer byte-identically. See DESIGN.md §8.
 //
 // See README.md for the full endpoint list.
 package main
@@ -26,17 +33,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		demoSpec = flag.String("demo", "", "create a community 'demo' from a graph spec at startup, e.g. gnp:n=100,p=0.05")
-		seed     = flag.Uint64("seed", 1, "random seed for the -demo graph generator")
+		addr      = flag.String("addr", ":8080", "listen address")
+		demoSpec  = flag.String("demo", "", "create a community 'demo' from a graph spec at startup, e.g. gnp:n=100,p=0.05")
+		seed      = flag.Uint64("seed", 1, "random seed for the -demo graph generator")
+		dataDir   = flag.String("data-dir", "", "durability directory (snapshot + churn WAL); empty serves from memory only")
+		snapEvery = flag.Duration("snapshot-every", 5*time.Minute,
+			"periodic snapshot interval with -data-dir; 0 snapshots only on graceful shutdown")
+		walSync = flag.Duration("wal-sync", persist.DefaultSyncInterval,
+			"WAL group-commit fsync interval with -data-dir; 0 fsyncs every record before acking")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -44,17 +58,51 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
+	if *snapEvery < 0 {
+		fmt.Fprintln(os.Stderr, "holidayd: -snapshot-every must be ≥ 0")
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *walSync < 0 {
+		fmt.Fprintln(os.Stderr, "holidayd: -wal-sync must be ≥ 0")
+		flag.Usage()
+		os.Exit(1)
+	}
 
-	reg := service.NewRegistry()
-	if *demoSpec != "" {
-		g, err := graph.ParseSpec(*demoSpec, *seed)
+	var reg *service.Registry
+	var store *persist.Store
+	if *dataDir != "" {
+		opts := persist.Options{Sync: persist.SyncBatch, SyncInterval: *walSync}
+		if *walSync == 0 {
+			opts.Sync = persist.SyncAlways
+		}
+		var err error
+		store, err = persist.Open(*dataDir, opts)
 		if err != nil {
 			fatal(err)
 		}
-		if _, err := reg.CreateFromGraph("demo", g, ""); err != nil {
+		reg, err = store.Load()
+		if err != nil {
 			fatal(err)
 		}
-		log.Printf("created community %q: %d families, %d marriages", "demo", g.N(), g.M())
+		log.Printf("restored %d communities from %s", len(reg.List()), *dataDir)
+	} else {
+		reg = service.NewRegistry()
+	}
+
+	if *demoSpec != "" {
+		if _, exists := reg.Get("demo"); exists {
+			log.Printf("community %q already restored from %s; skipping -demo", "demo", *dataDir)
+		} else {
+			g, err := graph.ParseSpec(*demoSpec, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := reg.CreateFromGraph("demo", g, ""); err != nil {
+				fatal(err)
+			}
+			log.Printf("created community %q: %d families, %d marriages", "demo", g.N(), g.M())
+		}
 	}
 
 	srv := &http.Server{
@@ -62,22 +110,72 @@ func main() {
 		Handler:           service.NewHandler(reg),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is how docker/k8s stop a container; trapping only SIGINT
+	// used to skip graceful shutdown — and snapshot-on-shutdown — anywhere
+	// but an interactive terminal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("holidayd listening on %s", *addr)
 
+	if store != nil && *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if err := store.SaveSnapshot(reg); err != nil {
+						log.Printf("periodic snapshot failed: %v", err)
+					} else {
+						log.Printf("snapshot saved to %s", *dataDir)
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errc:
+		// The listener died on its own (port in use, fd limit, …); there is
+		// no graceful state to save beyond what the WAL already has.
+		closeStore(store, reg, false)
 		fatal(err)
 	case <-ctx.Done():
 		log.Print("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal(err)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Timed out draining in-flight requests; keep going — the
+			// snapshot below must still be written.
+			log.Printf("shutdown: %v", err)
 		}
+		// Wait for the serve goroutine so no handler races the snapshot,
+		// and surface the ListenAndServe error instead of dropping it.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+		closeStore(store, reg, true)
+	}
+}
+
+// closeStore snapshots (when graceful) and closes the durability store.
+func closeStore(store *persist.Store, reg *service.Registry, snapshot bool) {
+	if store == nil {
+		return
+	}
+	if snapshot {
+		if err := store.SaveSnapshot(reg); err != nil {
+			log.Printf("shutdown snapshot failed: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s", store.Dir())
+		}
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("closing WAL: %v", err)
 	}
 }
 

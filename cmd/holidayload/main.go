@@ -41,6 +41,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
 		seed      = flag.Uint64("seed", 1, "seed for community generation and op streams")
 		target    = flag.String("target", "", "drive a live holidayd at this base URL instead of in-process")
+		persist   = flag.Bool("persist", false, "enable the durability WAL on the in-process registry (prices the write-ahead hot path; ignored with -target)")
 		out       = flag.String("out", "", "snapshot output path (default BENCH_<rev>.json; \"-\" skips writing)")
 		replay    = flag.String("replay", "", "load the current snapshot from a file instead of running")
 		compare   = flag.String("compare", "", "prior snapshot to compare against; regression fails the exit status")
@@ -87,9 +88,14 @@ func main() {
 		}
 		var driver benchkit.Driver
 		if *target != "" {
+			if *persist {
+				usageError("-persist only applies to in-process runs; a live holidayd's durability is its own -data-dir")
+			}
 			driver = benchkit.NewHTTPDriver(*target, *workers)
 		} else {
-			driver = benchkit.NewInProcDriver(service.NewRegistry())
+			inproc := benchkit.NewInProcDriver(service.NewRegistry())
+			inproc.ForcePersist = *persist
+			driver = inproc
 		}
 		if *rev == "" {
 			*rev = gitRev()

@@ -7,11 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/service"
 )
 
@@ -41,6 +43,14 @@ type InProcDriver struct {
 	reg   *service.Registry
 	comms []*service.Community
 	rows  sync.Pool // *[]service.HolidayRow window buffers, reused across ops
+
+	// ForcePersist enables the durability subsystem even for scenarios
+	// that don't set Persist themselves — how the CI bench-gate runs the
+	// canonical "ci" scenario with WAL cost priced in while staying
+	// name-comparable to the committed baseline.
+	ForcePersist bool
+	store        *persist.Store
+	persistDir   string
 }
 
 // NewInProcDriver wraps a registry (usually a fresh one).
@@ -54,16 +64,38 @@ func NewInProcDriver(reg *service.Registry) *InProcDriver {
 // Name implements Driver.
 func (d *InProcDriver) Name() string { return "inproc" }
 
-// Setup implements Driver.
+// Persistent reports whether the durability subsystem is active for the
+// current run (see Snapshot.Persist).
+func (d *InProcDriver) Persistent() bool { return d.store != nil }
+
+// Setup implements Driver. For persistence-enabled runs (Scenario.Persist
+// or ForcePersist) it opens a durability store in a fresh temporary data
+// directory and attaches its WAL before creating the communities, so
+// creation and every churn op of the run pay the real write-ahead cost.
 func (d *InProcDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
+	if sc.Persist || d.ForcePersist {
+		dir, err := os.MkdirTemp("", "benchkit-persist-*")
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: persist dir: %w", err)
+		}
+		store, err := persist.Open(dir, persist.Options{})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		d.store, d.persistDir = store, dir
+		d.reg.SetJournal(store.Journal())
+	}
 	sizes := make([]int, len(sc.Communities))
 	for i, cs := range sc.Communities {
 		g, err := graph.ParseSpec(cs.Spec, seed+uint64(i))
 		if err != nil {
+			d.Close() // the runner only closes after a successful Setup
 			return nil, fmt.Errorf("benchkit: community %q: %w", cs.ID, err)
 		}
 		c, err := d.reg.CreateFromGraph(cs.ID, g, "")
 		if err != nil {
+			d.Close()
 			return nil, err
 		}
 		d.comms = append(d.comms, c)
@@ -110,13 +142,25 @@ func (d *InProcDriver) CacheStats() (hits, misses int64, err error) {
 }
 
 // Close implements Driver: the scenario's communities are unregistered so a
-// registry can be reused across runs.
+// registry can be reused across runs, and a persistence-enabled run's
+// journal is detached, closed, and its temporary data directory removed.
 func (d *InProcDriver) Close() error {
+	var firstErr error
 	for _, c := range d.comms {
-		d.reg.Delete(c.ID())
+		if _, err := d.reg.Delete(c.ID()); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	d.comms = nil
-	return nil
+	if d.store != nil {
+		d.reg.SetJournal(nil)
+		if err := d.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		os.RemoveAll(d.persistDir)
+		d.store, d.persistDir = nil, ""
+	}
+	return firstErr
 }
 
 // HTTPDriver drives a live holidayd over its JSON API, measuring the full

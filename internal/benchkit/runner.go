@@ -157,6 +157,7 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 		Seed:        opt.Seed,
 		GoVersion:   runtime.Version(),
 		Maxprocs:    runtime.GOMAXPROCS(0),
+		Persist:     isPersistent(d),
 		Note:        opt.Note,
 		Totals: Metrics{
 			Ops:    ops,
@@ -190,6 +191,17 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 		}
 	}
 	return s, nil
+}
+
+// persister is the optional Driver interface reporting whether the
+// durability subsystem was active for the run (the in-process driver with a
+// WAL attached); the snapshot records it.
+type persister interface{ Persistent() bool }
+
+// isPersistent probes a driver for persistence.
+func isPersistent(d Driver) bool {
+	p, ok := d.(persister)
+	return ok && p.Persistent()
 }
 
 // micros converts a duration to fractional microseconds for the snapshot.

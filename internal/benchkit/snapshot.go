@@ -30,6 +30,12 @@ type Snapshot struct {
 	Seed        uint64  `json:"seed"`
 	GoVersion   string  `json:"go_version"`
 	Maxprocs    int     `json:"maxprocs"`
+	// Persist records whether the durability subsystem (snapshot + churn
+	// WAL) was active during the run — an in-proc run with persistence
+	// prices the write-ahead hot path. Informational, not a comparison
+	// gate: the bench-gate deliberately compares persistence-enabled runs
+	// against the pre-durability baseline to bound the WAL's cost.
+	Persist bool `json:"persist,omitempty"`
 	// Note carries free-form context, e.g. before/after numbers of the
 	// optimization a revision landed.
 	Note   string             `json:"note,omitempty"`

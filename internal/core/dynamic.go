@@ -46,6 +46,29 @@ func NewDynamicColorBound(g *graph.Graph, code prefixcode.Code) (*DynamicColorBo
 	return dc, nil
 }
 
+// RestoreDynamicColorBound reconstructs a scheduler at an exact coloring —
+// the durability path: a restored community must answer every window and
+// next-happy query byte-identically to the process that snapshotted it, so
+// the persisted coloring is adopted verbatim rather than re-derived by the
+// greedy pass (which could legally pick different colors). The coloring is
+// verified proper and degree-bounded before use; recolorings restores the
+// E8 disruption counter.
+func RestoreDynamicColorBound(g *graph.Graph, code prefixcode.Code, coloring []int, recolorings int64) (*DynamicColorBound, error) {
+	if len(coloring) != g.N() {
+		return nil, fmt.Errorf("core: restore has %d colors for %d nodes", len(coloring), g.N())
+	}
+	dc := &DynamicColorBound{
+		d:           graph.DynamicFrom(g),
+		code:        code,
+		col:         append([]int(nil), coloring...),
+		Recolorings: recolorings,
+	}
+	if err := dc.VerifyProper(); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	return dc, nil
+}
+
 // smallestFree returns the smallest color ≥ 1 unused in v's neighborhood.
 func (dc *DynamicColorBound) smallestFree(v int) int {
 	taken := make(map[int]bool, dc.d.Degree(v))
@@ -159,6 +182,13 @@ func (dc *DynamicColorBound) FrozenSchedule() (Schedule, error) {
 
 // Color returns v's current color.
 func (dc *DynamicColorBound) Color(v int) int { return dc.col[v] }
+
+// Coloring returns a copy of the full current coloring, the state a
+// durability snapshot must capture for RestoreDynamicColorBound.
+func (dc *DynamicColorBound) Coloring() []int { return append([]int(nil), dc.col...) }
+
+// Code returns the prefix code the scheduler encodes colors with.
+func (dc *DynamicColorBound) Code() prefixcode.Code { return dc.code }
 
 // Degree returns v's current degree.
 func (dc *DynamicColorBound) Degree(v int) int { return dc.d.Degree(v) }

@@ -1,0 +1,456 @@
+package persist
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// ringEdges returns the cycle C_n, a community whose every marriage
+// matters to the coloring.
+func ringEdges(n int) [][2]int {
+	edges := make([][2]int, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int{i, (i + 1) % n}
+	}
+	return edges
+}
+
+// churn applies a deterministic mix of marriages, divorces, and family
+// additions to a community, failing the test on any error.
+func churn(t *testing.T, c *service.Community, seed uint64, ops int) {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, 42))
+	for i := 0; i < ops; i++ {
+		n := c.Families()
+		u := r.IntN(n)
+		v := r.IntN(n - 1)
+		if v >= u {
+			v++
+		}
+		switch r.IntN(10) {
+		case 0:
+			if _, err := c.AddFamily(); err != nil {
+				t.Fatal(err)
+			}
+		case 1, 2, 3:
+			if _, _, err := c.Divorce(u, v); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if _, err := c.Marry(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// frozenAnswers captures the externally observable schedule of a community:
+// a window of holiday rows plus every family's next happy holiday from a
+// few alignments. Two communities with equal answers serve byte-identical
+// responses.
+type frozenAnswers struct {
+	Rows []service.HolidayRow
+	Next map[int][]int64
+}
+
+func answersOf(t *testing.T, c *service.Community) frozenAnswers {
+	t.Helper()
+	rows, err := c.Window(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window reuses row buffers; deep-copy for comparison.
+	cp := make([]service.HolidayRow, len(rows))
+	for i, r := range rows {
+		cp[i] = service.HolidayRow{Holiday: r.Holiday, Happy: append([]int(nil), r.Happy...)}
+	}
+	next := make(map[int][]int64)
+	for v := 0; v < c.Families(); v++ {
+		for _, from := range []int64{1, 7, 1000, 1 << 40} {
+			n, err := c.NextHappy(v, from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next[v] = append(next[v], n)
+		}
+	}
+	return frozenAnswers{Rows: cp, Next: next}
+}
+
+// persistentStats strips the volatile cache counters (not persisted, by
+// design) from a Stats value.
+func persistentStats(st service.Stats) service.Stats {
+	st.CacheHits, st.CacheMisses = 0, 0
+	return st
+}
+
+// TestCrashRecoveryMidChurn is the ISSUE's flagship scenario: a registry is
+// churned past its last snapshot and the process dies abruptly — no
+// graceful shutdown, no final snapshot. Recovery must replay the WAL tail
+// over the snapshot and serve byte-identical window and next-happy answers
+// with identical stats.
+func TestCrashRecoveryMidChurn(t *testing.T) {
+	dir := t.TempDir()
+	// SyncAlways so every acknowledged record is on disk the moment it is
+	// acked — the in-process stand-in for "the machine lost power".
+	store, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := reg.Create("alpha", 24, ringEdges(24), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Create("beta", 12, ringEdges(12), "gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, a, 7, 200)
+	churn(t, b, 11, 100)
+
+	// Mid-run snapshot, then more churn that only the WAL captures.
+	if err := store.SaveSnapshot(reg); err != nil {
+		t.Fatal(err)
+	}
+	churn(t, a, 13, 150)
+	churn(t, b, 17, 75)
+	if ok, err := reg.Delete("beta"); !ok || err != nil {
+		t.Fatalf("Delete(beta) = %v, %v", ok, err)
+	}
+	g, err := reg.Create("gamma-c", 8, ringEdges(8), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, g, 19, 40)
+
+	wantA, wantG := answersOf(t, a), answersOf(t, g)
+	statsA, statsG := persistentStats(a.Stats()), persistentStats(g.Stats())
+
+	// Crash: no SaveSnapshot, no graceful anything. Release the file
+	// handle so the "new process" owns the directory alone.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	reg2, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := reg2.List(); !reflect.DeepEqual(ids, []string{"alpha", "gamma-c"}) {
+		t.Fatalf("recovered communities = %v, want [alpha gamma-c]", ids)
+	}
+	a2, _ := reg2.Get("alpha")
+	g2, _ := reg2.Get("gamma-c")
+	if got := persistentStats(a2.Stats()); !reflect.DeepEqual(got, statsA) {
+		t.Errorf("alpha stats diverged:\n got  %+v\n want %+v", got, statsA)
+	}
+	if got := persistentStats(g2.Stats()); !reflect.DeepEqual(got, statsG) {
+		t.Errorf("gamma-c stats diverged:\n got  %+v\n want %+v", got, statsG)
+	}
+	if got := answersOf(t, a2); !reflect.DeepEqual(got, wantA) {
+		t.Error("alpha window/next answers diverged after crash recovery")
+	}
+	if got := answersOf(t, g2); !reflect.DeepEqual(got, wantG) {
+		t.Error("gamma-c window/next answers diverged after crash recovery")
+	}
+}
+
+// TestGracefulRestartFromSnapshotOnly: snapshot-on-shutdown plus an empty
+// (compacted) WAL restores identically with nothing to replay.
+func TestGracefulRestartFromSnapshotOnly(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Create("c", 16, ringEdges(16), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, c, 3, 120)
+	want := answersOf(t, c)
+	wantStats := persistentStats(c.Stats())
+	if err := store.SaveSnapshot(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot compacted the WAL down to nothing.
+	if data, err := os.ReadFile(filepath.Join(dir, walFile)); err != nil || len(data) != 0 {
+		t.Fatalf("post-snapshot WAL = %d bytes, err %v; want empty", len(data), err)
+	}
+
+	store2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	reg2, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := reg2.Get("c")
+	if !ok {
+		t.Fatal("community not restored")
+	}
+	if got := persistentStats(c2.Stats()); !reflect.DeepEqual(got, wantStats) {
+		t.Errorf("stats diverged:\n got  %+v\n want %+v", got, wantStats)
+	}
+	if got := answersOf(t, c2); !reflect.DeepEqual(got, want) {
+		t.Error("answers diverged across graceful restart")
+	}
+	// New sequences must continue above the snapshot cut-point even though
+	// the WAL file was empty at open.
+	if _, err := c2.Marry(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := scanWAL(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq <= store2.snap.Seq {
+		t.Fatalf("post-restart record = %+v; want one record with seq > snapshot seq %d", recs, store2.snap.Seq)
+	}
+}
+
+// TestWALTornTailTolerated: a crash mid-append leaves a partial final line;
+// recovery must keep every complete record, drop the torn one, and keep
+// appending after it.
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Create("c", 10, ringEdges(10), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Marry(i%10, (i+3)%10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recsBefore, _, err := scanWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record in half (strip its newline and some bytes).
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("open with torn WAL tail: %v", err)
+	}
+	defer store2.Close()
+	reg2, err := store2.Load()
+	if err != nil {
+		t.Fatalf("load with torn WAL tail: %v", err)
+	}
+	recsAfter, _, err := scanWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(recsBefore) - 1; len(recsAfter) != want {
+		t.Fatalf("recovered %d records, want %d (torn final dropped)", len(recsAfter), want)
+	}
+	// The torn record's op is gone: one fewer marriage than pre-crash.
+	c2, ok := reg2.Get("c")
+	if !ok {
+		t.Fatal("community not restored")
+	}
+	if c2.Stats().Marriages >= c.Stats().Marriages+1 {
+		t.Fatal("torn record appears to have been applied")
+	}
+	// Appending continues with strictly increasing sequences.
+	if _, err := c2.Marry(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := scanWAL(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := recs[len(recs)-1]
+	if last.Seq != recsBefore[len(recsBefore)-1].Seq {
+		t.Fatalf("next seq after torn recovery = %d, want %d (reuse of the torn record's slot)",
+			last.Seq, recsBefore[len(recsBefore)-1].Seq)
+	}
+}
+
+// TestReplayIdempotentAfterCompactionCrash: a crash between writing the
+// snapshot and compacting the WAL leaves records the snapshot already
+// reflects; replay must skip them by sequence instead of double-applying.
+func TestReplayIdempotentAfterCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Create("c", 10, ringEdges(10), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, c, 5, 60)
+	walPath := filepath.Join(dir, walFile)
+	preCompaction, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := answersOf(t, c)
+	wantStats := persistentStats(c.Stats())
+	if err := store.SaveSnapshot(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the compaction: pretend the process died after snapshot.json
+	// landed but before the WAL rewrite.
+	if err := os.WriteFile(walPath, preCompaction, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	reg2, err := store2.Load()
+	if err != nil {
+		t.Fatalf("load with stale WAL records: %v", err)
+	}
+	c2, ok := reg2.Get("c")
+	if !ok {
+		t.Fatal("community not restored")
+	}
+	if got := persistentStats(c2.Stats()); !reflect.DeepEqual(got, wantStats) {
+		t.Errorf("stats diverged (stale records re-applied?):\n got  %+v\n want %+v", got, wantStats)
+	}
+	if got := answersOf(t, c2); !reflect.DeepEqual(got, want) {
+		t.Error("answers diverged: stale pre-snapshot WAL records were re-applied")
+	}
+}
+
+// TestCorruptMidFileRecordRejected: corruption before the final record is
+// not a torn tail and must fail loudly, not silently drop data.
+func TestCorruptMidFileRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, walFile)
+	good := `{"seq":1,"op":"create","id":"c","families":2,"op_extra":0,"u":0,"v":0}` + "\n"
+	bad := `{"seq":2,"op":` + "\n"
+	tail := `{"seq":3,"op":"marry","id":"c","u":0,"v":1}` + "\n"
+	if err := os.WriteFile(walPath, []byte(good+bad+tail), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "corrupt record") {
+		t.Fatalf("Open = %v, want corrupt-record error", err)
+	}
+}
+
+// TestSnapshotSchemaRefused: a snapshot from an incompatible layout is
+// refused instead of misread.
+func TestSnapshotSchemaRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile),
+		[]byte(`{"schema":99,"communities":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Open = %v, want schema error", err)
+	}
+}
+
+// TestDeleteRecreateAcrossRestart: an id deleted and recreated with a
+// different shape must restore to its latest incarnation.
+func TestDeleteRecreateAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("c", 30, ringEdges(30), ""); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := reg.Delete("c"); !ok || err != nil {
+		t.Fatal("delete failed")
+	}
+	c, err := reg.Create("c", 5, nil, "delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := answersOf(t, c)
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	reg2, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := reg2.Get("c")
+	if !ok {
+		t.Fatal("community not restored")
+	}
+	if got := c2.Stats(); got.Families != 5 || got.Scheduler != "dynamic-color-bound/delta" {
+		t.Fatalf("restored the wrong incarnation: %+v", got)
+	}
+	if got := answersOf(t, c2); !reflect.DeepEqual(got, want) {
+		t.Error("recreated community's answers diverged across restart")
+	}
+}

@@ -156,7 +156,10 @@ func TestNextHappyValidation(t *testing.T) {
 	}
 	// A family added after the snapshot is queryable: AddFamily invalidates
 	// the cache, so the next query freezes a snapshot that covers it.
-	id := c.AddFamily()
+	id, err := c.AddFamily()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.NextHappy(id, 1); err != nil {
 		t.Errorf("new family %d not servable: %v", id, err)
 	}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+
+	"repro/internal/core"
 )
 
 // NewHandler exposes a registry over HTTP/JSON:
@@ -49,14 +51,27 @@ func NewHandler(reg *Registry) http.Handler {
 		writeJSON(w, http.StatusOK, c.Stats())
 	}))
 	mux.HandleFunc("DELETE /communities/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if !reg.Delete(r.PathValue("id")) {
+		ok, err := reg.Delete(r.PathValue("id"))
+		if err != nil {
+			// A journal failure means the deletion is not durable; the
+			// community stays registered and the client must not believe
+			// it gone.
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no community %q", r.PathValue("id")))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
 	})
 	mux.HandleFunc("POST /communities/{id}/families", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		writeJSON(w, http.StatusCreated, map[string]int{"family": c.AddFamily()})
+		fam, err := c.AddFamily()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]int{"family": fam})
 	}))
 	mux.HandleFunc("POST /communities/{id}/edges", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
 		var req edgeRequest
@@ -91,7 +106,19 @@ func NewHandler(reg *Registry) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		to, err := queryInt64(r, "to", from+51) // default: one year of weekly holidays
+		// Reject from beyond the servable horizon before deriving the
+		// default end: from+51 overflows int64 for from near the maximum,
+		// which used to surface as a baffling "window [..,..] is empty".
+		if from > core.MaxHoliday {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("window start %d beyond last servable holiday %d", from, core.MaxHoliday))
+			return
+		}
+		defTo := from + 51 // default: one year of weekly holidays
+		if defTo > core.MaxHoliday {
+			defTo = core.MaxHoliday
+		}
+		to, err := queryInt64(r, "to", defTo)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -162,12 +189,39 @@ var windowPool = sync.Pool{New: func() any { return new(windowResponse) }}
 // forever (same policy as encodeBufMax). Typical windows are ≤ one year.
 const windowPoolMaxRows = 512
 
-// putWindowResponse returns a response to the pool unless its rows grew
-// beyond the retention cap.
+// windowPoolMaxHappy caps the total happy-set ints a pooled response may
+// retain across all of its row slots. The row cap alone is not enough: a
+// 512-row response over a huge dense community stays under windowPoolMaxRows
+// while pinning every row's Happy backing array — megabytes per pooled
+// response — forever. 1<<15 ints (256 KiB of int64) comfortably covers a
+// year-long window over communities with hundreds of happy families per
+// holiday.
+const windowPoolMaxHappy = 1 << 15
+
+// putWindowResponse returns a response to the pool unless it retains it
+// would pin too much memory (see retainWindowResponse).
 func putWindowResponse(wr *windowResponse) {
-	if cap(wr.Holidays) <= windowPoolMaxRows {
+	if retainWindowResponse(wr) {
 		windowPool.Put(wr)
 	}
+}
+
+// retainWindowResponse reports whether a response is cheap enough to pool:
+// its row slice is under the row cap and the Happy buffers of every slot —
+// including spare slots beyond the last response's length, which keep their
+// buffers for reuse — total under the happy cap.
+func retainWindowResponse(wr *windowResponse) bool {
+	if cap(wr.Holidays) > windowPoolMaxRows {
+		return false
+	}
+	total := 0
+	for _, row := range wr.Holidays[:cap(wr.Holidays)] {
+		total += cap(row.Happy)
+		if total > windowPoolMaxHappy {
+			return false
+		}
+	}
+	return true
 }
 
 // nextResponse is the GET next answer.

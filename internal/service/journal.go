@@ -1,0 +1,244 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// Op names one kind of state-changing operation in a journal record. The
+// five ops are exactly the registry's mutation surface: everything else
+// (window/next queries, stats) is derivable from them.
+type Op string
+
+const (
+	// OpCreate registers a community (Families, Edges, Code).
+	OpCreate Op = "create"
+	// OpDelete unregisters a community.
+	OpDelete Op = "delete"
+	// OpAddFamily appends one isolated family to a community.
+	OpAddFamily Op = "add_family"
+	// OpMarry inserts the in-law edge (U, V).
+	OpMarry Op = "marry"
+	// OpDivorce removes the in-law edge (U, V).
+	OpDivorce Op = "divorce"
+)
+
+// Record is one journaled mutation. Only the fields relevant to the op are
+// set: Families/Edges/Code for OpCreate, U/V for OpMarry and OpDivorce.
+type Record struct {
+	Op    Op       `json:"op"`
+	ID    string   `json:"id"`
+	N     int      `json:"families,omitempty"`
+	Edges [][2]int `json:"edges,omitempty"`
+	Code  string   `json:"code,omitempty"`
+	U     int      `json:"u"`
+	V     int      `json:"v"`
+}
+
+// Journal is the durability hook of the registry. When attached (see
+// Registry.SetJournal), every mutation is logged — and must be accepted by
+// the journal — before it is applied and acknowledged, write-ahead style.
+// Log returns a sequence number that totally orders records; the registry
+// remembers, per community, the sequence of the last record applied to it,
+// which is how snapshot-plus-replay recovery (internal/persist) skips
+// records already reflected in a snapshot.
+//
+// Implementations must be safe for concurrent Log calls: churn on distinct
+// communities logs concurrently.
+type Journal interface {
+	Log(rec Record) (seq uint64, err error)
+}
+
+// SetJournal attaches (or, with nil, detaches) the registry's journal.
+// Attach before accepting traffic: ops applied while no journal is attached
+// are not logged and will not survive a restart. Restore and Apply never
+// log — recovery replays through them without re-journaling.
+func (r *Registry) SetJournal(j Journal) {
+	r.journal.Store(&journalBox{j: j})
+}
+
+// journalBox wraps the interface so an atomic.Pointer can hold a nil
+// journal distinctly from "never set".
+type journalBox struct{ j Journal }
+
+// getJournal returns the attached journal, or nil.
+func (r *Registry) getJournal() Journal {
+	if b := r.journal.Load(); b != nil {
+		return b.j
+	}
+	return nil
+}
+
+// CommunityState is the full persistent state of one community: everything
+// needed to reconstruct it answering byte-identically. Coloring is carried
+// verbatim (not re-derived) because the greedy recoloring path is
+// history-dependent; Seq is the journal sequence of the last record applied,
+// the replay cut-point for recovery.
+type CommunityState struct {
+	ID          string   `json:"id"`
+	Families    int      `json:"families"`
+	Edges       [][2]int `json:"edges"`
+	Code        string   `json:"code"`
+	Coloring    []int    `json:"coloring"`
+	Version     int64    `json:"version"`
+	Recolorings int64    `json:"recolorings"`
+	Seq         uint64   `json:"seq"`
+}
+
+// Export snapshots the community's persistent state under its read lock,
+// consistent with respect to concurrent churn: a mutation is either fully
+// included (state and Seq) or fully excluded.
+func (c *Community) Export() CommunityState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g := c.dyn.Graph()
+	edges := make([][2]int, 0, g.M())
+	for _, e := range g.Edges() {
+		edges = append(edges, [2]int{e.U, e.V})
+	}
+	return CommunityState{
+		ID:          c.id,
+		Families:    g.N(),
+		Edges:       edges,
+		Code:        c.dyn.Code().Name(),
+		Coloring:    c.dyn.Coloring(),
+		Version:     c.version,
+		Recolorings: c.dyn.Recolorings,
+		Seq:         c.seq,
+	}
+}
+
+// Restore registers a community reconstructed from exported state, adopting
+// its exact coloring, version, and journal sequence. Nothing is logged:
+// restore is the recovery path, not a new mutation. Errors on duplicate
+// ids, unknown codes, and colorings that are not proper for the edge set.
+func (r *Registry) Restore(st CommunityState) (*Community, error) {
+	if st.ID == "" {
+		return nil, fmt.Errorf("service: restore: empty community id")
+	}
+	if st.Families < 1 {
+		return nil, fmt.Errorf("service: restore %q: %d families", st.ID, st.Families)
+	}
+	codeName := st.Code
+	if codeName == "" {
+		codeName = "omega"
+	}
+	code, err := prefixcode.ByName(codeName)
+	if err != nil {
+		return nil, fmt.Errorf("service: restore %q: %w", st.ID, err)
+	}
+	b := graph.NewBuilder(st.Families)
+	for _, e := range st.Edges {
+		if err := validEdge(st.Families, e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: restore %q: %w", st.ID, err)
+		}
+		if err := b.AddEdgeErr(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: restore %q: %w", st.ID, err)
+		}
+	}
+	dyn, err := core.RestoreDynamicColorBound(b.Graph(), code, st.Coloring, st.Recolorings)
+	if err != nil {
+		return nil, fmt.Errorf("service: restore %q: %w", st.ID, err)
+	}
+	c := &Community{id: st.ID, reg: r, dyn: dyn, version: st.Version, seq: st.Seq}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.communities[st.ID]; dup {
+		return nil, fmt.Errorf("service: restore %q: community already exists", st.ID)
+	}
+	r.communities[st.ID] = c
+	return c, nil
+}
+
+// Apply replays one journal record at its sequence number without
+// re-logging it — the recovery path walking a WAL forward from a snapshot.
+// Records already reflected in restored state (seq at or below the
+// community's restored Seq) are skipped, so replay is idempotent: a crash
+// between writing a snapshot and compacting the WAL re-replays old records
+// harmlessly. Records for communities that no longer exist are skipped too
+// (their delete is further down the log, or their create preceded an
+// already-applied delete). Errors are reserved for genuinely inconsistent
+// logs, e.g. a marry referencing a family outside the community.
+func (r *Registry) Apply(seq uint64, rec Record) error {
+	switch rec.Op {
+	case OpCreate:
+		r.mu.RLock()
+		c, exists := r.communities[rec.ID]
+		r.mu.RUnlock()
+		if exists {
+			if seq <= c.journalSeq() {
+				return nil // already in the snapshot
+			}
+			return fmt.Errorf("service: replay create %q at seq %d: community already exists at seq %d", rec.ID, seq, c.journalSeq())
+		}
+		c, err := r.createUnlogged(rec.ID, rec.N, rec.Edges, rec.Code)
+		if err != nil {
+			return fmt.Errorf("service: replay seq %d: %w", seq, err)
+		}
+		c.setJournalSeq(seq)
+		return nil
+	case OpDelete:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if c, ok := r.communities[rec.ID]; ok && seq > c.journalSeq() {
+			delete(r.communities, rec.ID)
+		}
+		return nil
+	case OpAddFamily, OpMarry, OpDivorce:
+		c, ok := r.Get(rec.ID)
+		if !ok {
+			return nil
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if seq <= c.seq {
+			return nil
+		}
+		switch rec.Op {
+		case OpAddFamily:
+			c.dyn.AddNode()
+			c.invalidateLocked()
+		case OpMarry:
+			if err := validEdge(c.dyn.N(), rec.U, rec.V); err != nil {
+				return fmt.Errorf("service: replay marry in %q at seq %d: %w", rec.ID, seq, err)
+			}
+			recolored, err := c.dyn.AddEdge(rec.U, rec.V)
+			if err != nil {
+				return fmt.Errorf("service: replay marry in %q at seq %d: %w", rec.ID, seq, err)
+			}
+			if recolored {
+				c.invalidateLocked()
+			}
+		case OpDivorce:
+			if err := validEdge(c.dyn.N(), rec.U, rec.V); err != nil {
+				return fmt.Errorf("service: replay divorce in %q at seq %d: %w", rec.ID, seq, err)
+			}
+			before := c.dyn.Recolorings
+			c.dyn.RemoveEdge(rec.U, rec.V)
+			if c.dyn.Recolorings > before {
+				c.invalidateLocked()
+			}
+		}
+		c.seq = seq
+		return nil
+	default:
+		return fmt.Errorf("service: replay seq %d: unknown op %q", seq, rec.Op)
+	}
+}
+
+// journalSeq reads the community's last-applied journal sequence.
+func (c *Community) journalSeq() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.seq
+}
+
+// setJournalSeq stamps a freshly replayed create.
+func (c *Community) setJournalSeq(seq uint64) {
+	c.mu.Lock()
+	c.seq = seq
+	c.mu.Unlock()
+}

@@ -33,10 +33,16 @@ import (
 // per-request work and response size proportional to one page.
 const MaxWindow = 4096
 
-// Registry is the concurrent community store.
+// Registry is the concurrent community store. Attach a Journal (SetJournal)
+// to make it durable: every mutation is then logged write-ahead, and
+// internal/persist can snapshot and replay the registry across restarts.
 type Registry struct {
 	mu          sync.RWMutex
 	communities map[string]*Community
+	// journal is read on every mutation with a single atomic load, so the
+	// no-durability configuration pays nothing and attaching never races
+	// in-flight churn.
+	journal atomic.Pointer[journalBox]
 }
 
 // NewRegistry returns an empty registry.
@@ -66,8 +72,41 @@ func (r *Registry) Create(id string, n int, edges [][2]int, codeName string) (*C
 
 // CreateFromGraph registers a new community over an existing conflict
 // graph, avoiding the edge-list round trip of Create. The graph is not
-// retained; the community evolves its own dynamic copy.
+// retained; the community evolves its own dynamic copy. With a journal
+// attached, the creation is logged before the community becomes visible; a
+// journal failure registers nothing.
 func (r *Registry) CreateFromGraph(id string, g *graph.Graph, codeName string) (*Community, error) {
+	c, err := r.newCommunity(id, g, codeName)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.communities[id]; dup {
+		return nil, fmt.Errorf("service: community %q already exists", id)
+	}
+	// Logging inside r.mu is load-bearing, not incidental: the snapshot
+	// cut-point argument (persist.Store.SaveSnapshot) relies on a create's
+	// sequence assignment and map insertion being one critical section.
+	// Under SyncAlways that puts an fsync under the registry lock, but
+	// creates and deletes are rare next to churn, which only holds c.mu.
+	if j := r.getJournal(); j != nil {
+		edges := make([][2]int, 0, g.M())
+		for _, e := range g.Edges() {
+			edges = append(edges, [2]int{e.U, e.V})
+		}
+		seq, err := j.Log(Record{Op: OpCreate, ID: id, N: g.N(), Edges: edges, Code: c.dyn.Code().Name()})
+		if err != nil {
+			return nil, fmt.Errorf("service: community %q: journal: %w", id, err)
+		}
+		c.seq = seq
+	}
+	r.communities[id] = c
+	return c, nil
+}
+
+// newCommunity validates and builds a community without registering it.
+func (r *Registry) newCommunity(id string, g *graph.Graph, codeName string) (*Community, error) {
 	if id == "" {
 		return nil, fmt.Errorf("service: empty community id")
 	}
@@ -85,7 +124,28 @@ func (r *Registry) CreateFromGraph(id string, g *graph.Graph, codeName string) (
 	if err != nil {
 		return nil, fmt.Errorf("service: community %q: %w", id, err)
 	}
-	c := &Community{id: id, dyn: dyn}
+	return &Community{id: id, reg: r, dyn: dyn}, nil
+}
+
+// createUnlogged registers a community from an edge list without touching
+// the journal — the replay path for OpCreate records.
+func (r *Registry) createUnlogged(id string, n int, edges [][2]int, codeName string) (*Community, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("service: community %q needs at least one family, got %d", id, n)
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		if err := validEdge(n, e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: community %q: %w", id, err)
+		}
+		if err := b.AddEdgeErr(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: community %q: %w", id, err)
+		}
+	}
+	c, err := r.newCommunity(id, b.Graph(), codeName)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.communities[id]; dup {
@@ -103,13 +163,22 @@ func (r *Registry) Get(id string) (*Community, bool) {
 	return c, ok
 }
 
-// Delete unregisters a community, reporting whether it existed.
-func (r *Registry) Delete(id string) bool {
+// Delete unregisters a community, reporting whether it existed. With a
+// journal attached the deletion is logged first; a journal failure leaves
+// the community registered and returns the error.
+func (r *Registry) Delete(id string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.communities[id]
+	if _, ok := r.communities[id]; !ok {
+		return false, nil
+	}
+	if j := r.getJournal(); j != nil {
+		if _, err := j.Log(Record{Op: OpDelete, ID: id}); err != nil {
+			return false, fmt.Errorf("service: delete %q: journal: %w", id, err)
+		}
+	}
 	delete(r.communities, id)
-	return ok
+	return true, nil
 }
 
 // List returns the registered community ids, sorted.
@@ -140,7 +209,8 @@ func validEdge(n, u, v int) error {
 // a read lock; churn takes the write lock and invalidates the cache only
 // when the periodic assignment actually changed.
 type Community struct {
-	id string
+	id  string
+	reg *Registry // for the journal; nil only in zero values
 
 	mu     sync.RWMutex
 	dyn    *core.DynamicColorBound
@@ -148,6 +218,10 @@ type Community struct {
 	// version counts cache invalidations (recolorings or family-set
 	// changes) — a cheap staleness signal for clients.
 	version int64
+	// seq is the journal sequence of the last record logged for (or
+	// replayed into) this community; snapshots export it as the replay
+	// cut-point. Guarded by mu like the state it versions.
+	seq uint64
 
 	hits   atomic.Int64 // queries answered from the cached schedule
 	misses atomic.Int64 // queries that had to freeze a new schedule
@@ -192,22 +266,32 @@ func (c *Community) Families() int {
 }
 
 // AddFamily appends a new isolated family and returns its id. The schedule
-// gains a node, so the cache is invalidated.
-func (c *Community) AddFamily() int {
+// gains a node, so the cache is invalidated. With a journal attached the
+// record is logged first; on journal failure nothing is applied.
+func (c *Community) AddFamily() (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.logLocked(Record{Op: OpAddFamily, ID: c.id}); err != nil {
+		return 0, err
+	}
 	id := c.dyn.AddNode()
 	c.invalidateLocked()
-	return id
+	return id, nil
 }
 
 // Marry inserts an in-law edge, routed through the §6 dynamic recoloring.
 // The cached schedule survives unless the insertion forced a recoloring.
+// With a journal attached the record is logged (write-ahead) after
+// validation but before the insertion; on journal failure nothing is
+// applied.
 func (c *Community) Marry(u, v int) (recolored bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := validEdge(c.dyn.N(), u, v); err != nil {
 		return false, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	if err := c.logLocked(Record{Op: OpMarry, ID: c.id, U: u, V: v}); err != nil {
+		return false, err
 	}
 	recolored, err = c.dyn.AddEdge(u, v)
 	if err != nil {
@@ -221,12 +305,15 @@ func (c *Community) Marry(u, v int) (recolored bool, err error) {
 
 // Divorce removes an in-law edge (§6 deletion path), reporting whether the
 // edge existed and whether a family was recolored. The cache survives
-// deletions that recolor nobody.
+// deletions that recolor nobody. Journaling mirrors Marry.
 func (c *Community) Divorce(u, v int) (removed, recolored bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := validEdge(c.dyn.N(), u, v); err != nil {
 		return false, false, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	if err := c.logLocked(Record{Op: OpDivorce, ID: c.id, U: u, V: v}); err != nil {
+		return false, false, err
 	}
 	before := c.dyn.Recolorings
 	removed = c.dyn.RemoveEdge(u, v)
@@ -235,6 +322,25 @@ func (c *Community) Divorce(u, v int) (removed, recolored bool, err error) {
 		c.invalidateLocked()
 	}
 	return removed, recolored, nil
+}
+
+// logLocked write-ahead logs one of this community's mutation records and
+// advances its journal sequence; the caller holds c.mu. Without a journal
+// (or a registry) it is a no-op.
+func (c *Community) logLocked(rec Record) error {
+	if c.reg == nil {
+		return nil
+	}
+	j := c.reg.getJournal()
+	if j == nil {
+		return nil
+	}
+	seq, err := j.Log(rec)
+	if err != nil {
+		return fmt.Errorf("service: community %q: journal: %w", c.id, err)
+	}
+	c.seq = seq
+	return nil
 }
 
 // invalidateLocked drops the cached schedule; the caller holds c.mu.

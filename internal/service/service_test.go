@@ -48,8 +48,11 @@ func TestRegistryLifecycle(t *testing.T) {
 	if ids := reg.List(); len(ids) != 1 || ids[0] != "c" {
 		t.Fatalf("List = %v, want [c]", ids)
 	}
-	if !reg.Delete("c") || reg.Delete("c") {
-		t.Fatal("Delete semantics broken")
+	if ok, err := reg.Delete("c"); !ok || err != nil {
+		t.Fatalf("Delete = %v, %v, want true, nil", ok, err)
+	}
+	if ok, err := reg.Delete("c"); ok || err != nil {
+		t.Fatalf("second Delete = %v, %v, want false, nil", ok, err)
 	}
 }
 
@@ -178,7 +181,9 @@ func TestScheduleCache(t *testing.T) {
 	}
 
 	// Adding a family changes the node set → invalidation.
-	c.AddFamily()
+	if _, err := c.AddFamily(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := c.Window(1, 32); err != nil {
 		t.Fatal(err)
 	}
