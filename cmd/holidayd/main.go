@@ -51,6 +51,8 @@ func main() {
 			"periodic snapshot interval with -data-dir; 0 snapshots only on graceful shutdown")
 		walSync = flag.Duration("wal-sync", persist.DefaultSyncInterval,
 			"WAL group-commit fsync interval with -data-dir; 0 fsyncs every record before acking")
+		binMaxBatch = flag.Int("bin-max-batch", service.DefaultMaxBinBatch,
+			"max frames one /v1/bin request may carry")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -65,6 +67,11 @@ func main() {
 	}
 	if *walSync < 0 {
 		fmt.Fprintln(os.Stderr, "holidayd: -wal-sync must be ≥ 0")
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *binMaxBatch < 1 {
+		fmt.Fprintln(os.Stderr, "holidayd: -bin-max-batch must be ≥ 1")
 		flag.Usage()
 		os.Exit(1)
 	}
@@ -107,7 +114,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(reg),
+		Handler:           service.NewHandlerOpts(reg, service.HandlerOptions{MaxBinBatch: *binMaxBatch}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// SIGTERM is how docker/k8s stop a container; trapping only SIGINT

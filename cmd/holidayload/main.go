@@ -11,25 +11,39 @@
 //
 //	holidayload -scenario ci -duration 2s            # in-process, write BENCH_<rev>.json
 //	holidayload -scenario mixed -target http://127.0.0.1:8080
+//	holidayload -scenario read -target http://127.0.0.1:8080 -proto binary -batch 16
 //	holidayload -scenario read -qps 5000 -workers 8
 //	holidayload -scenario ci -compare BENCH_baseline.json -threshold 0.25
 //	holidayload -replay BENCH_pr.json -compare BENCH_baseline.json
+//	holidayload -diff-window demo,1,52 -target http://127.0.0.1:8091
 //	holidayload -list
+//
+// -proto binary drives window and next queries through the /v1/bin
+// packed-bitmap endpoints (DESIGN.md §9); -batch N pipelines N ops per
+// request. -diff-window fetches one window over both protocols and fails
+// unless they decode identically — the smoke-level differential check.
 //
 // Exit status: 0 on success (and a passing comparison), 1 on usage or run
 // errors, 2 when -compare detects a regression beyond the threshold.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/benchkit"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -41,6 +55,9 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
 		seed      = flag.Uint64("seed", 1, "seed for community generation and op streams")
 		target    = flag.String("target", "", "drive a live holidayd at this base URL instead of in-process")
+		proto     = flag.String("proto", "json", "wire protocol for window/next queries with -target: json or binary")
+		batch     = flag.Int("batch", 1, "ops per request (requires -proto binary); 1 = unbatched")
+		diffWin   = flag.String("diff-window", "", "fetch one window as \"community,from,to\" over both protocols and diff them (requires -target)")
 		persist   = flag.Bool("persist", false, "enable the durability WAL on the in-process registry (prices the write-ahead hot path; ignored with -target)")
 		out       = flag.String("out", "", "snapshot output path (default BENCH_<rev>.json; \"-\" skips writing)")
 		replay    = flag.String("replay", "", "load the current snapshot from a file instead of running")
@@ -73,6 +90,35 @@ func main() {
 	if *replay != "" && (*target != "" || *duration != 0) {
 		usageError("-replay loads a recorded snapshot; it cannot be combined with -target or -duration")
 	}
+	// The target URL is validated before any run or diff starts: a typoed
+	// scheme used to surface minutes later as a per-op connection error.
+	if *target != "" {
+		if err := validateTarget(*target); err != nil {
+			usageError("%v", err)
+		}
+	}
+	if *proto != benchkit.ProtoJSON && *proto != benchkit.ProtoBinary {
+		usageError("-proto must be %q or %q, got %q", benchkit.ProtoJSON, benchkit.ProtoBinary, *proto)
+	}
+	if *proto == benchkit.ProtoBinary && *target == "" {
+		usageError("-proto binary drives a live holidayd's /v1/bin endpoints; it requires -target")
+	}
+	if *batch < 1 {
+		usageError("-batch must be ≥ 1, got %d", *batch)
+	}
+	if *batch > 1 && *proto != benchkit.ProtoBinary {
+		usageError("-batch groups frames of the binary protocol; add -proto binary")
+	}
+	if *diffWin != "" {
+		if *target == "" {
+			usageError("-diff-window compares a live holidayd's two protocols; it requires -target")
+		}
+		if err := diffWindow(*target, *diffWin); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("diff-window %s: binary and JSON windows are identical\n", *diffWin)
+		return
+	}
 
 	var snap *benchkit.Snapshot
 	var err error
@@ -91,7 +137,9 @@ func main() {
 			if *persist {
 				usageError("-persist only applies to in-process runs; a live holidayd's durability is its own -data-dir")
 			}
-			driver = benchkit.NewHTTPDriver(*target, *workers)
+			httpDriver := benchkit.NewHTTPDriver(*target, *workers)
+			httpDriver.Proto = *proto
+			driver = httpDriver
 		} else {
 			inproc := benchkit.NewInProcDriver(service.NewRegistry())
 			inproc.ForcePersist = *persist
@@ -105,6 +153,7 @@ func main() {
 			Workers:  *workers,
 			QPS:      *qps,
 			Seed:     *seed,
+			Batch:    *batch,
 			Rev:      *rev,
 			Note:     *note,
 		}
@@ -138,6 +187,113 @@ func main() {
 	if !cmp.Pass {
 		os.Exit(2)
 	}
+}
+
+// validateTarget checks a -target base URL up front: an absolute http(s)
+// URL with a host.
+func validateTarget(s string) error {
+	u, err := url.Parse(s)
+	if err != nil {
+		return fmt.Errorf("-target %q is not a valid URL: %v", s, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("-target %q must use the http or https scheme, got %q", s, u.Scheme)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("-target %q has no host (use e.g. http://127.0.0.1:8080)", s)
+	}
+	return nil
+}
+
+// jsonWindow mirrors the JSON window payload for the diff.
+type jsonWindow struct {
+	From     int64 `json:"from"`
+	To       int64 `json:"to"`
+	Holidays []struct {
+		Holiday int64 `json:"holiday"`
+		Happy   []int `json:"happy"`
+	} `json:"holidays"`
+}
+
+// diffWindow fetches one window over both protocols from a live holidayd
+// and errors unless they decode to the same schedule — the smoke-level
+// binary≡JSON check (the exhaustive differential proof lives in the tests).
+func diffWindow(target, spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf(`-diff-window wants "community,from,to", got %q`, spec)
+	}
+	id := parts[0]
+	from, err1 := strconv.ParseInt(parts[1], 10, 64)
+	to, err2 := strconv.ParseInt(parts[2], 10, 64)
+	if id == "" || err1 != nil || err2 != nil {
+		return fmt.Errorf(`-diff-window wants "community,from,to" with integer bounds, got %q`, spec)
+	}
+	base := strings.TrimRight(target, "/")
+
+	resp, err := http.Get(fmt.Sprintf("%s/communities/%s/window?from=%d&to=%d", base, url.PathEscape(id), from, to))
+	if err != nil {
+		return err
+	}
+	jsonBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("JSON window query: status %d: %s", resp.StatusCode, bytes.TrimSpace(jsonBody))
+	}
+	var jw jsonWindow
+	if err := json.Unmarshal(jsonBody, &jw); err != nil {
+		return fmt.Errorf("JSON window decode: %v", err)
+	}
+
+	resp, err = http.Post(base+"/v1/bin/window", "application/octet-stream",
+		bytes.NewReader(wire.AppendWindowReq(nil, id, from, to)))
+	if err != nil {
+		return err
+	}
+	binBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("binary window query: status %d: %s", resp.StatusCode, bytes.TrimSpace(binBody))
+	}
+	f, rest, err := wire.Split(binBody)
+	if err != nil || len(rest) != 0 {
+		return fmt.Errorf("binary window framing: %v (%d stray bytes)", err, len(rest))
+	}
+	if f.Kind == wire.KindError {
+		status, msg, _ := f.ErrorResp()
+		return fmt.Errorf("binary window query failed in-band: status %d: %s", status, msg)
+	}
+	wr, err := f.WindowResp()
+	if err != nil {
+		return err
+	}
+
+	if wr.From != jw.From || wr.Rows != len(jw.Holidays) {
+		return fmt.Errorf("window shape differs: binary from=%d rows=%d, JSON from=%d rows=%d",
+			wr.From, wr.Rows, jw.From, len(jw.Holidays))
+	}
+	var happy []int
+	for i, row := range jw.Holidays {
+		if wr.Holiday(i) != row.Holiday {
+			return fmt.Errorf("row %d: binary holiday %d, JSON holiday %d", i, wr.Holiday(i), row.Holiday)
+		}
+		happy = wr.AppendHappy(happy[:0], i)
+		if len(happy) != len(row.Happy) {
+			return fmt.Errorf("holiday %d: binary happy set %v, JSON %v", row.Holiday, happy, row.Happy)
+		}
+		for j := range happy {
+			if happy[j] != row.Happy[j] {
+				return fmt.Errorf("holiday %d: binary happy set %v, JSON %v", row.Holiday, happy, row.Happy)
+			}
+		}
+	}
+	return nil
 }
 
 // gitRev labels snapshots with the working tree's short revision, falling

@@ -15,7 +15,27 @@ import (
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
+
+// Protocol labels for HTTPDriver.Proto and Snapshot.Proto.
+const (
+	// ProtoJSON drives the JSON endpoints (the default; snapshots omit it
+	// for compatibility with pre-protocol baselines).
+	ProtoJSON = "json"
+	// ProtoBinary drives window and next queries through the /v1/bin
+	// endpoints in the internal/wire packed-bitmap format; churn ops stay
+	// on the JSON API.
+	ProtoBinary = "binary"
+)
+
+// BatchDriver is the optional Driver extension for batched requests: one
+// DoBatch call carries len(ops) queries and fills errs (len(errs) ==
+// len(ops)) with per-op outcomes. The returned error is a transport-level
+// failure of the whole batch.
+type BatchDriver interface {
+	DoBatch(ops []Op, errs []error) error
+}
 
 // Driver executes generated ops against a target. Implementations must be
 // safe for concurrent Do calls: the runner issues them from every worker.
@@ -163,13 +183,37 @@ func (d *InProcDriver) Close() error {
 	return firstErr
 }
 
-// HTTPDriver drives a live holidayd over its JSON API, measuring the full
-// stack: routing, handler, JSON encoding, and the network path to the
+// HTTPDriver drives a live holidayd over its HTTP API, measuring the full
+// stack: routing, handler, response encoding, and the network path to the
 // target. Allocation counts in its snapshots include client-side cost.
+//
+// With Proto set to ProtoBinary, window and next queries go through the
+// /v1/bin endpoints in the internal/wire format — single-frame per Do, or
+// many frames per request via DoBatch — while churn ops stay on the JSON
+// API. Responses are framing-checked and error frames surface as op errors,
+// but rows are not decoded: decoding on the load generator would dominate
+// the measurement, same as the JSON path's drain-don't-decode policy.
 type HTTPDriver struct {
 	base   string // no trailing slash
 	client *http.Client
 	ids    []string
+
+	// Proto selects the wire protocol for window/next queries: ProtoJSON
+	// (or empty) for the JSON endpoints, ProtoBinary for /v1/bin. Set it
+	// before the run starts; it must not change mid-run.
+	Proto string
+
+	// bufs pools the per-call encode/decode state of the binary path.
+	bufs sync.Pool
+}
+
+// binBufs is the reusable encode/decode state of one binary request.
+type binBufs struct {
+	req  []byte
+	resp bytes.Buffer
+	// win and next index into a DoBatch ops slice, preserving op order
+	// within each endpoint's batch.
+	win, next []int
 }
 
 // NewHTTPDriver targets a base URL such as "http://127.0.0.1:8080". The
@@ -186,7 +230,18 @@ func NewHTTPDriver(base string, workers int) *HTTPDriver {
 	return &HTTPDriver{
 		base:   trimTrailingSlash(base),
 		client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		bufs:   sync.Pool{New: func() any { return new(binBufs) }},
 	}
+}
+
+// ProtoName reports the protocol label recorded in snapshots: empty for
+// JSON (keeping new snapshots comparable to pre-protocol baselines) and
+// ProtoBinary for binary runs.
+func (d *HTTPDriver) ProtoName() string {
+	if d.Proto == ProtoBinary {
+		return ProtoBinary
+	}
+	return ""
 }
 
 // trimTrailingSlash normalizes the base URL.
@@ -243,6 +298,9 @@ func (d *HTTPDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
 // reuse) and status-checked, not decoded — decoding on the load generator
 // would dominate the measurement.
 func (d *HTTPDriver) Do(op Op) error {
+	if d.Proto == ProtoBinary && (op.Kind == OpWindow || op.Kind == OpNext) {
+		return d.doBin(op)
+	}
 	id := url.PathEscape(d.ids[op.Community])
 	switch op.Kind {
 	case OpWindow:
@@ -280,6 +338,134 @@ func (d *HTTPDriver) Do(op Op) error {
 	default:
 		return fmt.Errorf("benchkit: unknown op kind %d", op.Kind)
 	}
+}
+
+// doBin serves one window or next query over the binary endpoint.
+func (d *HTTPDriver) doBin(op Op) error {
+	b := d.bufs.Get().(*binBufs)
+	defer d.bufs.Put(b)
+	b.req = d.appendBinReq(b.req[:0], op)
+	body, err := d.postBin(binPath(op.Kind), b)
+	if err != nil {
+		return err
+	}
+	f, rest, err := wire.Split(body)
+	if err != nil {
+		return fmt.Errorf("benchkit: binary response framing: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("benchkit: %d stray bytes after a single-frame response", len(rest))
+	}
+	return frameErr(f)
+}
+
+// DoBatch implements BatchDriver for binary runs: window frames and next
+// frames each travel as one batched request to their endpoint (responses
+// are positional, so per-op failures land in errs), and churn ops fall back
+// to per-op JSON calls — the batch win targets the read hot path.
+func (d *HTTPDriver) DoBatch(ops []Op, errs []error) error {
+	if d.Proto != ProtoBinary {
+		return fmt.Errorf("benchkit: batched requests need the binary protocol (set Proto = %q)", ProtoBinary)
+	}
+	if len(errs) != len(ops) {
+		return fmt.Errorf("benchkit: DoBatch needs len(errs) == len(ops), got %d and %d", len(errs), len(ops))
+	}
+	b := d.bufs.Get().(*binBufs)
+	defer d.bufs.Put(b)
+	b.win, b.next = b.win[:0], b.next[:0]
+	for i, op := range ops {
+		switch op.Kind {
+		case OpWindow:
+			b.win = append(b.win, i)
+		case OpNext:
+			b.next = append(b.next, i)
+		default:
+			errs[i] = d.Do(op)
+		}
+	}
+	if err := d.doBinBatch(ops, b.win, errs, b); err != nil {
+		return err
+	}
+	return d.doBinBatch(ops, b.next, errs, b)
+}
+
+// doBinBatch posts the ops selected by idx as one frame batch and maps the
+// positional responses back into errs.
+func (d *HTTPDriver) doBinBatch(ops []Op, idx []int, errs []error, b *binBufs) error {
+	if len(idx) == 0 {
+		return nil
+	}
+	b.req = b.req[:0]
+	for _, i := range idx {
+		b.req = d.appendBinReq(b.req, ops[i])
+	}
+	body, err := d.postBin(binPath(ops[idx[0]].Kind), b)
+	if err != nil {
+		return err
+	}
+	for _, i := range idx {
+		var f wire.Frame
+		f, body, err = wire.Split(body)
+		if err != nil {
+			return fmt.Errorf("benchkit: binary batch framing: %w", err)
+		}
+		errs[i] = frameErr(f)
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("benchkit: %d stray bytes after a %d-frame batch", len(body), len(idx))
+	}
+	return nil
+}
+
+// appendBinReq encodes one op as a wire request frame.
+func (d *HTTPDriver) appendBinReq(dst []byte, op Op) []byte {
+	id := d.ids[op.Community]
+	if op.Kind == OpWindow {
+		return wire.AppendWindowReq(dst, id, op.From, op.To)
+	}
+	return wire.AppendNextReq(dst, id, op.U, op.From)
+}
+
+// binPath maps a query op kind to its binary endpoint.
+func binPath(k OpKind) string {
+	if k == OpWindow {
+		return "/v1/bin/window"
+	}
+	return "/v1/bin/next"
+}
+
+// postBin posts b.req to a binary endpoint and returns the response bytes,
+// staged in b.resp so steady-state binary driving reuses both buffers.
+func (d *HTTPDriver) postBin(path string, b *binBufs) ([]byte, error) {
+	resp, err := d.client.Post(d.base+path, "application/octet-stream", bytes.NewReader(b.req))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		// A non-200 means the whole batch was refused (protocol violation);
+		// per-query failures arrive as in-band error frames instead.
+		return nil, drainExpect(resp, http.StatusOK)
+	}
+	b.resp.Reset()
+	_, err = b.resp.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	return b.resp.Bytes(), nil
+}
+
+// frameErr converts an in-band error frame to an op error; any other frame
+// kind counts as served traffic (rows are deliberately not decoded).
+func frameErr(f wire.Frame) error {
+	if f.Kind != wire.KindError {
+		return nil
+	}
+	status, msg, err := f.ErrorResp()
+	if err != nil {
+		return fmt.Errorf("benchkit: malformed error frame: %w", err)
+	}
+	return fmt.Errorf("benchkit: binary query failed: status %d: %s", status, msg)
 }
 
 // CacheStats implements Driver via the per-community stats endpoint.

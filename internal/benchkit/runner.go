@@ -18,6 +18,11 @@ type Options struct {
 	QPS float64
 	// Seed drives community generation and every worker's op stream.
 	Seed uint64
+	// Batch groups this many ops into each request; > 1 requires a driver
+	// implementing BatchDriver (the HTTP driver in binary mode). Each op of
+	// a batch records the whole batch's latency — that is the user-visible
+	// completion time of a batched query.
+	Batch int
 	// Rev and Note annotate the snapshot (git revision, free-form context).
 	Rev, Note string
 }
@@ -45,6 +50,16 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 	}
 	if opt.Workers < 1 {
 		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Batch < 1 {
+		opt.Batch = 1
+	}
+	var bd BatchDriver
+	if opt.Batch > 1 {
+		var ok bool
+		if bd, ok = d.(BatchDriver); !ok {
+			return nil, fmt.Errorf("benchkit: driver %q does not support batched requests", d.Name())
+		}
 	}
 	sizes, err := d.Setup(sc, opt.Seed)
 	if err != nil {
@@ -87,27 +102,46 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 			// Distinct, widely separated streams per worker; the offset
 			// keeps worker 0 of different worker counts distinct too.
 			gen := NewOpGen(sc, sizes, opt.Seed+0x100000001b3*uint64(w+1))
+			// A batched worker paces per batch: one request carries Batch
+			// ops, so the tick stride scales with the batch size.
+			stride := interval * time.Duration(opt.Batch)
+			ops := make([]Op, opt.Batch)
+			errs := make([]error, opt.Batch)
 			next := start.Add(interval * time.Duration(w) / time.Duration(opt.Workers))
 			for {
 				if interval > 0 {
 					if d := time.Until(next); d > 0 {
 						time.Sleep(d)
 					}
-					next = next.Add(interval)
+					next = next.Add(stride)
 				}
 				if !time.Now().Before(deadline) {
 					return
 				}
-				op := gen.Next()
+				for i := range ops {
+					ops[i] = gen.Next()
+					errs[i] = nil
+				}
 				t0 := time.Now()
-				err := d.Do(op)
+				var batchErr error
+				if bd != nil {
+					batchErr = bd.DoBatch(ops, errs)
+				} else {
+					errs[0] = d.Do(ops[0])
+				}
 				lat := time.Since(t0)
-				st.overall.Record(lat)
-				st.perKind[op.Kind].Record(lat)
-				if err != nil {
-					st.errors[op.Kind]++
-					if st.firstErr == nil {
-						st.firstErr = err
+				for i := range ops {
+					st.overall.Record(lat)
+					st.perKind[ops[i].Kind].Record(lat)
+					err := errs[i]
+					if batchErr != nil {
+						err = batchErr
+					}
+					if err != nil {
+						st.errors[ops[i].Kind]++
+						if st.firstErr == nil {
+							st.firstErr = err
+						}
 					}
 				}
 			}
@@ -158,6 +192,8 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 		GoVersion:   runtime.Version(),
 		Maxprocs:    runtime.GOMAXPROCS(0),
 		Persist:     isPersistent(d),
+		Proto:       protoOf(d),
+		Batch:       batchLabel(opt.Batch),
 		Note:        opt.Note,
 		Totals: Metrics{
 			Ops:    ops,
@@ -202,6 +238,28 @@ type persister interface{ Persistent() bool }
 func isPersistent(d Driver) bool {
 	p, ok := d.(persister)
 	return ok && p.Persistent()
+}
+
+// protoReporter is the optional Driver interface naming the wire protocol
+// the run drove (see HTTPDriver.ProtoName); the snapshot records it.
+type protoReporter interface{ ProtoName() string }
+
+// protoOf probes a driver for its protocol label.
+func protoOf(d Driver) string {
+	p, ok := d.(protoReporter)
+	if !ok {
+		return ""
+	}
+	return p.ProtoName()
+}
+
+// batchLabel normalizes the snapshot's batch field: unbatched runs record
+// nothing, keeping them comparable to pre-batching baselines.
+func batchLabel(batch int) int {
+	if batch <= 1 {
+		return 0
+	}
+	return batch
 }
 
 // micros converts a duration to fractional microseconds for the snapshot.

@@ -36,6 +36,13 @@ type Snapshot struct {
 	// gate: the bench-gate deliberately compares persistence-enabled runs
 	// against the pre-durability baseline to bound the WAL's cost.
 	Persist bool `json:"persist,omitempty"`
+	// Proto names the wire protocol of an HTTP run ("binary" for the
+	// /v1/bin packed-bitmap endpoints); empty means JSON (or in-process),
+	// so pre-protocol baselines stay comparable.
+	Proto string `json:"proto,omitempty"`
+	// Batch is the ops-per-request grouping of a batched binary run; 0
+	// means unbatched.
+	Batch int `json:"batch,omitempty"`
 	// Note carries free-form context, e.g. before/after numbers of the
 	// optimization a revision landed.
 	Note   string             `json:"note,omitempty"`
@@ -142,6 +149,18 @@ func Compare(old, new *Snapshot, threshold float64) *Comparison {
 		cmp.Pass = false
 		return cmp
 	}
+	if old.Proto != new.Proto {
+		cmp.Mismatch = fmt.Sprintf("protocol mismatch: old ran %s, new ran %s — binary and JSON throughput are not comparable",
+			protoLabel(old.Proto), protoLabel(new.Proto))
+		cmp.Pass = false
+		return cmp
+	}
+	if old.Batch != new.Batch {
+		cmp.Mismatch = fmt.Sprintf("batch mismatch: old grouped %d ops per request, new %d — rerun with -batch %d",
+			max(old.Batch, 1), max(new.Batch, 1), max(old.Batch, 1))
+		cmp.Pass = false
+		return cmp
+	}
 	add := func(metric string, o, n float64, gated, lowerIsBetter bool) {
 		d := Delta{Metric: metric, Old: o, New: n, Gated: gated}
 		if o != 0 {
@@ -193,6 +212,14 @@ func (c *Comparison) Render(w io.Writer, threshold float64) {
 	} else {
 		fmt.Fprintln(w, "BENCH FAIL: gated metric regressed beyond threshold")
 	}
+}
+
+// protoLabel names a snapshot's protocol field for messages (empty = JSON).
+func protoLabel(p string) string {
+	if p == "" {
+		return "json"
+	}
+	return p
 }
 
 // opNames returns the per-op keys of a snapshot, sorted, for stable output.

@@ -1,6 +1,9 @@
 package graph
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Bitset is a fixed-capacity set of small non-negative integers packed 64
 // per word. The zero-length Bitset is the empty set over an empty universe.
@@ -34,6 +37,46 @@ func (b Bitset) Count() int {
 		c += bits.OnesCount64(w)
 	}
 	return c
+}
+
+// AppendBytes appends the set's words in little-endian byte order — the
+// on-wire row layout of internal/wire. len(b)*8 bytes are appended.
+func (b Bitset) AppendBytes(dst []byte) []byte {
+	for _, w := range b {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
+}
+
+// AppendBitsetBytes decodes little-endian words (as produced by
+// AppendBytes) into dst, reusing its capacity. len(data) must be a multiple
+// of 8.
+func AppendBitsetBytes(dst Bitset, data []byte) (Bitset, error) {
+	if len(data)%8 != 0 {
+		return dst, fmt.Errorf("graph: bitset bytes length %d is not a multiple of 8", len(data))
+	}
+	for i := 0; i < len(data); i += 8 {
+		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 | uint64(data[i+3])<<24 |
+			uint64(data[i+4])<<32 | uint64(data[i+5])<<40 | uint64(data[i+6])<<48 | uint64(data[i+7])<<56
+		dst = append(dst, w)
+	}
+	return dst, nil
+}
+
+// AppendIndices appends the set's elements to dst in increasing order,
+// reusing its capacity — the decode step from a packed happy-bitmap row back
+// to the JSON []int representation.
+func (b Bitset) AppendIndices(dst []int) []int {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
 }
 
 // Intersects reports whether b and other share any element. The shorter of

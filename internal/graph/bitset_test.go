@@ -2,8 +2,60 @@ package graph
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 )
+
+// TestBitsetBytesRoundTrip: AppendBytes → AppendBitsetBytes must reproduce
+// the set exactly, and AppendIndices must list exactly the set elements in
+// increasing order — the serialize/deserialize pair the binary wire format
+// is built on.
+func TestBitsetBytesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 63, 64, 65, 130, 1000} {
+		b := NewBitset(n)
+		var want []int
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				b.Set(i)
+				want = append(want, i)
+			}
+		}
+		data := b.AppendBytes([]byte{0xfe}) // survives a non-empty prefix
+		if len(data) != 1+len(b)*8 {
+			t.Fatalf("n=%d: serialized %d bytes, want %d", n, len(data), 1+len(b)*8)
+		}
+		back, err := AppendBitsetBytes(Bitset{1 << 9}[:0], data[1:]) // reused capacity
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(back, b) {
+			t.Fatalf("n=%d: round trip changed the set:\n got %x\nwant %x", n, back, b)
+		}
+		got := back.AppendIndices(nil)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: AppendIndices = %v, want %v", n, got, want)
+		}
+	}
+	if _, err := AppendBitsetBytes(nil, make([]byte, 7)); err == nil {
+		t.Fatal("AppendBitsetBytes accepted a length not divisible by 8")
+	}
+}
+
+// TestBitsetAppendIndicesReusesPrefix: appending after an existing prefix
+// must preserve it (the decode path reuses buffers across rows).
+func TestBitsetAppendIndicesReusesPrefix(t *testing.T) {
+	b := NewBitset(70)
+	b.Set(3)
+	b.Set(69)
+	got := b.AppendIndices([]int{-1})
+	if !reflect.DeepEqual(got, []int{-1, 3, 69}) {
+		t.Fatalf("AppendIndices with prefix = %v", got)
+	}
+}
 
 func TestBitsetBasics(t *testing.T) {
 	b := NewBitset(130)

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/wire"
 )
 
 // NewHandler exposes a registry over HTTP/JSON:
@@ -22,12 +25,41 @@ import (
 //	DELETE /communities/{id}/edges?u=U&v=V       divorce → {removed, recolored}
 //	GET    /communities/{id}/window?from=F&to=T  schedule window
 //	GET    /communities/{id}/families/{v}/next?from=F  next happy holiday
+//	POST   /v1/bin/window                        batched binary windows
+//	POST   /v1/bin/next                          batched binary next queries
 //	GET    /healthz                              liveness
 //
 // Window and next queries answer from the community's cached frozen
-// schedule; churn endpoints route through the §6 dynamic recoloring.
+// schedule; churn endpoints route through the §6 dynamic recoloring. The
+// /v1/bin endpoint family speaks the internal/wire binary format (DESIGN.md
+// §9): the request body is a batch of length-prefixed frames, the response
+// the matching frames in order, and window answers are word-packed happy
+// bitmaps emitted straight from the closed-form periodic schedules. JSON
+// endpoints stay for compatibility and answer identically.
 func NewHandler(reg *Registry) http.Handler {
+	return NewHandlerOpts(reg, HandlerOptions{})
+}
+
+// HandlerOptions tune NewHandlerOpts beyond the defaults.
+type HandlerOptions struct {
+	// MaxBinBatch caps the frames one /v1/bin request body may carry;
+	// 0 means DefaultMaxBinBatch. Batches beyond the cap fail with 400
+	// before any query is served.
+	MaxBinBatch int
+}
+
+// DefaultMaxBinBatch is the frames-per-request cap of the binary endpoints
+// when HandlerOptions does not override it.
+const DefaultMaxBinBatch = 1024
+
+// NewHandlerOpts is NewHandler with explicit options.
+func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
+	if opts.MaxBinBatch < 1 {
+		opts.MaxBinBatch = DefaultMaxBinBatch
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/bin/window", binHandler(reg, opts, wire.KindWindowReq))
+	mux.HandleFunc("POST /v1/bin/next", binHandler(reg, opts, wire.KindNextReq))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -158,6 +190,130 @@ func NewHandler(reg *Registry) http.Handler {
 	}))
 	return mux
 }
+
+// binHandler serves one binary endpoint: the request body is a batch of
+// length-prefixed wire frames, all of the allowed kind, and the response
+// body is the matching batch in order — per-query failures arrive as Error
+// frames in position, so a batch with one bad query still answers the rest.
+// Protocol violations (malformed framing, a frame of the wrong kind, an
+// empty or over-long batch) fail the whole request with a JSON 400: the
+// client spoke the protocol wrong and no per-frame correspondence exists.
+func binHandler(reg *Registry, opts HandlerOptions, allowed wire.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxFrame))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read binary request body: %w", err))
+			return
+		}
+		bp := binBufPool.Get().(*[]byte)
+		buf := (*bp)[:0]
+		frames := 0
+		for rest := body; len(rest) > 0; {
+			var f wire.Frame
+			f, rest, err = wire.Split(rest)
+			if err != nil {
+				putBinBuf(bp, buf)
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if f.Kind != allowed {
+				putBinBuf(bp, buf)
+				writeError(w, http.StatusBadRequest, fmt.Errorf("%s frame on the %s endpoint", f.Kind, allowed))
+				return
+			}
+			if frames++; frames > opts.MaxBinBatch {
+				putBinBuf(bp, buf)
+				writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d frames", opts.MaxBinBatch))
+				return
+			}
+			switch allowed {
+			case wire.KindWindowReq:
+				buf = serveBinWindow(reg, buf, f)
+			default:
+				buf = serveBinNext(reg, buf, f)
+			}
+		}
+		if frames == 0 {
+			putBinBuf(bp, buf)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch: the request body carried no frames"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
+		putBinBuf(bp, buf)
+	}
+}
+
+// serveBinWindow answers one window-request frame, streaming the packed
+// bitmap rows straight from the community's frozen schedule into dst: the
+// response header is emitted once the family count is known, then one
+// ⌈n/64⌉-word row per holiday — no []int row and no JSON on this path.
+// Errors mirror the JSON endpoint's statuses (404 unknown community, 400
+// invalid query).
+func serveBinWindow(reg *Registry, dst []byte, f wire.Frame) []byte {
+	id, from, to, err := f.WindowReq()
+	if err != nil {
+		return wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	c, ok := reg.Get(id)
+	if !ok {
+		return wire.AppendError(dst, http.StatusNotFound, fmt.Sprintf("no community %q", id))
+	}
+	werr := c.WindowBits(from, to,
+		func(n int) { dst = wire.AppendWindowRespHeader(dst, n, from, int(to-from+1)) },
+		func(t int64, row graph.Bitset) { dst = row.AppendBytes(dst) })
+	if werr != nil {
+		// WindowBits validates before emitting, so dst holds no partial
+		// response; the error frame is the query's whole answer.
+		return wire.AppendError(dst, http.StatusBadRequest, werr.Error())
+	}
+	return dst
+}
+
+// serveBinNext answers one next-request frame; statuses mirror the JSON
+// endpoint (404 for unknown community or family).
+func serveBinNext(reg *Registry, dst []byte, f wire.Frame) []byte {
+	id, v, from, err := f.NextReq()
+	if err != nil {
+		return wire.AppendError(dst, http.StatusBadRequest, err.Error())
+	}
+	c, ok := reg.Get(id)
+	if !ok {
+		return wire.AppendError(dst, http.StatusNotFound, fmt.Sprintf("no community %q", id))
+	}
+	next, err := c.NextHappy(v, from)
+	if err != nil {
+		return wire.AppendError(dst, http.StatusNotFound, err.Error())
+	}
+	return wire.AppendNextResp(dst, next)
+}
+
+// binBufPool recycles the response buffers of the binary endpoints — the
+// bitmap rows are appended straight into these, so steady-state binary
+// serving allocates neither rows nor staging buffers.
+var binBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// binBufMax caps the buffers binBufPool retains, the same policy PR 4
+// applied to the JSON window pool's Happy capacity: a rare maximal batch of
+// MaxWindow-row bitmap responses must not pin its multi-megabyte buffer
+// forever.
+const binBufMax = 1 << 20
+
+// putBinBuf returns a binary response buffer to the pool unless retaining
+// it would pin too much memory (see retainBinBuf).
+func putBinBuf(bp *[]byte, buf []byte) {
+	if !retainBinBuf(buf) {
+		return
+	}
+	*bp = buf[:0]
+	binBufPool.Put(bp)
+}
+
+// retainBinBuf reports whether a binary response buffer is cheap enough to
+// pool.
+func retainBinBuf(buf []byte) bool { return cap(buf) <= binBufMax }
 
 // createRequest is the POST /communities body.
 type createRequest struct {

@@ -435,6 +435,42 @@ func (c *Community) AppendWindow(rows []HolidayRow, from, to int64) ([]HolidayRo
 // its zero capacity means a later reuse appends into a fresh buffer.
 var emptyHappy = make([]int, 0)
 
+// WindowBits answers the same window query as AppendWindow but as
+// word-packed happy bitmaps — the binary wire representation. begin is
+// called exactly once with the family count n (fixing the ⌈n/64⌉ row width)
+// before the first row; visit then runs once per holiday in order with the
+// packed row, which is only valid for the duration of the callback. The
+// closed-form periodic snapshot emits rows directly (core.BitWindower), so
+// no []int row is ever materialized on this path. On error neither callback
+// has been invoked, so a partially emitted response cannot exist.
+func (c *Community) WindowBits(from, to int64, begin func(n int), visit func(t int64, row graph.Bitset)) error {
+	if from < 1 {
+		return fmt.Errorf("service: window start %d < 1", from)
+	}
+	if to > core.MaxHoliday {
+		return fmt.Errorf("service: window end %d beyond last servable holiday %d", to, core.MaxHoliday)
+	}
+	if to < from {
+		return fmt.Errorf("service: window [%d,%d] is empty", from, to)
+	}
+	if span := to - from + 1; span > MaxWindow {
+		return fmt.Errorf("service: window spans %d holidays, max %d", span, MaxWindow)
+	}
+	sched, err := c.Schedule()
+	if err != nil {
+		return err
+	}
+	n := 0
+	if nc, ok := sched.(core.NodeCounter); ok {
+		n = nc.Nodes()
+	} else {
+		n = c.Families()
+	}
+	begin(n)
+	core.WindowBits(sched, n, from, to, visit)
+	return nil
+}
+
 // NextHappy answers a family's next happy holiday at or after from
 // (from < 1 is clamped to 1) from the cached schedule. The family id is
 // bounds-checked against the frozen snapshot itself, so a cache hit costs a

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// seedCorpus returns well-formed frames of every kind, so the fuzzers start
+// from valid encodings and mutate toward the interesting boundaries.
+func seedCorpus() [][]byte {
+	return [][]byte{
+		AppendWindowReq(nil, "demo", 1, 52),
+		AppendNextReq(nil, "demo", 3, 10),
+		AppendNextResp(nil, 12),
+		AppendError(nil, 404, "no community \"x\""),
+		encodeWindowResp(nil, 70, 41, [][]int{{0, 3, 64}, {}, {69}}),
+		encodeWindowResp(nil, 1, 1, [][]int{{0}}),
+		encodeWindowResp(nil, 0, 1, nil),
+		// Two frames back to back: the batch shape the endpoints consume.
+		AppendWindowReq(AppendWindowReq(nil, "a", 1, 2), "b", 3, 4),
+	}
+}
+
+// FuzzSplit: decoding arbitrary bytes as a frame stream must never panic,
+// never loop, and every successfully split frame must survive its per-kind
+// decoder without panicking or reading out of bounds. Accepted window
+// responses must re-encode to the identical bytes (canonical round trip).
+func FuzzSplit(f *testing.F) {
+	for _, seed := range seedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for frames := 0; len(rest) > 0 && frames < 1024; frames++ {
+			fr, r, err := Split(rest)
+			if err != nil {
+				return
+			}
+			if len(r) >= len(rest) {
+				t.Fatalf("Split did not consume input: %d → %d bytes", len(rest), len(r))
+			}
+			consumed := rest[:len(rest)-len(r)]
+			switch fr.Kind {
+			case KindWindowReq:
+				if id, from, to, err := fr.WindowReq(); err == nil {
+					if got := AppendWindowReq(nil, id, from, to); !bytes.Equal(got, consumed) {
+						t.Fatalf("window request did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindNextReq:
+				if id, v, from, err := fr.NextReq(); err == nil {
+					if got := AppendNextReq(nil, id, v, from); !bytes.Equal(got, consumed) {
+						t.Fatalf("next request did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindNextResp:
+				if next, err := fr.NextResp(); err == nil {
+					if got := AppendNextResp(nil, next); !bytes.Equal(got, consumed) {
+						t.Fatalf("next response did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindError:
+				_, _, _ = fr.ErrorResp()
+			case KindWindowResp:
+				wr, err := fr.WindowResp()
+				if err != nil {
+					break
+				}
+				// Decode every row both ways; indices must stay in [0, N).
+				var happy []int
+				var bm graph.Bitset
+				for i := 0; i < wr.Rows; i++ {
+					happy = wr.AppendHappy(happy[:0], i)
+					for _, v := range happy {
+						if v < 0 || v >= wr.N {
+							t.Fatalf("row %d decoded family %d outside [0,%d)", i, v, wr.N)
+						}
+					}
+					bm = wr.AppendBitmap(bm[:0], i)
+					if bm.Count() != len(happy) {
+						t.Fatalf("row %d: bitmap has %d bits, happy decode %d", i, bm.Count(), len(happy))
+					}
+				}
+			}
+			rest = r
+		}
+	})
+}
+
+// FuzzWindowRespRoundTrip drives the encoder with fuzzed parameters and
+// requires exact decode: every bit set on the way in comes back, in order,
+// at the right holiday.
+func FuzzWindowRespRoundTrip(f *testing.F) {
+	f.Add(uint16(70), int64(41), uint8(3), uint64(0x8000000000000009))
+	f.Add(uint16(1), int64(1), uint8(1), uint64(1))
+	f.Add(uint16(64), int64(1<<40), uint8(7), uint64(0xffffffffffffffff))
+	f.Fuzz(func(t *testing.T, n16 uint16, from int64, rows8 uint8, pattern uint64) {
+		n := int(n16)%512 + 1
+		rows := int(rows8)%16 + 1
+		want := make([][]int, rows)
+		row := graph.NewBitset(n)
+		buf := AppendWindowRespHeader(nil, n, from, rows)
+		for i := 0; i < rows; i++ {
+			row.Reset()
+			for v := 0; v < n; v++ {
+				if pattern>>(uint(v+i)%64)&1 == 1 {
+					row.Set(v)
+					want[i] = append(want[i], v)
+				}
+			}
+			buf = row.AppendBytes(buf)
+		}
+		fr, rest, err := Split(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("Split of a fresh encoding failed: %v (%d rest)", err, len(rest))
+		}
+		wr, err := fr.WindowResp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wr.N != n || wr.From != from || wr.Rows != rows {
+			t.Fatalf("header %+v, want n=%d from=%d rows=%d", wr, n, from, rows)
+		}
+		var happy []int
+		for i := 0; i < rows; i++ {
+			happy = wr.AppendHappy(happy[:0], i)
+			if len(happy) != len(want[i]) {
+				t.Fatalf("row %d decoded %d families, want %d", i, len(happy), len(want[i]))
+			}
+			for j := range happy {
+				if happy[j] != want[i][j] {
+					t.Fatalf("row %d decoded %v, want %v", i, happy, want[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,343 @@
+// Package wire is the length-prefixed, versioned binary wire format of the
+// serving layer: window answers travel as word-packed happy bitmaps — one
+// ⌈n/64⌉-word graph.Bitset row per holiday, emitted straight from the
+// closed-form periodic schedules (core.WindowBits) without ever
+// materializing []int rows — and requests/responses are framed so a single
+// HTTP body can carry a whole batch of pipelined queries.
+//
+// Layout (all integers little-endian; see DESIGN.md §9 for the normative
+// spec):
+//
+//	frame   := u32 length | payload          length = len(payload) ≤ MaxFrame
+//	payload := 'H' 'W' | u8 version | u8 kind | body
+//
+//	WindowReq  (1): u16 idLen | id | i64 from | i64 to
+//	WindowResp (2): u32 n | i64 from | u32 rows | rows × ⌈n/64⌉ × u64
+//	NextReq    (3): u16 idLen | id | u32 family | i64 from
+//	NextResp   (4): i64 next
+//	Error      (5): u16 status | u16 msgLen | msg
+//
+// A batch is frames concatenated back to back; responses correspond 1:1 and
+// in order with the request frames, per-query failures arriving as Error
+// frames in position. Decoding never trusts the input: every length is
+// bounds-checked, row payloads must match rows·⌈n/64⌉·8 exactly, and stray
+// bits beyond family n-1 in the last row word are masked off — properties
+// pinned by the package's fuzz targets.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// Version is the wire-format version byte; decoders refuse anything else.
+const Version = 1
+
+// MaxFrame bounds a single frame's payload. A window response over MaxWindow
+// holidays of a 100k-family community is ~6.4 MB; 16 MiB leaves headroom
+// without letting a hostile length prefix commit the decoder to gigabytes.
+const MaxFrame = 16 << 20
+
+// MaxIDLen bounds community ids on the wire (the u16 length field's range).
+const MaxIDLen = 1<<16 - 1
+
+const (
+	magic0, magic1 = 'H', 'W'
+	prefixLen      = 4 // u32 payload length
+	headerLen      = 4 // magic(2) + version + kind
+)
+
+// Kind tags a frame's payload layout.
+type Kind uint8
+
+const (
+	// KindWindowReq asks for the packed window [from, to] of a community.
+	KindWindowReq Kind = 1 + iota
+	// KindWindowResp carries the packed bitmap rows of a window answer.
+	KindWindowResp
+	// KindNextReq asks for a family's next happy holiday at or after from.
+	KindNextReq
+	// KindNextResp carries the next-happy answer.
+	KindNextResp
+	// KindError carries a per-query failure (status mirrors the HTTP code
+	// the JSON endpoint would have answered).
+	KindError
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindWindowReq:
+		return "window-request"
+	case KindWindowResp:
+		return "window-response"
+	case KindNextReq:
+		return "next-request"
+	case KindNextResp:
+		return "next-response"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Words returns the packed words per happy-bitmap row over n families —
+// the ⌈n/64⌉ of the format.
+func Words(n int) int { return (n + 63) / 64 }
+
+// appendHeader appends the length prefix and payload header of a frame
+// whose body is bodyLen bytes.
+func appendHeader(dst []byte, kind Kind, bodyLen int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerLen+bodyLen))
+	return append(dst, magic0, magic1, Version, byte(kind))
+}
+
+// appendID appends a length-prefixed community id. Ids longer than MaxIDLen
+// are a programming error (the serving layer never registers them): panic
+// rather than emit a torn frame.
+func appendID(dst []byte, id string) []byte {
+	if len(id) > MaxIDLen {
+		panic(fmt.Sprintf("wire: community id of %d bytes exceeds MaxIDLen", len(id)))
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(id)))
+	return append(dst, id...)
+}
+
+// AppendWindowReq appends a window-request frame for community id's
+// holidays [from, to].
+func AppendWindowReq(dst []byte, id string, from, to int64) []byte {
+	dst = appendHeader(dst, KindWindowReq, 2+len(id)+16)
+	dst = appendID(dst, id)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(from))
+	return binary.LittleEndian.AppendUint64(dst, uint64(to))
+}
+
+// AppendNextReq appends a next-request frame for community id's family v at
+// or after from.
+func AppendNextReq(dst []byte, id string, v int, from int64) []byte {
+	dst = appendHeader(dst, KindNextReq, 2+len(id)+12)
+	dst = appendID(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+	return binary.LittleEndian.AppendUint64(dst, uint64(from))
+}
+
+// AppendWindowRespHeader begins a window-response frame covering rows
+// holidays over n families starting at holiday from. The caller must follow
+// with exactly rows packed rows of Words(n) words each (graph.Bitset
+// AppendBytes); the frame length is computed up front, so emission streams
+// with no back-patching.
+func AppendWindowRespHeader(dst []byte, n int, from int64, rows int) []byte {
+	dst = appendHeader(dst, KindWindowResp, 16+rows*Words(n)*8)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(from))
+	return binary.LittleEndian.AppendUint32(dst, uint32(rows))
+}
+
+// AppendNextResp appends a next-response frame.
+func AppendNextResp(dst []byte, next int64) []byte {
+	dst = appendHeader(dst, KindNextResp, 8)
+	return binary.LittleEndian.AppendUint64(dst, uint64(next))
+}
+
+// maxErrMsg truncates error messages on the wire; the u16 length field
+// allows more, but a query error never needs it.
+const maxErrMsg = 512
+
+// AppendError appends an error frame with the HTTP-equivalent status the
+// JSON endpoint would have answered.
+func AppendError(dst []byte, status int, msg string) []byte {
+	if len(msg) > maxErrMsg {
+		msg = msg[:maxErrMsg]
+	}
+	dst = appendHeader(dst, KindError, 4+len(msg))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(status))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// Frame is one decoded frame: its kind plus the raw body (a subslice of the
+// decoded buffer, not a copy — valid as long as the buffer is).
+type Frame struct {
+	Kind Kind
+	Body []byte
+}
+
+// Split decodes the first frame of b and returns the remainder, so a batch
+// body is consumed by calling Split until the buffer is empty. Errors name
+// what was malformed; a nil error guarantees the frame's header was valid
+// and its body completely present (per-kind body layout is validated by the
+// frame's decode method).
+func Split(b []byte) (Frame, []byte, error) {
+	if len(b) < prefixLen+headerLen {
+		return Frame{}, nil, fmt.Errorf("wire: %d bytes is too short for a frame", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > MaxFrame {
+		return Frame{}, nil, fmt.Errorf("wire: frame payload of %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if n < headerLen {
+		return Frame{}, nil, fmt.Errorf("wire: frame payload of %d bytes is shorter than its header", n)
+	}
+	if int64(len(b)-prefixLen) < int64(n) {
+		return Frame{}, nil, fmt.Errorf("wire: truncated frame: %d payload bytes present, %d declared", len(b)-prefixLen, n)
+	}
+	p := b[prefixLen : prefixLen+int(n)]
+	if p[0] != magic0 || p[1] != magic1 {
+		return Frame{}, nil, fmt.Errorf("wire: bad magic %q", p[:2])
+	}
+	if p[2] != Version {
+		return Frame{}, nil, fmt.Errorf("wire: version %d, this build speaks %d", p[2], Version)
+	}
+	k := Kind(p[3])
+	if k < KindWindowReq || k > KindError {
+		return Frame{}, nil, fmt.Errorf("wire: unknown frame kind %d", p[3])
+	}
+	return Frame{Kind: k, Body: p[headerLen:]}, b[prefixLen+int(n):], nil
+}
+
+// splitID consumes a length-prefixed id from the front of a body.
+func splitID(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("wire: body too short for id length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b)-2 < n {
+		return "", nil, fmt.Errorf("wire: id of %d bytes declared, %d present", n, len(b)-2)
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}
+
+// WindowReq decodes a window-request body.
+func (f Frame) WindowReq() (id string, from, to int64, err error) {
+	if f.Kind != KindWindowReq {
+		return "", 0, 0, fmt.Errorf("wire: %s frame is not a window request", f.Kind)
+	}
+	id, rest, err := splitID(f.Body)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if len(rest) != 16 {
+		return "", 0, 0, fmt.Errorf("wire: window request has %d trailing bytes, want 16", len(rest))
+	}
+	from = int64(binary.LittleEndian.Uint64(rest))
+	to = int64(binary.LittleEndian.Uint64(rest[8:]))
+	return id, from, to, nil
+}
+
+// NextReq decodes a next-request body.
+func (f Frame) NextReq() (id string, v int, from int64, err error) {
+	if f.Kind != KindNextReq {
+		return "", 0, 0, fmt.Errorf("wire: %s frame is not a next request", f.Kind)
+	}
+	id, rest, err := splitID(f.Body)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if len(rest) != 12 {
+		return "", 0, 0, fmt.Errorf("wire: next request has %d trailing bytes, want 12", len(rest))
+	}
+	v32 := binary.LittleEndian.Uint32(rest)
+	if v32 > 1<<31-1 {
+		return "", 0, 0, fmt.Errorf("wire: family id %d out of range", v32)
+	}
+	from = int64(binary.LittleEndian.Uint64(rest[4:]))
+	return id, int(v32), from, nil
+}
+
+// NextResp decodes a next-response body.
+func (f Frame) NextResp() (int64, error) {
+	if f.Kind != KindNextResp {
+		return 0, fmt.Errorf("wire: %s frame is not a next response", f.Kind)
+	}
+	if len(f.Body) != 8 {
+		return 0, fmt.Errorf("wire: next response body is %d bytes, want 8", len(f.Body))
+	}
+	return int64(binary.LittleEndian.Uint64(f.Body)), nil
+}
+
+// ErrorResp decodes an error body.
+func (f Frame) ErrorResp() (status int, msg string, err error) {
+	if f.Kind != KindError {
+		return 0, "", fmt.Errorf("wire: %s frame is not an error", f.Kind)
+	}
+	if len(f.Body) < 4 {
+		return 0, "", fmt.Errorf("wire: error body is %d bytes, want ≥ 4", len(f.Body))
+	}
+	n := int(binary.LittleEndian.Uint16(f.Body[2:]))
+	if len(f.Body)-4 != n {
+		return 0, "", fmt.Errorf("wire: error message of %d bytes declared, %d present", n, len(f.Body)-4)
+	}
+	return int(binary.LittleEndian.Uint16(f.Body)), string(f.Body[4:]), nil
+}
+
+// WindowResp is a decoded window response: rows × Words(N) packed words
+// over the frame's body (no copy). From is the first holiday; row i covers
+// holiday From+i.
+type WindowResp struct {
+	N    int   // families covered by each row
+	From int64 // first holiday of the window
+	Rows int   // holidays (rows) in the response
+	data []byte
+}
+
+// WindowResp validates and decodes a window-response body.
+func (f Frame) WindowResp() (WindowResp, error) {
+	if f.Kind != KindWindowResp {
+		return WindowResp{}, fmt.Errorf("wire: %s frame is not a window response", f.Kind)
+	}
+	if len(f.Body) < 16 {
+		return WindowResp{}, fmt.Errorf("wire: window response body is %d bytes, want ≥ 16", len(f.Body))
+	}
+	n := binary.LittleEndian.Uint32(f.Body)
+	from := int64(binary.LittleEndian.Uint64(f.Body[4:]))
+	rows := binary.LittleEndian.Uint32(f.Body[12:])
+	if n > 1<<31-1 {
+		return WindowResp{}, fmt.Errorf("wire: window response over %d families out of range", n)
+	}
+	// int64 math: n < 2^31 ⇒ words < 2^26, rows < 2^32 ⇒ the product stays
+	// below 2^61, so a hostile header cannot overflow the size check.
+	want := int64(rows) * int64(Words(int(n))) * 8
+	if int64(len(f.Body)-16) != want {
+		return WindowResp{}, fmt.Errorf("wire: window response carries %d row bytes, %d×⌈%d/64⌉ words need %d",
+			len(f.Body)-16, rows, n, want)
+	}
+	return WindowResp{N: int(n), From: from, Rows: int(rows), data: f.Body[16:]}, nil
+}
+
+// Holiday returns the holiday index of row i.
+func (wr WindowResp) Holiday(i int) int64 { return wr.From + int64(i) }
+
+// AppendBitmap decodes row i into dst (reusing its capacity) as a
+// graph.Bitset, stray bits beyond family N-1 masked off.
+func (wr WindowResp) AppendBitmap(dst graph.Bitset, i int) graph.Bitset {
+	rw := Words(wr.N) * 8
+	dst, _ = graph.AppendBitsetBytes(dst, wr.data[i*rw:(i+1)*rw]) // row length is a multiple of 8 by construction
+	if wr.N%64 != 0 && len(dst) > 0 {
+		dst[len(dst)-1] &= 1<<uint(wr.N%64) - 1
+	}
+	return dst
+}
+
+// AppendHappy appends row i's happy families to dst in increasing order —
+// the decode from packed bitmap back to the JSON []int representation.
+// Stray bits beyond family N-1 are ignored.
+func (wr WindowResp) AppendHappy(dst []int, i int) []int {
+	words := Words(wr.N)
+	off := i * words * 8
+	for wi := 0; wi < words; wi++ {
+		w := binary.LittleEndian.Uint64(wr.data[off+wi*8:])
+		if wi == words-1 && wr.N%64 != 0 {
+			w &= 1<<uint(wr.N%64) - 1
+		}
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}

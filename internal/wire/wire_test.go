@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// encodeWindowResp builds a complete window-response frame from []int rows,
+// the shape the serving layer emits from packed schedules.
+func encodeWindowResp(dst []byte, n int, from int64, rows [][]int) []byte {
+	dst = AppendWindowRespHeader(dst, n, from, len(rows))
+	row := graph.NewBitset(n)
+	for _, happy := range rows {
+		row.Reset()
+		for _, v := range happy {
+			row.Set(v)
+		}
+		dst = row.AppendBytes(dst)
+	}
+	return dst
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	buf := AppendWindowReq(nil, "demo", 7, 58)
+	buf = AppendNextReq(buf, "café", 12, 99)
+	buf = AppendError(buf, 404, "no community")
+	buf = AppendNextResp(buf, 1234)
+
+	f, rest, err := Split(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, from, to, err := f.WindowReq()
+	if err != nil || id != "demo" || from != 7 || to != 58 {
+		t.Fatalf("WindowReq = %q %d %d (%v)", id, from, to, err)
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, v, from, err := f.NextReq()
+	if err != nil || id != "café" || v != 12 || from != 99 {
+		t.Fatalf("NextReq = %q %d %d (%v)", id, v, from, err)
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, msg, err := f.ErrorResp()
+	if err != nil || status != 404 || msg != "no community" {
+		t.Fatalf("ErrorResp = %d %q (%v)", status, msg, err)
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := f.NextResp()
+	if err != nil || next != 1234 {
+		t.Fatalf("NextResp = %d (%v)", next, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after the last frame", len(rest))
+	}
+}
+
+func TestWindowRespRoundTrip(t *testing.T) {
+	rows := [][]int{{0, 3, 64}, {}, {69}, {1, 2, 3, 68, 69}}
+	buf := encodeWindowResp(nil, 70, 41, rows)
+	f, rest, err := Split(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Split: %v (rest %d)", err, len(rest))
+	}
+	wr, err := f.WindowResp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.N != 70 || wr.From != 41 || wr.Rows != len(rows) {
+		t.Fatalf("WindowResp header = %+v", wr)
+	}
+	var happy []int
+	var bm graph.Bitset
+	for i, want := range rows {
+		if wr.Holiday(i) != 41+int64(i) {
+			t.Fatalf("Holiday(%d) = %d", i, wr.Holiday(i))
+		}
+		happy = wr.AppendHappy(happy[:0], i)
+		if len(want) == 0 {
+			if len(happy) != 0 {
+				t.Fatalf("row %d decoded %v, want empty", i, happy)
+			}
+		} else if !reflect.DeepEqual(happy, want) {
+			t.Fatalf("row %d decoded %v, want %v", i, happy, want)
+		}
+		bm = wr.AppendBitmap(bm[:0], i)
+		for _, v := range want {
+			if !bm.Test(v) {
+				t.Fatalf("row %d bitmap missing %d", i, v)
+			}
+		}
+		if bm.Count() != len(want) {
+			t.Fatalf("row %d bitmap has %d bits, want %d", i, bm.Count(), len(want))
+		}
+	}
+}
+
+// TestWindowRespStrayBitsMasked: a response whose last row word carries bits
+// beyond family n-1 (hostile or corrupt input — the encoder never sets them)
+// must decode as if they were absent.
+func TestWindowRespStrayBitsMasked(t *testing.T) {
+	buf := encodeWindowResp(nil, 70, 1, [][]int{{69}})
+	// Set the two bytes above bit 69 in the final word of the single row.
+	buf[len(buf)-1] = 0xff
+	f, _, err := Split(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := f.WindowResp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wr.AppendHappy(nil, 0); !reflect.DeepEqual(got, []int{69}) {
+		t.Fatalf("stray high bits leaked into the happy set: %v", got)
+	}
+	if bm := wr.AppendBitmap(nil, 0); bm.Count() != 1 || !bm.Test(69) {
+		t.Fatalf("stray high bits leaked into the bitmap: %x", bm)
+	}
+}
+
+// TestSplitRejects enumerates the framing violations Split must catch, each
+// with an error message naming the problem.
+func TestSplitRejects(t *testing.T) {
+	good := AppendNextResp(nil, 7)
+	cases := map[string]struct {
+		data []byte
+		want string
+	}{
+		"empty":          {nil, "too short"},
+		"short":          {good[:6], "too short"},
+		"truncated":      {good[:len(good)-2], "truncated"},
+		"bad magic":      {mutate(good, 4, 'X'), "bad magic"},
+		"bad version":    {mutate(good, 6, 99), "version"},
+		"unknown kind":   {mutate(good, 7, 42), "unknown frame kind"},
+		"zero kind":      {mutate(good, 7, 0), "unknown frame kind"},
+		"tiny payload":   {mutate(good, 0, 2), "shorter than its header"},
+		"huge payload":   {mutate(mutate(mutate(mutate(good, 0, 0xff), 1, 0xff), 2, 0xff), 3, 0xff), "exceeds MaxFrame"},
+		"inflated bytes": {mutate(good, 0, byte(len(good))), "truncated"},
+	}
+	for name, tc := range cases {
+		_, _, err := Split(tc.data)
+		if err == nil {
+			t.Fatalf("%s: Split accepted %x", name, tc.data)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// mutate returns a copy of b with b[i] = v.
+func mutate(b []byte, i int, v byte) []byte {
+	c := append([]byte(nil), b...)
+	c[i] = v
+	return c
+}
+
+// TestBodyDecodersReject: per-kind decoders must reject wrong kinds and
+// malformed bodies.
+func TestBodyDecodersReject(t *testing.T) {
+	winReq, _, _ := Split(AppendWindowReq(nil, "c", 1, 2))
+	nextReq, _, _ := Split(AppendNextReq(nil, "c", 0, 1))
+	if _, _, _, err := winReq.NextReq(); err == nil {
+		t.Fatal("NextReq decoded a window request")
+	}
+	if _, _, _, err := nextReq.WindowReq(); err == nil {
+		t.Fatal("WindowReq decoded a next request")
+	}
+	if _, err := winReq.WindowResp(); err == nil {
+		t.Fatal("WindowResp decoded a window request")
+	}
+	// A window response whose rows field disagrees with the row payload:
+	// the frame is well-framed, the body internally inconsistent.
+	lying := encodeWindowResp(nil, 70, 1, [][]int{{1}, {2}})
+	lying[20]++ // rows u32 lives at offset 4(len)+4(header)+4(n)+8(from)
+	f, _, err := Split(lying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = f.WindowResp(); err == nil {
+		t.Fatal("WindowResp accepted a rows count disagreeing with the payload")
+	}
+	// An id length pointing past the declared body.
+	bad := AppendWindowReq(nil, "abcdef", 1, 2)
+	bad[8] += 24 // id length u16 lives right after the header; 30 > the 22 body bytes left
+	if f, _, err = Split(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err = f.WindowReq(); err == nil {
+		t.Fatal("WindowReq accepted an id length past the body")
+	}
+}
+
+// TestAppendErrorTruncates: over-long messages are capped, not torn.
+func TestAppendErrorTruncates(t *testing.T) {
+	long := strings.Repeat("x", 4*maxErrMsg)
+	f, rest, err := Split(AppendError(nil, 500, long))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Split: %v", err)
+	}
+	status, msg, err := f.ErrorResp()
+	if err != nil || status != 500 || len(msg) != maxErrMsg {
+		t.Fatalf("ErrorResp = %d, %d bytes (%v)", status, len(msg), err)
+	}
+}
