@@ -53,6 +53,10 @@ func main() {
 			"WAL group-commit fsync interval with -data-dir; 0 fsyncs every record before acking")
 		binMaxBatch = flag.Int("bin-max-batch", service.DefaultMaxBinBatch,
 			"max frames one /v1/bin request may carry")
+		churnBatch = flag.Int("churn-batch", 1,
+			"coalesce up to this many single-op churn requests per community into one amortized flush; 1 applies each op directly")
+		churnFlush = flag.Duration("churn-flush-ms", service.DefaultChurnFlushInterval,
+			"max time a coalesced churn op may wait before its batch is flushed")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -72,6 +76,16 @@ func main() {
 	}
 	if *binMaxBatch < 1 {
 		fmt.Fprintln(os.Stderr, "holidayd: -bin-max-batch must be ≥ 1")
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *churnBatch < 1 {
+		fmt.Fprintln(os.Stderr, "holidayd: -churn-batch must be ≥ 1")
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *churnFlush <= 0 {
+		fmt.Fprintln(os.Stderr, "holidayd: -churn-flush-ms must be > 0")
 		flag.Usage()
 		os.Exit(1)
 	}
@@ -112,9 +126,16 @@ func main() {
 		}
 	}
 
+	hopts := service.HandlerOptions{MaxBinBatch: *binMaxBatch}
+	var coalescer *service.Coalescer
+	if *churnBatch > 1 {
+		coalescer = service.NewCoalescer(*churnBatch, *churnFlush)
+		hopts.Churn = coalescer
+		log.Printf("coalescing churn: up to %d ops per flush, %v max wait", *churnBatch, *churnFlush)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandlerOpts(reg, service.HandlerOptions{MaxBinBatch: *binMaxBatch}),
+		Handler:           service.NewHandlerOpts(reg, hopts),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	// SIGTERM is how docker/k8s stop a container; trapping only SIGINT
@@ -149,6 +170,9 @@ func main() {
 	case err := <-errc:
 		// The listener died on its own (port in use, fd limit, …); there is
 		// no graceful state to save beyond what the WAL already has.
+		if coalescer != nil {
+			coalescer.Close()
+		}
 		closeStore(store, reg, false)
 		fatal(err)
 	case <-ctx.Done():
@@ -164,6 +188,12 @@ func main() {
 		// and surface the ListenAndServe error instead of dropping it.
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("serve: %v", err)
+		}
+		// Flush open churn batches after the server stopped accepting
+		// requests and before the journal closes: every acknowledged op
+		// must reach the WAL.
+		if coalescer != nil {
+			coalescer.Close()
 		}
 		closeStore(store, reg, true)
 	}

@@ -12,6 +12,8 @@
 //	holidayload -scenario ci -duration 2s            # in-process, write BENCH_<rev>.json
 //	holidayload -scenario mixed -target http://127.0.0.1:8080
 //	holidayload -scenario read -target http://127.0.0.1:8080 -proto binary -batch 16
+//	holidayload -scenario mixed -churn-frac 0.5 -churn-batch 64 -persist
+//	holidayload -scenario mega -duration 20s
 //	holidayload -scenario read -qps 5000 -workers 8
 //	holidayload -scenario ci -compare BENCH_baseline.json -threshold 0.25
 //	holidayload -replay BENCH_pr.json -compare BENCH_baseline.json
@@ -20,8 +22,13 @@
 //
 // -proto binary drives window and next queries through the /v1/bin
 // packed-bitmap endpoints (DESIGN.md §9); -batch N pipelines N ops per
-// request. -diff-window fetches one window over both protocols and fails
-// unless they decode identically — the smoke-level differential check.
+// request, and batched binary runs route churn through /v1/bin/churn so the
+// server amortizes each community's edits into one flush (DESIGN.md §10).
+// -churn-batch N is the in-process equivalent: ops are grouped into batches
+// of N and churn is applied through Community.ChurnBatch. -churn-frac F
+// rebalances any scenario's op mix so fraction F of ops are churn.
+// -diff-window fetches one window over both protocols and fails unless they
+// decode identically — the smoke-level differential check.
 //
 // Exit status: 0 on success (and a passing comparison), 1 on usage or run
 // errors, 2 when -compare detects a regression beyond the threshold.
@@ -48,17 +55,23 @@ import (
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "ci", "named workload to run (see -list)")
-		list      = flag.Bool("list", false, "list the known scenarios and exit")
-		duration  = flag.Duration("duration", 0, "measured run length (default: the scenario's)")
-		qps       = flag.Float64("qps", 0, "aggregate target rate; 0 = unthrottled")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
-		seed      = flag.Uint64("seed", 1, "seed for community generation and op streams")
-		target    = flag.String("target", "", "drive a live holidayd at this base URL instead of in-process")
-		proto     = flag.String("proto", "json", "wire protocol for window/next queries with -target: json or binary")
-		batch     = flag.Int("batch", 1, "ops per request (requires -proto binary); 1 = unbatched")
-		diffWin   = flag.String("diff-window", "", "fetch one window as \"community,from,to\" over both protocols and diff them (requires -target)")
-		persist   = flag.Bool("persist", false, "enable the durability WAL on the in-process registry (prices the write-ahead hot path; ignored with -target)")
+		scenario   = flag.String("scenario", "ci", "named workload to run (see -list)")
+		list       = flag.Bool("list", false, "list the known scenarios and exit")
+		duration   = flag.Duration("duration", 0, "measured run length (default: the scenario's)")
+		qps        = flag.Float64("qps", 0, "aggregate target rate; 0 = unthrottled")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
+		seed       = flag.Uint64("seed", 1, "seed for community generation and op streams")
+		target     = flag.String("target", "", "drive a live holidayd at this base URL instead of in-process")
+		proto      = flag.String("proto", "json", "wire protocol for window/next queries with -target: json or binary")
+		batch      = flag.Int("batch", 1, "ops per request (requires -proto binary); 1 = unbatched")
+		churnBatch = flag.Int("churn-batch", 1,
+			"group ops into batches of this size for in-process runs, amortizing churn through the batched write path; 1 = per-op")
+		churnFrac = flag.Float64("churn-frac", -1,
+			"override the scenario's churn fraction with a value in [0,1], preserving its read and churn ratios; negative keeps the scenario's own mix")
+		diffWin    = flag.String("diff-window", "", "fetch one window as \"community,from,to\" over both protocols and diff them (requires -target)")
+		persist    = flag.Bool("persist", false, "enable the durability WAL on the in-process registry (prices the write-ahead hot path; ignored with -target)")
+		syncAlways = flag.Bool("wal-sync-always", false,
+			"with -persist, fsync every WAL append before acking (per-op durability) instead of timer group commit — the regime where -churn-batch amortization matters most")
 		out       = flag.String("out", "", "snapshot output path (default BENCH_<rev>.json; \"-\" skips writing)")
 		replay    = flag.String("replay", "", "load the current snapshot from a file instead of running")
 		compare   = flag.String("compare", "", "prior snapshot to compare against; regression fails the exit status")
@@ -109,6 +122,21 @@ func main() {
 	if *batch > 1 && *proto != benchkit.ProtoBinary {
 		usageError("-batch groups frames of the binary protocol; add -proto binary")
 	}
+	if *churnBatch < 1 {
+		usageError("-churn-batch must be ≥ 1, got %d", *churnBatch)
+	}
+	if *churnBatch > 1 && *target != "" {
+		usageError("-churn-batch batches the in-process write path; against a live holidayd use -batch with -proto binary")
+	}
+	if *churnBatch > 1 && *batch > 1 {
+		usageError("-churn-batch and -batch both set the batch size; use one")
+	}
+	if *churnFrac > 1 {
+		usageError("-churn-frac must be in [0,1], got %g", *churnFrac)
+	}
+	if *syncAlways && !*persist {
+		usageError("-wal-sync-always tunes the durability WAL; add -persist")
+	}
 	if *diffWin != "" {
 		if *target == "" {
 			usageError("-diff-window compares a live holidayd's two protocols; it requires -target")
@@ -132,6 +160,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *churnFrac >= 0 {
+			if sc, err = sc.WithChurnFraction(*churnFrac); err != nil {
+				fatal(err)
+			}
+		}
 		var driver benchkit.Driver
 		if *target != "" {
 			if *persist {
@@ -143,6 +176,7 @@ func main() {
 		} else {
 			inproc := benchkit.NewInProcDriver(service.NewRegistry())
 			inproc.ForcePersist = *persist
+			inproc.SyncEveryOp = *syncAlways
 			driver = inproc
 		}
 		if *rev == "" {
@@ -153,7 +187,7 @@ func main() {
 			Workers:  *workers,
 			QPS:      *qps,
 			Seed:     *seed,
-			Batch:    *batch,
+			Batch:    max(*batch, *churnBatch),
 			Rev:      *rev,
 			Note:     *note,
 		}

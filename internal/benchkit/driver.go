@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/service"
@@ -24,8 +25,10 @@ const (
 	// for compatibility with pre-protocol baselines).
 	ProtoJSON = "json"
 	// ProtoBinary drives window and next queries through the /v1/bin
-	// endpoints in the internal/wire packed-bitmap format; churn ops stay
-	// on the JSON API.
+	// endpoints in the internal/wire packed-bitmap format. Batched binary
+	// runs also send churn through /v1/bin/churn (where the server groups
+	// each community's edits into one amortized flush); unbatched churn
+	// stays on the JSON API.
 	ProtoBinary = "binary"
 )
 
@@ -60,24 +63,32 @@ type Driver interface {
 // lowest-overhead view of the serving path, and the one whose allocation
 // counts are meaningful.
 type InProcDriver struct {
-	reg   *service.Registry
-	comms []*service.Community
-	rows  sync.Pool // *[]service.HolidayRow window buffers, reused across ops
+	reg     *service.Registry
+	comms   []*service.Community
+	rows    sync.Pool // *[]service.HolidayRow window buffers, reused across ops
+	batches sync.Pool // *churnBatches grouping state, reused across DoBatch calls
 
 	// ForcePersist enables the durability subsystem even for scenarios
 	// that don't set Persist themselves — how the CI bench-gate runs the
 	// canonical "ci" scenario with WAL cost priced in while staying
 	// name-comparable to the committed baseline.
 	ForcePersist bool
-	store        *persist.Store
-	persistDir   string
+	// SyncEveryOp opens the WAL with per-record fsync (persist.SyncAlways)
+	// instead of timer-based group commit: every acknowledged churn op is
+	// durable. This is the regime where batch size matters most — a flush
+	// of K coalesced edits is one fsync instead of K — so the committed
+	// churn baselines are recorded under it.
+	SyncEveryOp bool
+	store       *persist.Store
+	persistDir  string
 }
 
 // NewInProcDriver wraps a registry (usually a fresh one).
 func NewInProcDriver(reg *service.Registry) *InProcDriver {
 	return &InProcDriver{
-		reg:  reg,
-		rows: sync.Pool{New: func() any { return new([]service.HolidayRow) }},
+		reg:     reg,
+		rows:    sync.Pool{New: func() any { return new([]service.HolidayRow) }},
+		batches: sync.Pool{New: func() any { return new(churnBatches) }},
 	}
 }
 
@@ -87,6 +98,10 @@ func (d *InProcDriver) Name() string { return "inproc" }
 // Persistent reports whether the durability subsystem is active for the
 // current run (see Snapshot.Persist).
 func (d *InProcDriver) Persistent() bool { return d.store != nil }
+
+// WALSyncAlways reports whether the run's WAL acknowledged records only
+// after fsync (see Snapshot.WALSyncAlways).
+func (d *InProcDriver) WALSyncAlways() bool { return d.store != nil && d.SyncEveryOp }
 
 // Setup implements Driver. For persistence-enabled runs (Scenario.Persist
 // or ForcePersist) it opens a durability store in a fresh temporary data
@@ -98,7 +113,11 @@ func (d *InProcDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: persist dir: %w", err)
 		}
-		store, err := persist.Open(dir, persist.Options{})
+		popts := persist.Options{}
+		if d.SyncEveryOp {
+			popts.Sync = persist.SyncAlways
+		}
+		store, err := persist.Open(dir, popts)
 		if err != nil {
 			os.RemoveAll(dir)
 			return nil, err
@@ -151,6 +170,83 @@ func (d *InProcDriver) Do(op Op) error {
 	}
 }
 
+// DoBatch implements BatchDriver: the batch's churn ops are grouped per
+// community and applied through Community.ChurnBatch — one write-lock
+// acquisition, one journal group-commit, at most one cache invalidation per
+// community per batch — while read ops are served individually (reads have
+// no batched form in-process; the lock they share is the read lock). This is
+// the amortized write path the -churn-batch flag of cmd/holidayload drives.
+func (d *InProcDriver) DoBatch(ops []Op, errs []error) error {
+	if len(errs) != len(ops) {
+		return fmt.Errorf("benchkit: DoBatch needs len(errs) == len(ops), got %d and %d", len(errs), len(ops))
+	}
+	b := d.batches.Get().(*churnBatches)
+	defer d.batches.Put(b)
+	b.reset(len(d.comms))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpMarry:
+			b.add(op.Community, i, core.Edit{Op: core.EditInsert, U: op.U, V: op.V})
+		case OpDivorce:
+			b.add(op.Community, i, core.Edit{Op: core.EditDelete, U: op.U, V: op.V})
+		default:
+			errs[i] = d.Do(op)
+		}
+	}
+	for _, ci := range b.order {
+		g := &b.perComm[ci]
+		if cap(b.res) < len(g.edits) {
+			b.res = make([]core.EditResult, len(g.edits))
+		}
+		if _, err := d.comms[ci].ChurnBatch(g.edits, b.res[:len(g.edits)]); err != nil {
+			for _, i := range g.idx {
+				errs[i] = err
+			}
+		}
+	}
+	return nil
+}
+
+// churnBatches is the reusable per-call grouping state of InProcDriver
+// batches, pooled so steady-state batched driving does not re-allocate the
+// group slices every request.
+type churnBatches struct {
+	perComm []churnGroup
+	order   []int
+	res     []core.EditResult
+}
+
+// churnGroup is one community's slice of a batch.
+type churnGroup struct {
+	edits []core.Edit
+	idx   []int
+}
+
+// reset prepares the state for a batch over nComms communities: the groups
+// the previous batch touched are cleared (every populated group is in
+// order), then the slice is sized for the new community count.
+func (b *churnBatches) reset(nComms int) {
+	for _, ci := range b.order {
+		b.perComm[ci].edits = b.perComm[ci].edits[:0]
+		b.perComm[ci].idx = b.perComm[ci].idx[:0]
+	}
+	b.order = b.order[:0]
+	if cap(b.perComm) < nComms {
+		b.perComm = make([]churnGroup, nComms)
+	}
+	b.perComm = b.perComm[:nComms]
+}
+
+// add appends op i's edit to community ci's group.
+func (b *churnBatches) add(ci, i int, e core.Edit) {
+	g := &b.perComm[ci]
+	if len(g.idx) == 0 {
+		b.order = append(b.order, ci)
+	}
+	g.edits = append(g.edits, e)
+	g.idx = append(g.idx, i)
+}
+
 // CacheStats implements Driver.
 func (d *InProcDriver) CacheStats() (hits, misses int64, err error) {
 	for _, c := range d.comms {
@@ -159,6 +255,16 @@ func (d *InProcDriver) CacheStats() (hits, misses int64, err error) {
 		misses += st.CacheMisses
 	}
 	return hits, misses, nil
+}
+
+// Recolorings sums the §6 recoloring counters across the scenario's
+// communities (see Snapshot recolorings_per_churn_op).
+func (d *InProcDriver) Recolorings() (int64, error) {
+	var n int64
+	for _, c := range d.comms {
+		n += c.Stats().Recolorings
+	}
+	return n, nil
 }
 
 // Close implements Driver: the scenario's communities are unregistered so a
@@ -211,9 +317,9 @@ type HTTPDriver struct {
 type binBufs struct {
 	req  []byte
 	resp bytes.Buffer
-	// win and next index into a DoBatch ops slice, preserving op order
-	// within each endpoint's batch.
-	win, next []int
+	// win, next, and churn index into a DoBatch ops slice, preserving op
+	// order within each endpoint's batch.
+	win, next, churn []int
 }
 
 // NewHTTPDriver targets a base URL such as "http://127.0.0.1:8080". The
@@ -359,10 +465,11 @@ func (d *HTTPDriver) doBin(op Op) error {
 	return frameErr(f)
 }
 
-// DoBatch implements BatchDriver for binary runs: window frames and next
+// DoBatch implements BatchDriver for binary runs: window, next, and churn
 // frames each travel as one batched request to their endpoint (responses
-// are positional, so per-op failures land in errs), and churn ops fall back
-// to per-op JSON calls — the batch win targets the read hot path.
+// are positional, so per-op failures land in errs). The churn endpoint
+// additionally groups each community's edits server-side into one amortized
+// ChurnBatch flush — the batched write path this revision exists to price.
 func (d *HTTPDriver) DoBatch(ops []Op, errs []error) error {
 	if d.Proto != ProtoBinary {
 		return fmt.Errorf("benchkit: batched requests need the binary protocol (set Proto = %q)", ProtoBinary)
@@ -372,13 +479,15 @@ func (d *HTTPDriver) DoBatch(ops []Op, errs []error) error {
 	}
 	b := d.bufs.Get().(*binBufs)
 	defer d.bufs.Put(b)
-	b.win, b.next = b.win[:0], b.next[:0]
+	b.win, b.next, b.churn = b.win[:0], b.next[:0], b.churn[:0]
 	for i, op := range ops {
 		switch op.Kind {
 		case OpWindow:
 			b.win = append(b.win, i)
 		case OpNext:
 			b.next = append(b.next, i)
+		case OpMarry, OpDivorce:
+			b.churn = append(b.churn, i)
 		default:
 			errs[i] = d.Do(op)
 		}
@@ -386,7 +495,10 @@ func (d *HTTPDriver) DoBatch(ops []Op, errs []error) error {
 	if err := d.doBinBatch(ops, b.win, errs, b); err != nil {
 		return err
 	}
-	return d.doBinBatch(ops, b.next, errs, b)
+	if err := d.doBinBatch(ops, b.next, errs, b); err != nil {
+		return err
+	}
+	return d.doBinBatch(ops, b.churn, errs, b)
 }
 
 // doBinBatch posts the ops selected by idx as one frame batch and maps the
@@ -420,18 +532,28 @@ func (d *HTTPDriver) doBinBatch(ops []Op, idx []int, errs []error, b *binBufs) e
 // appendBinReq encodes one op as a wire request frame.
 func (d *HTTPDriver) appendBinReq(dst []byte, op Op) []byte {
 	id := d.ids[op.Community]
-	if op.Kind == OpWindow {
+	switch op.Kind {
+	case OpWindow:
 		return wire.AppendWindowReq(dst, id, op.From, op.To)
+	case OpMarry:
+		return wire.AppendChurnReq(dst, wire.ChurnInsert, id, op.U, op.V)
+	case OpDivorce:
+		return wire.AppendChurnReq(dst, wire.ChurnDelete, id, op.U, op.V)
+	default:
+		return wire.AppendNextReq(dst, id, op.U, op.From)
 	}
-	return wire.AppendNextReq(dst, id, op.U, op.From)
 }
 
-// binPath maps a query op kind to its binary endpoint.
+// binPath maps an op kind to its binary endpoint.
 func binPath(k OpKind) string {
-	if k == OpWindow {
+	switch k {
+	case OpWindow:
 		return "/v1/bin/window"
+	case OpMarry, OpDivorce:
+		return "/v1/bin/churn"
+	default:
+		return "/v1/bin/next"
 	}
-	return "/v1/bin/next"
 }
 
 // postBin posts b.req to a binary endpoint and returns the response bytes,
@@ -491,6 +613,30 @@ func (d *HTTPDriver) CacheStats() (hits, misses int64, err error) {
 		misses += st.CacheMisses
 	}
 	return hits, misses, nil
+}
+
+// Recolorings sums the recoloring counters across the scenario's communities
+// via the stats endpoint (see Snapshot recolorings_per_churn_op).
+func (d *HTTPDriver) Recolorings() (int64, error) {
+	var n int64
+	for _, id := range d.ids {
+		resp, err := d.client.Get(d.base + "/communities/" + url.PathEscape(id))
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := drainExpect(resp, http.StatusOK)
+			return 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
+		}
+		var st service.Stats
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
+		}
+		n += st.Recolorings
+	}
+	return n, nil
 }
 
 // Close implements Driver: the scenario's communities are deleted from the

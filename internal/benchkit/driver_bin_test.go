@@ -85,10 +85,20 @@ func TestDoBatchMapsErrors(t *testing.T) {
 	}
 }
 
+// noBatchDriver hides InProcDriver's DoBatch so the runner sees a Driver
+// with no batch support.
+type noBatchDriver struct{ d *InProcDriver }
+
+func (n noBatchDriver) Name() string                                   { return n.d.Name() }
+func (n noBatchDriver) Setup(sc *Scenario, seed uint64) ([]int, error) { return n.d.Setup(sc, seed) }
+func (n noBatchDriver) Do(op Op) error                                 { return n.d.Do(op) }
+func (n noBatchDriver) CacheStats() (int64, int64, error)              { return n.d.CacheStats() }
+func (n noBatchDriver) Close() error                                   { return n.d.Close() }
+
 // TestRunBatchNeedsBatchDriver: a batched run over a driver without batch
 // support is a configuration error, not a silent fallback.
 func TestRunBatchNeedsBatchDriver(t *testing.T) {
-	_, err := Run(testScenario(), NewInProcDriver(service.NewRegistry()), Options{Batch: 4})
+	_, err := Run(testScenario(), noBatchDriver{NewInProcDriver(service.NewRegistry())}, Options{Batch: 4})
 	if err == nil || !strings.Contains(err.Error(), "batch") {
 		t.Fatalf("want a batch-support error, got %v", err)
 	}

@@ -19,9 +19,12 @@ type Options struct {
 	// Seed drives community generation and every worker's op stream.
 	Seed uint64
 	// Batch groups this many ops into each request; > 1 requires a driver
-	// implementing BatchDriver (the HTTP driver in binary mode). Each op of
-	// a batch records the whole batch's latency — that is the user-visible
-	// completion time of a batched query.
+	// implementing BatchDriver. Per-op latency is recorded as the batch's
+	// round trip divided by the batch size — the amortized cost one op paid
+	// — while the raw whole-batch round trip is tracked separately under
+	// the "batch" per-op key. (Recording the raw round trip per op, as the
+	// runner once did, made every op kind's quantiles collapse onto the
+	// identical batch RTT and masked per-kind differences entirely.)
 	Batch int
 	// Rev and Note annotate the snapshot (git revision, free-form context).
 	Rev, Note string
@@ -32,6 +35,7 @@ type Options struct {
 type workerState struct {
 	overall  Hist
 	perKind  [numOpKinds]Hist
+	batch    Hist // whole-batch round trips of a batched run
 	errors   [numOpKinds]int64
 	firstErr error
 }
@@ -61,6 +65,15 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 			return nil, fmt.Errorf("benchkit: driver %q does not support batched requests", d.Name())
 		}
 	}
+	// Bracket Setup with GC-settled heap readings: the delta divided by the
+	// family count is the resident bytes-per-node metric of schema 2. Only
+	// the in-process driver's communities live in this process, so only its
+	// runs record it.
+	_, inProc := d.(*InProcDriver)
+	var heap0 uint64
+	if inProc {
+		heap0 = settledHeap()
+	}
 	sizes, err := d.Setup(sc, opt.Seed)
 	if err != nil {
 		return nil, err
@@ -68,6 +81,15 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 	defer d.Close()
 	if err := sc.ValidateSizes(sizes); err != nil {
 		return nil, err
+	}
+	var bytesPerNode float64
+	if totalNodes := sum(sizes); inProc && totalNodes > 0 {
+		// A shrinking heap (Setup freed more than it kept, possible when a
+		// prior run's garbage collects late) records 0, never a negative or
+		// non-finite value — encoding/json refuses NaN/Inf.
+		if heap1 := settledHeap(); heap1 > heap0 {
+			bytesPerNode = float64(heap1-heap0) / float64(totalNodes)
+		}
 	}
 
 	// Warm the frozen-schedule caches: the first query per community pays
@@ -81,6 +103,7 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	recolor0, haveRecolor := recoloringsOf(d)
 	var mem0 runtime.MemStats
 	runtime.ReadMemStats(&mem0)
 
@@ -130,9 +153,16 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 					errs[0] = d.Do(ops[0])
 				}
 				lat := time.Since(t0)
+				// Amortized attribution: each op carries its share of the
+				// batch round trip; the raw RTT goes to the batch hist.
+				opLat := lat
+				if len(ops) > 1 {
+					opLat = lat / time.Duration(len(ops))
+					st.batch.Record(lat)
+				}
 				for i := range ops {
-					st.overall.Record(lat)
-					st.perKind[ops[i].Kind].Record(lat)
+					st.overall.Record(opLat)
+					st.perKind[ops[i].Kind].Record(opLat)
 					err := errs[i]
 					if batchErr != nil {
 						err = batchErr
@@ -156,13 +186,15 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	recolor1, _ := recoloringsOf(d)
 
-	var merged Hist
+	var merged, batchHist Hist
 	var perKind [numOpKinds]Hist
 	var errs int64
 	var firstErr error
 	for w := range states {
 		merged.Merge(&states[w].overall)
+		batchHist.Merge(&states[w].batch)
 		for k := range perKind {
 			perKind[k].Merge(&states[w].perKind[k])
 			errs += states[w].errors[k]
@@ -180,35 +212,53 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 	}
 
 	s := &Snapshot{
-		Schema:      SchemaVersion,
-		Rev:         opt.Rev,
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		Scenario:    sc.Name,
-		Driver:      d.Name(),
-		Workers:     opt.Workers,
-		QPSTarget:   opt.QPS,
-		DurationSec: elapsed.Seconds(),
-		Seed:        opt.Seed,
-		GoVersion:   runtime.Version(),
-		Maxprocs:    runtime.GOMAXPROCS(0),
-		Persist:     isPersistent(d),
-		Proto:       protoOf(d),
-		Batch:       batchLabel(opt.Batch),
-		Note:        opt.Note,
+		Schema:        SchemaVersion,
+		Rev:           opt.Rev,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Scenario:      sc.Name,
+		Driver:        d.Name(),
+		Workers:       opt.Workers,
+		QPSTarget:     opt.QPS,
+		DurationSec:   elapsed.Seconds(),
+		Seed:          opt.Seed,
+		GoVersion:     runtime.Version(),
+		Maxprocs:      runtime.GOMAXPROCS(0),
+		Persist:       isPersistent(d),
+		WALSyncAlways: isSyncAlways(d),
+		Proto:         protoOf(d),
+		Batch:         batchLabel(opt.Batch),
+		ChurnFrac:     sc.ChurnFrac,
+		Note:          opt.Note,
 		Totals: Metrics{
 			Ops:    ops,
 			Errors: errs,
 			// Only successfully served ops count toward the gated
 			// throughput: a change that fails an op class fast must read
 			// as a qps regression, not a speedup.
-			QPS:         float64(ops-errs) / elapsed.Seconds(),
-			P50Micro:    micros(merged.Quantile(0.50)),
-			P95Micro:    micros(merged.Quantile(0.95)),
-			P99Micro:    micros(merged.Quantile(0.99)),
-			AllocsPerOp: float64(mem1.Mallocs-mem0.Mallocs) / float64(ops),
-			BytesPerOp:  float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(ops),
+			QPS:          float64(ops-errs) / elapsed.Seconds(),
+			P50Micro:     micros(merged.Quantile(0.50)),
+			P95Micro:     micros(merged.Quantile(0.95)),
+			P99Micro:     micros(merged.Quantile(0.99)),
+			AllocsPerOp:  float64(mem1.Mallocs-mem0.Mallocs) / float64(ops),
+			BytesPerOp:   float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(ops),
+			BytesPerNode: bytesPerNode,
 		},
 		PerOp: map[string]OpStats{},
+	}
+	if churnOps := perKind[OpMarry].Count() + perKind[OpDivorce].Count(); haveRecolor && churnOps > 0 && recolor1 >= recolor0 {
+		s.Totals.RecoloringsPerChurnOp = float64(recolor1-recolor0) / float64(churnOps)
+	}
+	if batchHist.Count() > 0 {
+		// The raw whole-batch round trips of a batched run, under the
+		// reserved "batch" key (no OpKind ever renders this name): the
+		// user-visible completion time one batched request paid, kept
+		// alongside the amortized per-kind quantiles.
+		s.PerOp["batch"] = OpStats{
+			Count:    batchHist.Count(),
+			P50Micro: micros(batchHist.Quantile(0.50)),
+			P95Micro: micros(batchHist.Quantile(0.95)),
+			P99Micro: micros(batchHist.Quantile(0.99)),
+		}
 	}
 	if lookups := (hits1 - hits0) + (misses1 - misses0); lookups > 0 {
 		s.Totals.CacheHitRatio = float64(hits1-hits0) / float64(lookups)
@@ -240,6 +290,17 @@ func isPersistent(d Driver) bool {
 	return ok && p.Persistent()
 }
 
+// walSyncProber is the optional Driver interface reporting that the WAL
+// fsynced every append before acknowledging it; the snapshot records (and
+// the comparator gates on) it.
+type walSyncProber interface{ WALSyncAlways() bool }
+
+// isSyncAlways probes a driver for per-op-durable WAL acknowledgement.
+func isSyncAlways(d Driver) bool {
+	p, ok := d.(walSyncProber)
+	return ok && p.WALSyncAlways()
+}
+
 // protoReporter is the optional Driver interface naming the wire protocol
 // the run drove (see HTTPDriver.ProtoName); the snapshot records it.
 type protoReporter interface{ ProtoName() string }
@@ -260,6 +321,44 @@ func batchLabel(batch int) int {
 		return 0
 	}
 	return batch
+}
+
+// recoloringsReporter is the optional Driver interface summing the §6
+// recoloring counters across the scenario's communities; drivers that
+// implement it let the snapshot record recolorings_per_churn_op.
+type recoloringsReporter interface{ Recolorings() (int64, error) }
+
+// recoloringsOf probes a driver for its recoloring total. Probe errors read
+// as "not reported" — the metric is informational and must not fail a run
+// that completed.
+func recoloringsOf(d Driver) (int64, bool) {
+	r, ok := d.(recoloringsReporter)
+	if !ok {
+		return 0, false
+	}
+	n, err := r.Recolorings()
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// settledHeap reads the live-heap size after forcing a collection, so two
+// readings bracket real retention rather than transient garbage.
+func settledHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// sum totals a size list.
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // micros converts a duration to fractional microseconds for the snapshot.

@@ -55,6 +55,10 @@ func checkSnapshot(t *testing.T, s *Snapshot, wantDriver string) {
 		if o.Count <= 0 {
 			t.Errorf("op %q recorded with zero count", k)
 		}
+		if k == "batch" {
+			// Reserved key: counts whole-batch round trips, not ops.
+			continue
+		}
 		perOpTotal += o.Count
 	}
 	if perOpTotal != s.Totals.Ops {

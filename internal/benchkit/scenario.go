@@ -15,7 +15,9 @@ package benchkit
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sort"
 	"time"
 )
 
@@ -94,6 +96,53 @@ type Scenario struct {
 	// driver ignores it (a live holidayd's durability is its own -data-dir
 	// configuration).
 	Persist bool
+	// ZipfS, when positive, skews community selection: community i (list
+	// order) is drawn with weight 1/(i+1)^ZipfS instead of uniformly. The
+	// mega family lists its giant communities first, so traffic
+	// concentrates on them the way real serving traffic concentrates on
+	// large tenants. Zero keeps the historical uniform draw.
+	ZipfS float64
+	// ChurnFrac records the fraction of ops that are churn (marry+divorce
+	// over the mix total) when the mix was derived via WithChurnFraction;
+	// zero for scenarios whose mix is hand-set. Snapshots carry it and
+	// Compare refuses to compare across differing fractions.
+	ChurnFrac float64
+}
+
+// WithChurnFraction derives a copy of the scenario whose op mix dedicates
+// fraction f of ops to churn, preserving the original window:next and
+// marry:divorce ratios (defaulting to 60:40 marry:divorce when the original
+// mix has no churn). The derived mix is expressed in parts per thousand, so
+// fractions as fine as 0.001 survive the integer weights.
+func (sc *Scenario) WithChurnFraction(f float64) (*Scenario, error) {
+	if f < 0 || f > 1 {
+		return nil, fmt.Errorf("benchkit: churn fraction %v outside [0,1]", f)
+	}
+	churnW := int(f*1000 + 0.5)
+	readW := 1000 - churnW
+	d := *sc
+	d.ChurnFrac = f
+	d.Mix = OpMix{}
+	if readW > 0 {
+		if rt := sc.Mix.Window + sc.Mix.Next; rt > 0 {
+			d.Mix.Window = readW * sc.Mix.Window / rt
+			d.Mix.Next = readW - d.Mix.Window
+		} else {
+			d.Mix.Window = readW
+		}
+	}
+	if churnW > 0 {
+		if ct := sc.Mix.Marry + sc.Mix.Divorce; ct > 0 {
+			d.Mix.Marry = churnW * sc.Mix.Marry / ct
+		} else {
+			d.Mix.Marry = churnW * 60 / 100
+		}
+		d.Mix.Divorce = churnW - d.Mix.Marry
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
 }
 
 // Scenarios returns the built-in named workloads, in presentation order.
@@ -172,7 +221,55 @@ func Scenarios() []*Scenario {
 			Horizon:    1 << 40,
 			Duration:   15 * time.Second,
 		},
+		megaScenario("mega",
+			"million-node power-law communities under sustained zipf-skewed write traffic",
+			[]int{500_000, 250_000, 100_000}, 40, 512, 20*time.Second),
+		megaScenario("mega-ci",
+			"the mega shape at CI-smoke sizes (same zipf skew and churn fraction, seconds not minutes)",
+			[]int{4096, 2048}, 8, 64, 2*time.Second),
 	}
+}
+
+// megaChurnFrac is the mega family's default fraction of ops that are churn.
+const megaChurnFrac = 0.2
+
+// megaScenario builds one member of the mega family: a few giant power-law
+// (preferential-attachment) communities listed first — where the zipf draw
+// concentrates traffic — plus a long tail of small ones, under a mix derived
+// from the family's churn fraction. The builder exists because a hand-written
+// community list at these counts would drown the scenario table; the panics
+// are unreachable for the fixed parameters above.
+func megaScenario(name, desc string, big []int, smallCount, smallSize int, dur time.Duration) *Scenario {
+	sc := &Scenario{
+		Name: name,
+		Desc: desc,
+		// Reads are mostly cheap next-happy point queries with a thin
+		// window slice on top: a span-52 window over a 500k-node community
+		// materializes tens of MB and hundreds of ms per op, which would
+		// drown the write-path signal this family exists to measure.
+		Mix:        OpMix{Window: 1, Next: 4}, // churn share set by WithChurnFraction
+		WindowSpan: 12,
+		Horizon:    1 << 30,
+		Duration:   dur,
+		ZipfS:      1.1,
+	}
+	for i, n := range big {
+		sc.Communities = append(sc.Communities, CommunitySpec{
+			ID:   fmt.Sprintf("mega-big-%d", i),
+			Spec: fmt.Sprintf("powerlaw:n=%d,m=3", n),
+		})
+	}
+	for i := 0; i < smallCount; i++ {
+		sc.Communities = append(sc.Communities, CommunitySpec{
+			ID:   fmt.Sprintf("mega-small-%d", i),
+			Spec: fmt.Sprintf("powerlaw:n=%d,m=2", smallSize),
+		})
+	}
+	sc, err := sc.WithChurnFraction(megaChurnFrac)
+	if err != nil {
+		panic(err.Error())
+	}
+	return sc
 }
 
 // ScenarioByName resolves a named workload.
@@ -215,6 +312,12 @@ func (sc *Scenario) Validate() error {
 	if sc.Horizon < 1 {
 		return fmt.Errorf("benchkit: scenario %q has horizon %d < 1", sc.Name, sc.Horizon)
 	}
+	if sc.ZipfS < 0 {
+		return fmt.Errorf("benchkit: scenario %q has negative zipf exponent %v", sc.Name, sc.ZipfS)
+	}
+	if sc.ChurnFrac < 0 || sc.ChurnFrac > 1 {
+		return fmt.Errorf("benchkit: scenario %q has churn fraction %v outside [0,1]", sc.Name, sc.ChurnFrac)
+	}
 	return nil
 }
 
@@ -254,6 +357,10 @@ type OpGen struct {
 	r       *rand.Rand
 	weights [numOpKinds]int
 	total   int
+	// zipf holds the cumulative community-selection weights of a skewed
+	// scenario (nil for the uniform draw): community i is chosen when the
+	// uniform draw lands in (zipf[i-1], zipf[i]].
+	zipf []float64
 }
 
 // NewOpGen builds a generator for the scenario over communities of the given
@@ -267,18 +374,41 @@ func NewOpGen(sc *Scenario, sizes []int, seed uint64) *OpGen {
 	if err := sc.ValidateSizes(sizes); err != nil {
 		panic(err.Error())
 	}
-	return &OpGen{
+	g := &OpGen{
 		sc:      sc,
 		sizes:   append([]int(nil), sizes...),
 		r:       rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
 		weights: sc.Mix.weights(),
 		total:   sc.Mix.total(),
 	}
+	if sc.ZipfS > 0 {
+		g.zipf = make([]float64, len(sizes))
+		sum := 0.0
+		for i := range g.zipf {
+			sum += math.Pow(float64(i+1), -sc.ZipfS)
+			g.zipf[i] = sum
+		}
+	}
+	return g
+}
+
+// community draws the target community: zipf-skewed toward the front of the
+// list when the scenario sets ZipfS, uniform otherwise.
+func (g *OpGen) community() int {
+	if g.zipf == nil {
+		return g.r.IntN(len(g.sizes))
+	}
+	x := g.r.Float64() * g.zipf[len(g.zipf)-1]
+	ci := sort.SearchFloat64s(g.zipf, x)
+	if ci == len(g.zipf) { // x == the total, possible at the float boundary
+		ci--
+	}
+	return ci
 }
 
 // Next returns the following op of the stream.
 func (g *OpGen) Next() Op {
-	ci := g.r.IntN(len(g.sizes))
+	ci := g.community()
 	n := g.sizes[ci]
 	op := Op{Community: ci, Kind: g.kind()}
 	switch op.Kind {

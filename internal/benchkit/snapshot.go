@@ -10,8 +10,17 @@ import (
 
 // SchemaVersion identifies the BENCH_*.json layout; bump it on breaking
 // changes so Compare can refuse mismatched snapshots instead of misreading
-// them.
-const SchemaVersion = 1
+// them. History:
+//
+//	1: initial layout (PR 3).
+//	2: adds totals.bytes_per_node and totals.recolorings_per_churn_op plus
+//	   the top-level churn_frac — all additive and omitted when zero, so
+//	   readers accept schema 1 snapshots unchanged (see minSchemaVersion);
+//	   the version records which fields a writer could have produced.
+const SchemaVersion = 2
+
+// minSchemaVersion is the oldest snapshot layout this build still reads.
+const minSchemaVersion = 1
 
 // Snapshot is one recorded benchmark run — the unit of the repo's
 // performance trajectory. Snapshots are committed as BENCH_<rev>.json and
@@ -36,6 +45,12 @@ type Snapshot struct {
 	// gate: the bench-gate deliberately compares persistence-enabled runs
 	// against the pre-durability baseline to bound the WAL's cost.
 	Persist bool `json:"persist,omitempty"`
+	// WALSyncAlways records that the WAL fsynced every append before
+	// acknowledging it (holidayload -wal-sync-always) instead of group
+	// committing on a timer. Unlike Persist it IS a comparison gate:
+	// per-op-durable and timer-batched throughput differ by orders of
+	// magnitude, so mixing them in a comparison is meaningless.
+	WALSyncAlways bool `json:"wal_sync_always,omitempty"`
 	// Proto names the wire protocol of an HTTP run ("binary" for the
 	// /v1/bin packed-bitmap endpoints); empty means JSON (or in-process),
 	// so pre-protocol baselines stay comparable.
@@ -43,6 +58,11 @@ type Snapshot struct {
 	// Batch is the ops-per-request grouping of a batched binary run; 0
 	// means unbatched.
 	Batch int `json:"batch,omitempty"`
+	// ChurnFrac is the fraction of ops dedicated to churn when the
+	// scenario's mix was derived via WithChurnFraction; 0 for hand-set
+	// mixes. Differing fractions make throughput incomparable, so Compare
+	// gates on it.
+	ChurnFrac float64 `json:"churn_frac,omitempty"`
 	// Note carries free-form context, e.g. before/after numbers of the
 	// optimization a revision landed.
 	Note   string             `json:"note,omitempty"`
@@ -69,6 +89,17 @@ type Metrics struct {
 	// overhead on the HTTP driver).
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// BytesPerNode is the live-heap cost of holding the scenario's
+	// communities, measured as the GC-settled heap delta across Setup
+	// divided by the total family count — the resident-memory metric the
+	// mega family exists to track. In-process runs only; 0 when
+	// unmeasurable (schema ≥ 2).
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
+	// RecoloringsPerChurnOp is the §6 recoloring events the run triggered
+	// per churn op served — the amortized repair cost the paper bounds.
+	// Recorded when the driver reports recoloring counters and the mix
+	// includes churn; 0 otherwise (schema ≥ 2).
+	RecoloringsPerChurnOp float64 `json:"recolorings_per_churn_op,omitempty"`
 }
 
 // OpStats is the per-op-kind latency breakdown.
@@ -100,8 +131,8 @@ func LoadSnapshot(path string) (*Snapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
 	}
-	if s.Schema != SchemaVersion {
-		return nil, fmt.Errorf("benchkit: %s has schema %d, this build reads %d", path, s.Schema, SchemaVersion)
+	if s.Schema < minSchemaVersion || s.Schema > SchemaVersion {
+		return nil, fmt.Errorf("benchkit: %s has schema %d, this build reads %d..%d", path, s.Schema, minSchemaVersion, SchemaVersion)
 	}
 	if s.Totals.Ops <= 0 {
 		return nil, fmt.Errorf("benchkit: %s records no completed ops", path)
@@ -158,6 +189,18 @@ func Compare(old, new *Snapshot, threshold float64) *Comparison {
 	if old.Batch != new.Batch {
 		cmp.Mismatch = fmt.Sprintf("batch mismatch: old grouped %d ops per request, new %d — rerun with -batch %d",
 			max(old.Batch, 1), max(new.Batch, 1), max(old.Batch, 1))
+		cmp.Pass = false
+		return cmp
+	}
+	if old.ChurnFrac != new.ChurnFrac {
+		cmp.Mismatch = fmt.Sprintf("churn-fraction mismatch: old ran %v, new ran %v — write-heavy and read-heavy throughput are not comparable",
+			old.ChurnFrac, new.ChurnFrac)
+		cmp.Pass = false
+		return cmp
+	}
+	if old.WALSyncAlways != new.WALSyncAlways {
+		cmp.Mismatch = fmt.Sprintf("WAL sync-policy mismatch: old ran sync-always=%v, new ran sync-always=%v — per-op-durable and group-committed throughput are not comparable",
+			old.WALSyncAlways, new.WALSyncAlways)
 		cmp.Pass = false
 		return cmp
 	}

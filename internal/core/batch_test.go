@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prefixcode"
+)
+
+// randomEdits draws k edits over n nodes, biased toward insertions so the
+// graph actually grows, with deletions drawn from anywhere (often no-ops).
+func randomEdits(r *rand.Rand, n, k int) []Edit {
+	edits := make([]Edit, k)
+	for i := range edits {
+		u := r.IntN(n)
+		v := r.IntN(n - 1)
+		if v >= u {
+			v++
+		}
+		op := EditInsert
+		if r.IntN(10) < 4 {
+			op = EditDelete
+		}
+		edits[i] = Edit{Op: op, U: u, V: v}
+	}
+	return edits
+}
+
+// TestApplyBatchMatchesSequential is the differential proof behind the batch
+// write path: applying an edit stream in batches must leave the scheduler in
+// the exact state — coloring, recoloring counter, and therefore every window
+// and next-happy answer — that one-at-a-time application produces. WAL
+// replay applies churn records individually, so any divergence here would
+// break the byte-identical crash-recovery guarantee.
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g := graph.GNP(40, 0.08, seed)
+			batched, err := NewDynamicColorBound(g, prefixcode.Omega{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sequential, err := NewDynamicColorBound(g, prefixcode.Omega{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewPCG(seed, 77))
+			for round := 0; round < 30; round++ {
+				edits := randomEdits(r, 40, 1+r.IntN(48))
+				res := make([]EditResult, len(edits))
+				rec, err := batched.ApplyBatchResults(edits, res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqRec := 0
+				for i, e := range edits {
+					var applied, recolored bool
+					if e.Op == EditInsert {
+						had := sequential.HasEdge(e.U, e.V)
+						recolored, err = sequential.AddEdge(e.U, e.V)
+						if err != nil {
+							t.Fatal(err)
+						}
+						applied = !had
+					} else {
+						before := sequential.Recolorings
+						applied = sequential.RemoveEdge(e.U, e.V)
+						recolored = sequential.Recolorings != before
+					}
+					if recolored {
+						seqRec++
+					}
+					if res[i] != (EditResult{Applied: applied, Recolored: recolored}) {
+						t.Fatalf("round %d edit %d: batch result %+v, sequential applied=%v recolored=%v",
+							round, i, res[i], applied, recolored)
+					}
+				}
+				if rec != seqRec {
+					t.Fatalf("round %d: batch reported %d recolorings, sequential %d", round, rec, seqRec)
+				}
+				if err := batched.VerifyProper(); err != nil {
+					t.Fatalf("round %d: batch state improper: %v", round, err)
+				}
+				if !reflect.DeepEqual(batched.Coloring(), sequential.Coloring()) {
+					t.Fatalf("round %d: batch coloring diverged from sequential", round)
+				}
+			}
+			// Identical colorings must produce identical window and
+			// next-happy answers from the frozen schedules.
+			bs, err := batched.FrozenSchedule()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := sequential.FrozenSchedule()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bw, sw [][]int
+			bs.Window(1, 64, func(_ int64, happy []int) { bw = append(bw, append([]int(nil), happy...)) })
+			ss.Window(1, 64, func(_ int64, happy []int) { sw = append(sw, append([]int(nil), happy...)) })
+			if !reflect.DeepEqual(bw, sw) {
+				t.Fatal("batch and sequential schedules answer windows differently")
+			}
+			for v := 0; v < 40; v++ {
+				if bs.NextHappy(v, 7) != ss.NextHappy(v, 7) {
+					t.Fatalf("NextHappy(%d) differs between batch and sequential schedules", v)
+				}
+			}
+		})
+	}
+}
+
+// TestInterleavedSingleAndBatchChurn interleaves single-op churn with
+// batches on the same scheduler — the shape the serving layer produces when
+// the coalescer flushes between direct ops — asserting the §6 invariant
+// after every flush.
+func TestInterleavedSingleAndBatchChurn(t *testing.T) {
+	g := graph.GNP(32, 0.1, 3)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewPCG(9, 9))
+	apply := func(edits []Edit, batch bool) {
+		if batch {
+			if _, err := dc.ApplyBatch(edits); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, e := range edits {
+				if e.Op == EditInsert {
+					if _, err := dc.AddEdge(e.U, e.V); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					dc.RemoveEdge(e.U, e.V)
+				}
+			}
+		}
+		for _, e := range edits {
+			if e.Op == EditInsert {
+				if _, err := mirror.AddEdge(e.U, e.V); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				mirror.RemoveEdge(e.U, e.V)
+			}
+		}
+	}
+	for round := 0; round < 60; round++ {
+		k := 1
+		batch := r.IntN(2) == 0
+		if batch {
+			k = 1 + r.IntN(24)
+		}
+		apply(randomEdits(r, 32, k), batch)
+		if err := dc.VerifyProper(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(dc.Coloring(), mirror.Coloring()) {
+			t.Fatalf("round %d: interleaved state diverged from sequential mirror", round)
+		}
+	}
+	if dc.Recolorings != mirror.Recolorings {
+		t.Fatalf("recolorings %d != sequential mirror %d", dc.Recolorings, mirror.Recolorings)
+	}
+}
+
+// TestApplyBatchValidation: a batch with any invalid edit must change
+// nothing.
+func TestApplyBatchValidation(t *testing.T) {
+	g := graph.Path(4)
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dc.Coloring()
+	m := dc.M()
+	bad := [][]Edit{
+		{{Op: EditInsert, U: 0, V: 2}, {Op: EditInsert, U: 1, V: 1}},  // self-marriage
+		{{Op: EditInsert, U: 0, V: 2}, {Op: EditInsert, U: 0, V: 4}},  // out of range
+		{{Op: EditInsert, U: 0, V: 2}, {Op: EditDelete, U: -1, V: 2}}, // negative node
+		{{Op: EditInsert, U: 0, V: 2}, {Op: EditOp(9), U: 0, V: 3}},   // unknown op
+	}
+	for i, edits := range bad {
+		if _, err := dc.ApplyBatch(edits); err == nil {
+			t.Fatalf("bad batch %d: expected error", i)
+		}
+		if dc.M() != m || !reflect.DeepEqual(dc.Coloring(), before) {
+			t.Fatalf("bad batch %d mutated state", i)
+		}
+	}
+	if _, err := dc.ApplyBatchResults([]Edit{{Op: EditInsert, U: 0, V: 2}}, make([]EditResult, 2)); err == nil {
+		t.Fatal("mismatched result-slot count must error")
+	}
+	if _, err := dc.ApplyBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestApplyBatchNoOpEdits: duplicate inserts and absent deletes report
+// Applied=false and leave the edge count alone.
+func TestApplyBatchNoOpEdits(t *testing.T) {
+	g := graph.Path(3) // edges {0,1}, {1,2}
+	dc, err := NewDynamicColorBound(g, prefixcode.Omega{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make([]EditResult, 4)
+	rec, err := dc.ApplyBatchResults([]Edit{
+		{Op: EditInsert, U: 0, V: 1}, // already married
+		{Op: EditDelete, U: 0, V: 2}, // never married
+		{Op: EditDelete, U: 0, V: 1}, // real divorce
+		{Op: EditDelete, U: 0, V: 1}, // now absent again
+	}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, false}
+	for i, w := range want {
+		if res[i].Applied != w {
+			t.Errorf("edit %d applied = %v, want %v", i, res[i].Applied, w)
+		}
+	}
+	if dc.M() != 1 {
+		t.Errorf("M = %d, want 1", dc.M())
+	}
+	if rec < 0 {
+		t.Errorf("negative recolorings %d", rec)
+	}
+	if !dc.HasEdge(1, 2) || dc.HasEdge(0, 1) {
+		t.Error("edge set does not match applied edits")
+	}
+	if dc.HasEdge(-1, 0) || dc.HasEdge(0, 3) || dc.HasEdge(2, 2) {
+		t.Error("HasEdge must report false for invalid endpoints")
+	}
+}

@@ -5,25 +5,30 @@ import "fmt"
 // Dynamic is a mutable undirected simple graph supporting edge insertion and
 // deletion, used for the paper's §6 dynamic setting (marriages and divorces
 // arriving online). It is not safe for concurrent mutation.
+//
+// Adjacency is stored as plain neighbor slices rather than per-node hash
+// sets: conflict graphs are sparse (average degree stays small even in the
+// mega scenarios), so a linear membership scan beats hashing while using a
+// fraction of the memory — per-node hash sets cost hundreds of bytes per
+// node at 10⁵–10⁶ nodes, which is what used to make million-node
+// communities unloadable.
 type Dynamic struct {
-	adj []map[int]bool
+	adj [][]int
 	m   int
 }
 
 // NewDynamic returns a dynamic graph with n isolated nodes.
 func NewDynamic(n int) *Dynamic {
-	adj := make([]map[int]bool, n)
-	for i := range adj {
-		adj[i] = make(map[int]bool)
-	}
-	return &Dynamic{adj: adj}
+	return &Dynamic{adj: make([][]int, n)}
 }
 
 // DynamicFrom copies a static graph into a dynamic one.
 func DynamicFrom(g *Graph) *Dynamic {
-	d := NewDynamic(g.N())
-	for _, e := range g.Edges() {
-		d.AddEdge(e.U, e.V)
+	d := &Dynamic{adj: make([][]int, g.N()), m: g.M()}
+	for v := range d.adj {
+		if ns := g.Neighbors(v); len(ns) > 0 {
+			d.adj[v] = append([]int(nil), ns...)
+		}
 	}
 	return d
 }
@@ -38,11 +43,25 @@ func (d *Dynamic) M() int { return d.m }
 func (d *Dynamic) Degree(v int) int { return len(d.adj[v]) }
 
 // Adjacent reports whether u and v currently share an edge.
-func (d *Dynamic) Adjacent(u, v int) bool { return d.adj[u][v] }
+func (d *Dynamic) Adjacent(u, v int) bool {
+	// Scan the shorter list: checks during churn usually involve one
+	// low-degree endpoint.
+	a, b := d.adj[u], d.adj[v]
+	if len(b) < len(a) {
+		a, b = b, a
+		u, v = v, u
+	}
+	for _, w := range a {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
 
 // AddNode appends an isolated node and returns its id.
 func (d *Dynamic) AddNode() int {
-	d.adj = append(d.adj, make(map[int]bool))
+	d.adj = append(d.adj, nil)
 	return len(d.adj) - 1
 }
 
@@ -52,11 +71,11 @@ func (d *Dynamic) AddEdge(u, v int) bool {
 	if u == v {
 		panic(fmt.Sprintf("graph: self-loop at node %d", u))
 	}
-	if d.adj[u][v] {
+	if d.Adjacent(u, v) {
 		return false
 	}
-	d.adj[u][v] = true
-	d.adj[v][u] = true
+	d.adj[u] = append(d.adj[u], v)
+	d.adj[v] = append(d.adj[v], u)
 	d.m++
 	return true
 }
@@ -64,29 +83,39 @@ func (d *Dynamic) AddEdge(u, v int) bool {
 // RemoveEdge deletes the undirected edge {u, v}, reporting whether it was
 // present.
 func (d *Dynamic) RemoveEdge(u, v int) bool {
-	if !d.adj[u][v] {
+	if !d.removeHalf(u, v) {
 		return false
 	}
-	delete(d.adj[u], v)
-	delete(d.adj[v], u)
+	d.removeHalf(v, u)
 	d.m--
 	return true
 }
 
-// Neighbors returns a freshly allocated, unordered neighbor list of v.
-func (d *Dynamic) Neighbors(v int) []int {
-	out := make([]int, 0, len(d.adj[v]))
-	for u := range d.adj[v] {
-		out = append(out, u)
+// removeHalf deletes v from u's neighbor list by swap-remove, reporting
+// whether it was present. Neighbor lists are unordered, so order need not be
+// preserved.
+func (d *Dynamic) removeHalf(u, v int) bool {
+	a := d.adj[u]
+	for i, w := range a {
+		if w == v {
+			a[i] = a[len(a)-1]
+			d.adj[u] = a[:len(a)-1]
+			return true
+		}
 	}
-	return out
+	return false
 }
+
+// Neighbors returns the unordered neighbor list of v. The returned slice is
+// shared with the graph: it is valid only until the next mutation and must
+// not be modified.
+func (d *Dynamic) Neighbors(v int) []int { return d.adj[v] }
 
 // Snapshot freezes the current edge set into an immutable Graph.
 func (d *Dynamic) Snapshot() *Graph {
 	b := NewBuilder(len(d.adj))
 	for u := range d.adj {
-		for v := range d.adj[u] {
+		for _, v := range d.adj[u] {
 			if u < v {
 				b.AddEdge(u, v)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 )
 
 // rng returns a deterministic generator for the given seed. All generators in
@@ -256,32 +257,60 @@ func RandomRegular(n, d int, seed uint64) *Graph {
 // existing nodes chosen proportionally to their degree. The result has a
 // heavy-tailed degree distribution, the workload the paper's locality goal
 // (per-node rather than Δ bounds) is designed for.
+// The generator is built for the mega benchmark scenarios: it assembles
+// adjacency directly (every edge is unique by construction, so the Builder's
+// dedup map would only burn memory at 10⁵–10⁶ nodes), dedups targets with a
+// linear scan over at most m candidates, and preallocates the
+// repeated-endpoint sampling list at its exact final size. It is also fully
+// deterministic: an earlier version iterated the per-node target set as a
+// map, which let Go's randomized map order change the sampling list — and
+// therefore the generated graph — between runs of the same seed.
 func PreferentialAttachment(n, m int, seed uint64) *Graph {
 	if m < 1 || n < m+1 {
 		panic(fmt.Sprintf("graph: invalid preferential attachment parameters n=%d m=%d", n, m))
 	}
 	r := rng(seed)
-	b := NewBuilder(n)
+	total := m*(m+1)/2 + (n-m-1)*m
+	adj := make([][]int, n)
 	// Repeated-endpoint list: node v appears deg(v) times, so sampling a
 	// uniform element samples proportionally to degree.
-	var chosenFrom []int
+	chosenFrom := make([]int, 0, 2*total)
+	// Seed clique on nodes 0..m. The loop order leaves every adjacency row
+	// sorted ascending, matching the Graph contract.
 	for u := 0; u <= m; u++ {
 		for v := u + 1; v <= m; v++ {
-			b.AddEdge(u, v)
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
 			chosenFrom = append(chosenFrom, u, v)
 		}
 	}
+	targets := make([]int, 0, m)
 	for v := m + 1; v < n; v++ {
-		targets := make(map[int]bool, m)
+		targets = targets[:0]
 		for len(targets) < m {
-			targets[chosenFrom[r.IntN(len(chosenFrom))]] = true
+			t := chosenFrom[r.IntN(len(chosenFrom))]
+			dup := false
+			for _, seen := range targets {
+				if seen == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, t)
+			}
 		}
-		for t := range targets {
-			b.AddEdge(v, t)
+		sort.Ints(targets)
+		// Each target t is < v and receives v exactly once (only round v
+		// can add it), and v itself is new, so rows stay sorted and
+		// duplicate-free without a membership check.
+		for _, t := range targets {
+			adj[t] = append(adj[t], v)
 			chosenFrom = append(chosenFrom, v, t)
 		}
+		adj[v] = append(adj[v], targets...)
 	}
-	return b.Graph()
+	return &Graph{adj: adj, m: total}
 }
 
 // Point is a position in the unit square, used by the unit-disk generator

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/service"
 )
 
@@ -452,5 +453,127 @@ func TestDeleteRecreateAcrossRestart(t *testing.T) {
 	}
 	if got := answersOf(t, c2); !reflect.DeepEqual(got, want) {
 		t.Error("recreated community's answers diverged across restart")
+	}
+}
+
+// TestBatchedChurnCrashRecovery: batched churn flushes through WAL.LogBatch
+// (the registry discovers the BatchJournal fast path), a crash follows, and
+// recovery replays the batch-written records one at a time into the same
+// answers — the durability half of the batch ≡ sequential guarantee.
+func TestBatchedChurnCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	store, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := reg.Create("alpha", 32, ringEdges(32), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave single ops and batch flushes, snapshotting mid-stream so
+	// replay crosses a batch boundary.
+	r := rand.New(rand.NewPCG(31, 8))
+	batch := func(k int) {
+		edits := make([]core.Edit, k)
+		for i := range edits {
+			u := r.IntN(32)
+			v := r.IntN(31)
+			if v >= u {
+				v++
+			}
+			op := core.EditInsert
+			if r.IntN(10) < 4 {
+				op = core.EditDelete
+			}
+			edits[i] = core.Edit{Op: op, U: u, V: v}
+		}
+		if _, err := c.ChurnBatch(edits, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch(40)
+	churn(t, c, 23, 30)
+	if err := store.SaveSnapshot(reg); err != nil {
+		t.Fatal(err)
+	}
+	batch(64)
+	churn(t, c, 29, 20)
+	batch(17)
+
+	want := answersOf(t, c)
+	stats := persistentStats(c.Stats())
+	if err := store.Close(); err != nil { // crash: no final snapshot
+		t.Fatal(err)
+	}
+
+	store2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	reg2, err := store2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := reg2.Get("alpha")
+	if !ok {
+		t.Fatal("community lost")
+	}
+	if got := persistentStats(c2.Stats()); !reflect.DeepEqual(got, stats) {
+		t.Fatalf("stats diverged:\n got  %+v\n want %+v", got, stats)
+	}
+	if got := answersOf(t, c2); !reflect.DeepEqual(got, want) {
+		t.Fatal("window/next answers diverged after batched-churn crash recovery")
+	}
+}
+
+// TestWALLogBatchSequencesAndSync: LogBatch assigns consecutive sequences
+// interleaved correctly with single Logs, writes every record durably under
+// SyncAlways, and an empty batch is a no-op.
+func TestWALLogBatchSequencesAndSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.jsonl")
+	w, _, err := openWAL(path, SyncAlways, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := w.Log(service.Record{Op: service.OpMarry, ID: "c", U: 0, V: 1}); err != nil || seq != 1 {
+		t.Fatalf("Log = %d, %v", seq, err)
+	}
+	last, err := w.LogBatch([]service.Record{
+		{Op: service.OpMarry, ID: "c", U: 1, V: 2},
+		{Op: service.OpDivorce, ID: "c", U: 0, V: 1},
+		{Op: service.OpMarry, ID: "c", U: 2, V: 3},
+	})
+	if err != nil || last != 4 {
+		t.Fatalf("LogBatch = %d, %v; want 4", last, err)
+	}
+	if last, err := w.LogBatch(nil); err != nil || last != 4 {
+		t.Fatalf("empty LogBatch = %d, %v; want 4, nil", last, err)
+	}
+	if seq, err := w.Log(service.Record{Op: service.OpMarry, ID: "c", U: 3, V: 4}); err != nil || seq != 5 {
+		t.Fatalf("Log after batch = %d, %v; want 5", seq, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := scanWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("WAL has %d records, want 5", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	if recs[2].Op != service.OpDivorce {
+		t.Fatalf("record 3 op = %q, want divorce", recs[2].Op)
 	}
 }

@@ -23,10 +23,12 @@ import (
 //	POST   /communities/{id}/families            append a family → {family}
 //	POST   /communities/{id}/edges               marry {u, v} → {recolored}
 //	DELETE /communities/{id}/edges?u=U&v=V       divorce → {removed, recolored}
+//	POST   /communities/{id}/churn               batched churn [{op, u, v}, ...]
 //	GET    /communities/{id}/window?from=F&to=T  schedule window
 //	GET    /communities/{id}/families/{v}/next?from=F  next happy holiday
 //	POST   /v1/bin/window                        batched binary windows
 //	POST   /v1/bin/next                          batched binary next queries
+//	POST   /v1/bin/churn                         batched binary churn
 //	GET    /healthz                              liveness
 //
 // Window and next queries answer from the community's cached frozen
@@ -42,10 +44,17 @@ func NewHandler(reg *Registry) http.Handler {
 
 // HandlerOptions tune NewHandlerOpts beyond the defaults.
 type HandlerOptions struct {
-	// MaxBinBatch caps the frames one /v1/bin request body may carry;
-	// 0 means DefaultMaxBinBatch. Batches beyond the cap fail with 400
-	// before any query is served.
+	// MaxBinBatch caps the frames one /v1/bin request body may carry (and
+	// the edits one JSON churn batch may carry); 0 means DefaultMaxBinBatch.
+	// Batches beyond the cap fail with 400 before any query is served.
 	MaxBinBatch int
+
+	// Churn, when set, routes the single-op churn endpoints (marry and
+	// divorce) through the coalescer, so independent concurrent writers
+	// share write-lock acquisitions and journal group-commits. The batch
+	// churn endpoints amortize within each request themselves and never
+	// consult it.
+	Churn *Coalescer
 }
 
 // DefaultMaxBinBatch is the frames-per-request cap of the binary endpoints
@@ -60,6 +69,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/bin/window", binHandler(reg, opts, wire.KindWindowReq))
 	mux.HandleFunc("POST /v1/bin/next", binHandler(reg, opts, wire.KindNextReq))
+	mux.HandleFunc("POST /v1/bin/churn", churnBinHandler(reg, opts))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -111,7 +121,15 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
 			return
 		}
-		recolored, err := c.Marry(req.U, req.V)
+		var recolored bool
+		var err error
+		if opts.Churn != nil {
+			var res core.EditResult
+			res, err = opts.Churn.Churn(c, core.Edit{Op: core.EditInsert, U: req.U, V: req.V})
+			recolored = res.Recolored
+		} else {
+			recolored, err = c.Marry(req.U, req.V)
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -125,12 +143,65 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("query params u and v must be integers"))
 			return
 		}
-		removed, recolored, err := c.Divorce(u, v)
+		var removed, recolored bool
+		var err error
+		if opts.Churn != nil {
+			var res core.EditResult
+			res, err = opts.Churn.Churn(c, core.Edit{Op: core.EditDelete, U: u, V: v})
+			removed, recolored = res.Applied, res.Recolored
+		} else {
+			removed, recolored, err = c.Divorce(u, v)
+		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"removed": removed, "recolored": recolored})
+	}))
+	mux.HandleFunc("POST /communities/{id}/churn", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+		var reqs []churnOpRequest
+		if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return
+		}
+		if len(reqs) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty churn batch"))
+			return
+		}
+		if len(reqs) > opts.MaxBinBatch {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d edits", opts.MaxBinBatch))
+			return
+		}
+		edits := make([]core.Edit, len(reqs))
+		for i, q := range reqs {
+			switch q.Op {
+			case "marry":
+				edits[i] = core.Edit{Op: core.EditInsert, U: q.U, V: q.V}
+			case "divorce":
+				edits[i] = core.Edit{Op: core.EditDelete, U: q.U, V: q.V}
+			default:
+				writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: op %q is not \"marry\" or \"divorce\"", i, q.Op))
+				return
+			}
+		}
+		res := make([]core.EditResult, len(edits))
+		recolorings, err := c.ChurnBatch(edits, res)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := churnResponse{
+			Community:   c.ID(),
+			Recolorings: recolorings,
+			Results:     make([]churnOpResult, len(res)),
+		}
+		for i, r := range res {
+			if r.Applied {
+				resp.Applied++
+			}
+			resp.Results[i] = churnOpResult{Applied: r.Applied, Recolored: r.Recolored}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}))
 	mux.HandleFunc("GET /communities/{id}/window", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
 		from, err := queryInt64(r, "from", 1)
@@ -246,6 +317,121 @@ func binHandler(reg *Registry, opts HandlerOptions, allowed wire.Kind) http.Hand
 	}
 }
 
+// churnBinHandler serves POST /v1/bin/churn: the request body is a batch of
+// churn-request frames and the response the matching churn-response (or
+// in-position Error) frames. Consecutive-or-not requests for the same
+// community are grouped and applied as one amortized ChurnBatch flush —
+// per-community order is the arrival order, which is the only order the
+// protocol promises (edits to distinct communities are independent). Each
+// frame is validated up front (unknown community → 404, out-of-range edit →
+// 400, both as in-position Error frames), so a bad edit fails alone and the
+// grouped batches it is excluded from stay all-or-nothing only against
+// journal failures (→ 500 on every edit of the failed flush). Framing
+// violations fail the whole request with a JSON 400, exactly like the other
+// binary endpoints.
+func churnBinHandler(reg *Registry, opts HandlerOptions) http.HandlerFunc {
+	type group struct {
+		c     *Community
+		edits []core.Edit
+		pos   []int // slot index of each edit, for positional responses
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxFrame))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read binary request body: %w", err))
+			return
+		}
+		var slots []binChurnSlot
+		var order []*group
+		groups := make(map[*Community]*group)
+		frames := 0
+		for rest := body; len(rest) > 0; {
+			var f wire.Frame
+			f, rest, err = wire.Split(rest)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			if f.Kind != wire.KindChurnReq {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("%s frame on the %s endpoint", f.Kind, wire.KindChurnReq))
+				return
+			}
+			if frames++; frames > opts.MaxBinBatch {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d frames", opts.MaxBinBatch))
+				return
+			}
+			op, id, u, v, err := f.ChurnReq()
+			if err != nil {
+				slots = append(slots, binChurnSlot{status: http.StatusBadRequest, msg: err.Error()})
+				continue
+			}
+			c, ok := reg.Get(id)
+			if !ok {
+				slots = append(slots, binChurnSlot{status: http.StatusNotFound, msg: fmt.Sprintf("no community %q", id)})
+				continue
+			}
+			// Validate now, against the current family count: families only
+			// grow, so the edit stays valid at flush time and one bad edit
+			// can never sink its groupmates' batch.
+			if err := validEdge(c.Families(), u, v); err != nil {
+				slots = append(slots, binChurnSlot{status: http.StatusBadRequest, msg: err.Error()})
+				continue
+			}
+			g := groups[c]
+			if g == nil {
+				g = &group{c: c}
+				groups[c] = g
+				order = append(order, g)
+			}
+			g.edits = append(g.edits, core.Edit{Op: core.EditOp(op), U: u, V: v})
+			g.pos = append(g.pos, len(slots))
+			slots = append(slots, binChurnSlot{})
+		}
+		if frames == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch: the request body carried no frames"))
+			return
+		}
+		// One flush per community touched, in first-touch order. Validation
+		// above means a flush can only fail on the journal — an error every
+		// edit of the flush shares.
+		for _, g := range order {
+			res := make([]core.EditResult, len(g.edits))
+			if _, err := g.c.ChurnBatch(g.edits, res); err != nil {
+				for _, p := range g.pos {
+					slots[p] = binChurnSlot{status: http.StatusInternalServerError, msg: err.Error()}
+				}
+				continue
+			}
+			for i, p := range g.pos {
+				slots[p] = binChurnSlot{ok: true, res: res[i]}
+			}
+		}
+		bp := binBufPool.Get().(*[]byte)
+		buf := (*bp)[:0]
+		for _, s := range slots {
+			if s.ok {
+				buf = wire.AppendChurnResp(buf, s.res.Applied, s.res.Recolored)
+			} else {
+				buf = wire.AppendError(buf, s.status, s.msg)
+			}
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf)
+		putBinBuf(bp, buf)
+	}
+}
+
+// binChurnSlot is one positional outcome of a binary churn batch: either a
+// per-edit result or the Error frame that will stand in its place.
+type binChurnSlot struct {
+	ok     bool
+	res    core.EditResult
+	status int
+	msg    string
+}
+
 // serveBinWindow answers one window-request frame, streaming the packed
 // bitmap rows straight from the community's frozen schedule into dst: the
 // response header is emitted once the family count is known, then one
@@ -327,6 +513,29 @@ type createRequest struct {
 type edgeRequest struct {
 	U int `json:"u"`
 	V int `json:"v"`
+}
+
+// churnOpRequest is one element of the POST /communities/{id}/churn array.
+type churnOpRequest struct {
+	Op string `json:"op"` // "marry" or "divorce"
+	U  int    `json:"u"`
+	V  int    `json:"v"`
+}
+
+// churnOpResult is one element of the churn response's results array.
+type churnOpResult struct {
+	Applied   bool `json:"applied"`
+	Recolored bool `json:"recolored"`
+}
+
+// churnResponse is the POST /communities/{id}/churn answer: per-edit
+// outcomes plus batch totals. Applied counts edits that changed the edge
+// set; Recolorings counts §6 recoloring events the batch triggered.
+type churnResponse struct {
+	Community   string          `json:"community"`
+	Applied     int             `json:"applied"`
+	Recolorings int             `json:"recolorings"`
+	Results     []churnOpResult `json:"results"`
 }
 
 // windowResponse is the GET window answer.

@@ -52,6 +52,16 @@ type Journal interface {
 	Log(rec Record) (seq uint64, err error)
 }
 
+// BatchJournal is the optional fast path for batched churn: journals that
+// implement it absorb a whole ChurnBatch flush as one append — consecutive
+// sequences, one write, one group-commit round — returning the sequence of
+// the last record. Journals that don't are fed record-by-record; semantics
+// (and the on-disk format, for internal/persist) are identical either way.
+type BatchJournal interface {
+	Journal
+	LogBatch(recs []Record) (last uint64, err error)
+}
+
 // SetJournal attaches (or, with nil, detaches) the registry's journal.
 // Attach before accepting traffic: ops applied while no journal is attached
 // are not logged and will not survive a restart. Restore and Apply never

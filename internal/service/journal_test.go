@@ -65,7 +65,9 @@ func TestJournalFailureIsWriteAhead(t *testing.T) {
 	reg := NewRegistry()
 	j := &memJournal{}
 	reg.SetJournal(j)
-	c, err := reg.Create("c", 4, nil, "")
+	// The divorce below must target a real marriage: no-op churn (divorcing
+	// strangers, re-marrying spouses) never touches the journal at all.
+	c, err := reg.Create("c", 4, [][2]int{{2, 3}}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +80,15 @@ func TestJournalFailureIsWriteAhead(t *testing.T) {
 	if _, err := c.AddFamily(); err == nil {
 		t.Fatal("AddFamily acked despite journal failure")
 	}
-	if _, _, err := c.Divorce(0, 1); err == nil {
+	if _, _, err := c.Divorce(2, 3); err == nil {
 		t.Fatal("Divorce acked despite journal failure")
+	}
+	// No-op churn succeeds without consulting the (failing) journal.
+	if removed, _, err := c.Divorce(0, 1); removed || err != nil {
+		t.Fatalf("no-op divorce: removed=%v err=%v, want false,nil", removed, err)
+	}
+	if recolored, err := c.Marry(2, 3); recolored || err != nil {
+		t.Fatalf("no-op marry: recolored=%v err=%v, want false,nil", recolored, err)
 	}
 	if ok, err := reg.Delete("c"); ok || err == nil {
 		t.Fatal("Delete acked despite journal failure")

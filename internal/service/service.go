@@ -290,6 +290,11 @@ func (c *Community) Marry(u, v int) (recolored bool, err error) {
 	if err := validEdge(c.dyn.N(), u, v); err != nil {
 		return false, fmt.Errorf("service: community %q: %w", c.id, err)
 	}
+	// Re-marrying an existing couple changes nothing: answer without
+	// journaling, so replay never carries records that did no work.
+	if c.dyn.HasEdge(u, v) {
+		return false, nil
+	}
 	if err := c.logLocked(Record{Op: OpMarry, ID: c.id, U: u, V: v}); err != nil {
 		return false, err
 	}
@@ -311,6 +316,12 @@ func (c *Community) Divorce(u, v int) (removed, recolored bool, err error) {
 	defer c.mu.Unlock()
 	if err := validEdge(c.dyn.N(), u, v); err != nil {
 		return false, false, fmt.Errorf("service: community %q: %w", c.id, err)
+	}
+	// Divorcing a couple that never married is a no-op: don't journal it.
+	// The WAL used to carry a divorce record for these, bloating replay
+	// with records that change nothing.
+	if !c.dyn.HasEdge(u, v) {
+		return false, false, nil
 	}
 	if err := c.logLocked(Record{Op: OpDivorce, ID: c.id, U: u, V: v}); err != nil {
 		return false, false, err

@@ -18,8 +18,14 @@ func seedCorpus() [][]byte {
 		encodeWindowResp(nil, 70, 41, [][]int{{0, 3, 64}, {}, {69}}),
 		encodeWindowResp(nil, 1, 1, [][]int{{0}}),
 		encodeWindowResp(nil, 0, 1, nil),
+		AppendChurnReq(nil, ChurnInsert, "demo", 0, 1),
+		AppendChurnReq(nil, ChurnDelete, "demo", 5, 2),
+		AppendChurnResp(nil, true, true),
 		// Two frames back to back: the batch shape the endpoints consume.
 		AppendWindowReq(AppendWindowReq(nil, "a", 1, 2), "b", 3, 4),
+		// A churn batch touching two communities: the grouping shape the
+		// /v1/bin/churn endpoint consumes.
+		AppendChurnReq(AppendChurnReq(AppendChurnReq(nil, ChurnInsert, "a", 0, 1), ChurnInsert, "b", 2, 3), ChurnDelete, "a", 0, 1),
 	}
 }
 
@@ -63,6 +69,18 @@ func FuzzSplit(f *testing.F) {
 				}
 			case KindError:
 				_, _, _ = fr.ErrorResp()
+			case KindChurnReq:
+				if op, id, u, v, err := fr.ChurnReq(); err == nil {
+					if got := AppendChurnReq(nil, op, id, u, v); !bytes.Equal(got, consumed) {
+						t.Fatalf("churn request did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindChurnResp:
+				if applied, recolored, err := fr.ChurnResp(); err == nil {
+					if got := AppendChurnResp(nil, applied, recolored); !bytes.Equal(got, consumed) {
+						t.Fatalf("churn response did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
 			case KindWindowResp:
 				wr, err := fr.WindowResp()
 				if err != nil {

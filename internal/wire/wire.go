@@ -16,6 +16,8 @@
 //	NextReq    (3): u16 idLen | id | u32 family | i64 from
 //	NextResp   (4): i64 next
 //	Error      (5): u16 status | u16 msgLen | msg
+//	ChurnReq   (6): u8 op | u16 idLen | id | u32 u | u32 v
+//	ChurnResp  (7): u8 flags (bit 0 applied, bit 1 recolored)
 //
 // A batch is frames concatenated back to back; responses correspond 1:1 and
 // in order with the request frames, per-query failures arriving as Error
@@ -65,6 +67,22 @@ const (
 	// KindError carries a per-query failure (status mirrors the HTTP code
 	// the JSON endpoint would have answered).
 	KindError
+	// KindChurnReq asks for one edge edit (marry or divorce) in a
+	// community; consecutive churn requests for the same community in one
+	// batch body are applied as a single amortized ChurnBatch flush.
+	KindChurnReq
+	// KindChurnResp reports what one churn edit did.
+	KindChurnResp
+)
+
+// Churn op bytes of a ChurnReq body. The values deliberately match
+// core.EditInsert and core.EditDelete so the serving layer forwards the op
+// byte without translation.
+const (
+	// ChurnInsert marries u and v (inserts the edge).
+	ChurnInsert byte = 1
+	// ChurnDelete divorces u and v (removes the edge).
+	ChurnDelete byte = 2
 )
 
 // String names the kind for error messages.
@@ -80,6 +98,10 @@ func (k Kind) String() string {
 		return "next-response"
 	case KindError:
 		return "error"
+	case KindChurnReq:
+		return "churn-request"
+	case KindChurnResp:
+		return "churn-response"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -123,6 +145,30 @@ func AppendNextReq(dst []byte, id string, v int, from int64) []byte {
 	dst = appendID(dst, id)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
 	return binary.LittleEndian.AppendUint64(dst, uint64(from))
+}
+
+// AppendChurnReq appends a churn-request frame editing the marriage edge
+// (u, v) of community id; op is ChurnInsert or ChurnDelete.
+func AppendChurnReq(dst []byte, op byte, id string, u, v int) []byte {
+	dst = appendHeader(dst, KindChurnReq, 1+2+len(id)+8)
+	dst = append(dst, op)
+	dst = appendID(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(u))
+	return binary.LittleEndian.AppendUint32(dst, uint32(v))
+}
+
+// AppendChurnResp appends a churn-response frame reporting whether the edit
+// changed the edge set and whether it recolored anybody.
+func AppendChurnResp(dst []byte, applied, recolored bool) []byte {
+	dst = appendHeader(dst, KindChurnResp, 1)
+	var flags byte
+	if applied {
+		flags |= 1
+	}
+	if recolored {
+		flags |= 2
+	}
+	return append(dst, flags)
 }
 
 // AppendWindowRespHeader begins a window-response frame covering rows
@@ -193,7 +239,7 @@ func Split(b []byte) (Frame, []byte, error) {
 		return Frame{}, nil, fmt.Errorf("wire: version %d, this build speaks %d", p[2], Version)
 	}
 	k := Kind(p[3])
-	if k < KindWindowReq || k > KindError {
+	if k < KindWindowReq || k > KindChurnResp {
 		return Frame{}, nil, fmt.Errorf("wire: unknown frame kind %d", p[3])
 	}
 	return Frame{Kind: k, Body: p[headerLen:]}, b[prefixLen+int(n):], nil
@@ -246,6 +292,48 @@ func (f Frame) NextReq() (id string, v int, from int64, err error) {
 	}
 	from = int64(binary.LittleEndian.Uint64(rest[4:]))
 	return id, int(v32), from, nil
+}
+
+// ChurnReq decodes a churn-request body. The op byte is validated here —
+// an unknown op never reaches the serving layer.
+func (f Frame) ChurnReq() (op byte, id string, u, v int, err error) {
+	if f.Kind != KindChurnReq {
+		return 0, "", 0, 0, fmt.Errorf("wire: %s frame is not a churn request", f.Kind)
+	}
+	if len(f.Body) < 1 {
+		return 0, "", 0, 0, fmt.Errorf("wire: churn request body is empty")
+	}
+	op = f.Body[0]
+	if op != ChurnInsert && op != ChurnDelete {
+		return 0, "", 0, 0, fmt.Errorf("wire: unknown churn op %d", op)
+	}
+	id, rest, err := splitID(f.Body[1:])
+	if err != nil {
+		return 0, "", 0, 0, err
+	}
+	if len(rest) != 8 {
+		return 0, "", 0, 0, fmt.Errorf("wire: churn request has %d trailing bytes, want 8", len(rest))
+	}
+	u32 := binary.LittleEndian.Uint32(rest)
+	v32 := binary.LittleEndian.Uint32(rest[4:])
+	if u32 > 1<<31-1 || v32 > 1<<31-1 {
+		return 0, "", 0, 0, fmt.Errorf("wire: family id out of range")
+	}
+	return op, id, int(u32), int(v32), nil
+}
+
+// ChurnResp decodes a churn-response body.
+func (f Frame) ChurnResp() (applied, recolored bool, err error) {
+	if f.Kind != KindChurnResp {
+		return false, false, fmt.Errorf("wire: %s frame is not a churn response", f.Kind)
+	}
+	if len(f.Body) != 1 {
+		return false, false, fmt.Errorf("wire: churn response body is %d bytes, want 1", len(f.Body))
+	}
+	if f.Body[0] > 3 {
+		return false, false, fmt.Errorf("wire: churn response flags %#x have unknown bits set", f.Body[0])
+	}
+	return f.Body[0]&1 != 0, f.Body[0]&2 != 0, nil
 }
 
 // NextResp decodes a next-response body.

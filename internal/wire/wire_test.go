@@ -129,6 +129,75 @@ func TestWindowRespStrayBitsMasked(t *testing.T) {
 	}
 }
 
+func TestChurnRoundTrip(t *testing.T) {
+	buf := AppendChurnReq(nil, ChurnInsert, "demo", 3, 9)
+	buf = AppendChurnReq(buf, ChurnDelete, "café", 0, 1<<30)
+	buf = AppendChurnResp(buf, true, false)
+	buf = AppendChurnResp(buf, true, true)
+	buf = AppendChurnResp(buf, false, false)
+
+	f, rest, err := Split(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, id, u, v, err := f.ChurnReq()
+	if err != nil || op != ChurnInsert || id != "demo" || u != 3 || v != 9 {
+		t.Fatalf("ChurnReq = %d %q %d %d (%v)", op, id, u, v, err)
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, id, u, v, err = f.ChurnReq()
+	if err != nil || op != ChurnDelete || id != "café" || u != 0 || v != 1<<30 {
+		t.Fatalf("ChurnReq = %d %q %d %d (%v)", op, id, u, v, err)
+	}
+	for _, want := range [][2]bool{{true, false}, {true, true}, {false, false}} {
+		f, rest, err = Split(rest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied, recolored, err := f.ChurnResp()
+		if err != nil || applied != want[0] || recolored != want[1] {
+			t.Fatalf("ChurnResp = %v %v (%v), want %v", applied, recolored, err, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after the last frame", len(rest))
+	}
+}
+
+// TestChurnDecodersReject: malformed churn bodies and wrong kinds must fail
+// with errors naming the problem.
+func TestChurnDecodersReject(t *testing.T) {
+	req, _, _ := Split(AppendChurnReq(nil, ChurnInsert, "c", 0, 1))
+	resp, _, _ := Split(AppendChurnResp(nil, true, true))
+	if _, _, _, _, err := resp.ChurnReq(); err == nil {
+		t.Fatal("ChurnReq decoded a churn response")
+	}
+	if _, _, err := req.ChurnResp(); err == nil {
+		t.Fatal("ChurnResp decoded a churn request")
+	}
+	// Unknown op byte: offset 4(len)+4(header) is the op.
+	if f, _, err := Split(mutate(AppendChurnReq(nil, ChurnInsert, "c", 0, 1), 8, 7)); err != nil {
+		t.Fatal(err)
+	} else if _, _, _, _, err := f.ChurnReq(); err == nil || !strings.Contains(err.Error(), "unknown churn op") {
+		t.Fatalf("ChurnReq accepted op 7: %v", err)
+	}
+	// Id length pointing past the body: idLen u16 follows the op byte.
+	if f, _, err := Split(mutate(AppendChurnReq(nil, ChurnInsert, "c", 0, 1), 9, 200)); err != nil {
+		t.Fatal(err)
+	} else if _, _, _, _, err := f.ChurnReq(); err == nil {
+		t.Fatal("ChurnReq accepted an id length past the body")
+	}
+	// Flags with unknown bits set: offset 8 is the flags byte.
+	if f, _, err := Split(mutate(AppendChurnResp(nil, false, false), 8, 0x80)); err != nil {
+		t.Fatal(err)
+	} else if _, _, err := f.ChurnResp(); err == nil || !strings.Contains(err.Error(), "unknown bits") {
+		t.Fatalf("ChurnResp accepted stray flag bits: %v", err)
+	}
+}
+
 // TestSplitRejects enumerates the framing violations Split must catch, each
 // with an error message naming the problem.
 func TestSplitRejects(t *testing.T) {
