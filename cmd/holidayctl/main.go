@@ -1,0 +1,237 @@
+// Command holidayctl operates a holidayd cluster from its static topology
+// file (nodes.json, see DESIGN.md §11):
+//
+//	holidayctl -topology nodes.json status
+//	holidayctl -topology nodes.json place demo other-community
+//	holidayctl -topology nodes.json join d http://127.0.0.1:8084 127.0.0.1:9094
+//	holidayctl -topology nodes.json promote demo b
+//
+// status polls every member's /v1/status; place resolves consistent-hash
+// placement client-side (the same pure function the daemons compute, so no
+// node needs to be up); join appends a member to the topology file and
+// reports how much placement moves; promote asks a node to take ownership
+// of a community (after its placed owner died).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	topoPath := flag.String("topology", "nodes.json", "cluster topology file")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-node HTTP timeout")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	topo, err := service.LoadTopology(*topoPath)
+	if err != nil {
+		fatal(err)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "status":
+		err = status(client, topo)
+	case "place":
+		err = place(topo, rest)
+	case "join":
+		err = join(*topoPath, topo, rest)
+	case "promote":
+		err = promote(client, topo, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "holidayctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: holidayctl [-topology nodes.json] <command> [args]
+
+commands:
+  status                     poll every member's /v1/status
+  place <community>...       resolve placement for community ids
+  join <id> <addr> [repl]    append a member to the topology file
+  promote <community> <node> ask a node to take ownership of a community
+`)
+	flag.PrintDefaults()
+}
+
+// nodeStatus mirrors the service status response shape holidayctl consumes.
+type nodeStatus struct {
+	Node        string            `json:"node"`
+	Overrides   map[string]string `json:"overrides"`
+	Communities []struct {
+		ID     string `json:"id"`
+		Role   string `json:"role"`
+		Placed string `json:"placed"`
+		Seq    uint64 `json:"seq"`
+		Lag    uint64 `json:"lag"`
+	} `json:"communities"`
+}
+
+func status(client *http.Client, topo service.Topology) error {
+	for _, n := range topo.Nodes {
+		resp, err := client.Get(strings.TrimRight(n.Addr, "/") + "/v1/status")
+		if err != nil {
+			fmt.Printf("%-8s %-24s DOWN (%v)\n", n.ID, n.Addr, err)
+			continue
+		}
+		var st nodeStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Printf("%-8s %-24s BAD STATUS (%v)\n", n.ID, n.Addr, err)
+			continue
+		}
+		owned, following := 0, 0
+		for _, c := range st.Communities {
+			if c.Role == "owner" {
+				owned++
+			} else {
+				following++
+			}
+		}
+		fmt.Printf("%-8s %-24s up  owns %d  follows %d\n", n.ID, n.Addr, owned, following)
+		for _, c := range st.Communities {
+			lag := ""
+			if c.Role != "owner" {
+				lag = fmt.Sprintf("  lag %d", c.Lag)
+			}
+			fmt.Printf("         %-16s %-8s seq %-8d placed on %s%s\n", c.ID, c.Role, c.Seq, c.Placed, lag)
+		}
+		if len(st.Overrides) > 0 {
+			keys := make([]string, 0, len(st.Overrides))
+			for k := range st.Overrides {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("         override: %s -> %s\n", k, st.Overrides[k])
+			}
+		}
+	}
+	return nil
+}
+
+func place(topo service.Topology, communities []string) error {
+	if len(communities) == 0 {
+		return fmt.Errorf("place: no community ids given")
+	}
+	rt, err := service.NewRouter(service.RouterOpts{Nodes: topo.Nodes})
+	if err != nil {
+		return err
+	}
+	for _, id := range communities {
+		node := rt.Place(id)
+		addr, _ := rt.Addr(node)
+		fmt.Printf("%-24s -> %s (%s)\n", id, node, addr)
+	}
+	return nil
+}
+
+func join(path string, topo service.Topology, args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("join: want <id> <addr> [repl]")
+	}
+	n := service.Node{ID: args[0], Addr: args[1]}
+	if len(args) == 3 {
+		n.Repl = args[2]
+	}
+	before, err := service.NewRouter(service.RouterOpts{Nodes: topo.Nodes})
+	if err != nil {
+		return err
+	}
+	for _, m := range topo.Nodes {
+		if m.ID == n.ID {
+			return fmt.Errorf("join: node %q already in the topology", n.ID)
+		}
+	}
+	topo.Nodes = append(topo.Nodes, n)
+	after, err := service.NewRouter(service.RouterOpts{Nodes: topo.Nodes})
+	if err != nil {
+		return err
+	}
+	// The consistent-hash selling point, made visible: sample the key space
+	// and report how much placement actually moves (≈1/n, not all of it).
+	const sample = 4096
+	moved := 0
+	for i := 0; i < sample; i++ {
+		key := fmt.Sprintf("community-%d", i)
+		if before.Place(key) != after.Place(key) {
+			moved++
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(service.Topology{Nodes: topo.Nodes}); err != nil {
+		return err
+	}
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	fmt.Printf("joined %s; %d nodes; ~%.1f%% of placements move\n",
+		n.ID, len(topo.Nodes), 100*float64(moved)/sample)
+	fmt.Println("restart daemons (or roll them) so every member loads the new topology")
+	return nil
+}
+
+func promote(client *http.Client, topo service.Topology, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("promote: want <community> <node>")
+	}
+	community, node := args[0], args[1]
+	var addr string
+	for _, n := range topo.Nodes {
+		if n.ID == node {
+			addr = n.Addr
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("promote: node %q not in the topology", node)
+	}
+	body, _ := json.Marshal(map[string]string{"community": community})
+	resp, err := client.Post(strings.TrimRight(addr, "/")+"/v1/promote", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: node %s answered %d: %s", node, resp.StatusCode, out.String())
+	}
+	fmt.Printf("promoted: %s\n", strings.TrimSpace(out.String()))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "holidayctl:", err)
+	os.Exit(1)
+}

@@ -21,7 +21,16 @@
 // and on boot the previous state is restored from snapshot + WAL replay —
 // restored communities answer byte-identically. See DESIGN.md §8.
 //
-// See README.md for the full endpoint list.
+// With -node-id and -peers, the daemon is one member of a sharded cluster
+// (DESIGN.md §11): a consistent-hash router places each community on one
+// node, misrouted JSON requests are forwarded (or answered 421 not_owner),
+// and the node streams its WAL to followers over the node's repl address.
+// -follow subscribes this node to peers so it serves reads for their
+// communities from fenced replicas:
+//
+//	holidayd -addr :8081 -node-id a -peers nodes.json -follow all
+//
+// See README.md for the full endpoint list and cluster quickstart.
 package main
 
 import (
@@ -30,12 +39,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/service"
@@ -57,6 +69,17 @@ func main() {
 			"coalesce up to this many single-op churn requests per community into one amortized flush; 1 applies each op directly")
 		churnFlush = flag.Duration("churn-flush-ms", service.DefaultChurnFlushInterval,
 			"max time a coalesced churn op may wait before its batch is flushed")
+		nodeID = flag.String("node-id", "",
+			"this node's id in the cluster topology; empty runs a single standalone node")
+		peersFile = flag.String("peers", "",
+			"cluster topology file (nodes.json) naming every member; requires -node-id")
+		replAddr = flag.String("repl", "",
+			"replication listen address; defaults to this node's repl entry in the topology")
+		maxQPS = flag.Int("max-qps", 0,
+			"admission limit on data-plane requests per second (0 = unlimited); "+
+				"requests beyond the limit queue rather than fail")
+		follow = flag.String("follow", "",
+			"comma-separated peer node ids to replicate from, or 'all' for every peer with a repl address")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -89,6 +112,33 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
+	if (*nodeID == "") != (*peersFile == "") {
+		fmt.Fprintln(os.Stderr, "holidayd: -node-id and -peers must be set together")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	// Cluster topology, when this daemon is a member of one.
+	var router *service.Router
+	var selfNode service.Node
+	if *peersFile != "" {
+		topo, err := service.LoadTopology(*peersFile)
+		if err != nil {
+			fatal(err)
+		}
+		router, err = service.NewRouter(service.RouterOpts{Self: *nodeID, Nodes: topo.Nodes})
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range topo.Nodes {
+			if n.ID == *nodeID {
+				selfNode = n
+			}
+		}
+		if *replAddr == "" {
+			*replAddr = selfNode.Repl
+		}
+	}
 
 	var reg *service.Registry
 	var store *persist.Store
@@ -111,8 +161,37 @@ func main() {
 		reg = service.NewRegistry()
 	}
 
+	// In cluster mode the node's journal is wrapped in a replication source:
+	// every record is durable first (when -data-dir is set), then streamed
+	// to subscribed followers. Attach before -demo so even boot-time writes
+	// replicate.
+	var src *cluster.Source
+	if router != nil {
+		sopts := cluster.SourceOpts{Owner: reg}
+		if store != nil {
+			sopts.Journal = store.Journal()
+			if w, ok := sopts.Journal.(interface{ Seq() uint64 }); ok {
+				sopts.Start = w.Seq()
+			}
+		}
+		var err error
+		if src, err = cluster.NewSource(sopts); err != nil {
+			fatal(err)
+		}
+		reg.SetJournal(src)
+		// Restored communities this topology places elsewhere are replicas
+		// here: fence them so only their owner takes writes.
+		for _, id := range reg.List() {
+			if !router.IsLocal(id) {
+				reg.Fence(id)
+			}
+		}
+	}
+
 	if *demoSpec != "" {
-		if _, exists := reg.Get("demo"); exists {
+		if router != nil && !router.IsLocal("demo") {
+			log.Printf("community %q is placed on node %s; skipping -demo here", "demo", router.Place("demo"))
+		} else if _, exists := reg.Get("demo"); exists {
 			log.Printf("community %q already restored from %s; skipping -demo", "demo", *dataDir)
 		} else {
 			g, err := graph.ParseSpec(*demoSpec, *seed)
@@ -126,23 +205,67 @@ func main() {
 		}
 	}
 
-	hopts := service.HandlerOptions{MaxBinBatch: *binMaxBatch}
+	// SIGTERM is how docker/k8s stop a container; trapping only SIGINT
+	// used to skip graceful shutdown — and snapshot-on-shutdown — anywhere
+	// but an interactive terminal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Replication: serve this node's stream and subscribe to followed peers.
+	var followers []*cluster.Follower
+	if src != nil && *replAddr != "" {
+		ln, err := net.Listen("tcp", *replAddr)
+		if err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := src.Serve(ln); err != nil {
+				log.Printf("replication listener: %v", err)
+			}
+		}()
+		log.Printf("replicating on %s", *replAddr)
+	}
+	if *follow != "" {
+		if router == nil {
+			fatal(errors.New("-follow requires -node-id and -peers"))
+		}
+		followers = startFollowers(ctx, reg, router, *nodeID, *follow)
+	}
+
+	hopts := service.HandlerOpts{
+		Owner:       reg,
+		Router:      router,
+		Node:        *nodeID,
+		MaxBinBatch: *binMaxBatch,
+	}
+	if len(followers) > 0 {
+		fs := followers
+		hopts.Lag = func() map[string]uint64 {
+			lag := make(map[string]uint64)
+			for _, f := range fs {
+				for id, l := range f.Lag() {
+					lag[id] = l
+				}
+			}
+			return lag
+		}
+	}
 	var coalescer *service.Coalescer
 	if *churnBatch > 1 {
 		coalescer = service.NewCoalescer(*churnBatch, *churnFlush)
 		hopts.Churn = coalescer
 		log.Printf("coalescing churn: up to %d ops per flush, %v max wait", *churnBatch, *churnFlush)
 	}
+	var handler http.Handler = service.NewHandler(hopts)
+	if *maxQPS > 0 {
+		handler = admissionLimit(handler, *maxQPS)
+		log.Printf("admission limit: %d data-plane requests/s", *maxQPS)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandlerOpts(reg, hopts),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	// SIGTERM is how docker/k8s stop a container; trapping only SIGINT
-	// used to skip graceful shutdown — and snapshot-on-shutdown — anywhere
-	// but an interactive terminal.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("holidayd listening on %s", *addr)
@@ -173,6 +296,9 @@ func main() {
 		if coalescer != nil {
 			coalescer.Close()
 		}
+		if src != nil {
+			src.Close()
+		}
 		closeStore(store, reg, false)
 		fatal(err)
 	case <-ctx.Done():
@@ -195,8 +321,109 @@ func main() {
 		if coalescer != nil {
 			coalescer.Close()
 		}
+		if src != nil {
+			src.Close()
+		}
 		closeStore(store, reg, true)
 	}
+}
+
+// startFollowers subscribes this node to the peers named by the -follow
+// flag ("all" or a comma-separated id list), each replicating exactly the
+// communities the router places on that peer.
+func startFollowers(ctx context.Context, reg *service.Registry, router *service.Router, self, follow string) []*cluster.Follower {
+	var peers []service.Node
+	if follow == "all" {
+		for _, n := range router.Nodes() {
+			if n.ID != self && n.Repl != "" {
+				peers = append(peers, n)
+			}
+		}
+	} else {
+		for _, id := range strings.Split(follow, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" || id == self {
+				continue
+			}
+			var found *service.Node
+			for _, n := range router.Nodes() {
+				if n.ID == id {
+					found = &n
+					break
+				}
+			}
+			if found == nil {
+				fatal(fmt.Errorf("-follow %s: not in the topology", id))
+			}
+			if found.Repl == "" {
+				fatal(fmt.Errorf("-follow %s: node has no repl address", id))
+			}
+			peers = append(peers, *found)
+		}
+	}
+	followers := make([]*cluster.Follower, 0, len(peers))
+	for _, peer := range peers {
+		peerID := peer.ID
+		f, err := cluster.NewFollower(cluster.FollowerOpts{
+			Owner: reg,
+			Node:  self,
+			Addr:  peer.Repl,
+			Accept: func(id string) bool {
+				return router.Place(id) == peerID
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		go f.Run(ctx)
+		followers = append(followers, f)
+		log.Printf("following node %s at %s", peerID, peer.Repl)
+	}
+	return followers
+}
+
+// admissionLimit caps data-plane throughput at qps requests per second with
+// a blocking token bucket: excess requests queue on the bucket instead of
+// failing, so clients see latency — not errors — at the capacity ceiling.
+// Liveness and status probes bypass the limit; they must stay responsive on
+// a saturated node.
+func admissionLimit(h http.Handler, qps int) http.Handler {
+	// Refill from elapsed wall time rather than tick counts: tickers
+	// coalesce missed ticks under load, which would silently lower the
+	// cap on a busy host. The bucket holds up to 250ms of burst so a late
+	// refill can catch up without exceeding the average rate.
+	const interval = 20 * time.Millisecond
+	cap := qps / 4
+	if cap < 1 {
+		cap = 1
+	}
+	tokens := make(chan struct{}, cap)
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := time.Now()
+		credit := 0.0
+		for range t.C {
+			now := time.Now()
+			credit += float64(qps) * now.Sub(last).Seconds()
+			last = now
+			n := int(credit)
+			credit -= float64(n)
+			for i := 0; i < n; i++ {
+				select {
+				case tokens <- struct{}{}:
+				default:
+				}
+			}
+		}
+	}()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" && r.URL.Path != "/v1/status" {
+			<-tokens
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // closeStore snapshots (when graceful) and closes the durability store.

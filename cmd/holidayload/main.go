@@ -47,6 +47,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/benchkit"
 	"repro/internal/service"
@@ -62,6 +63,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent load workers")
 		seed       = flag.Uint64("seed", 1, "seed for community generation and op streams")
 		target     = flag.String("target", "", "drive a live holidayd at this base URL instead of in-process")
+		clusterTop = flag.String("cluster", "", "drive a holidayd cluster from this topology file (nodes.json): writes route to owners, reads fan out over members")
 		proto      = flag.String("proto", "json", "wire protocol for window/next queries with -target: json or binary")
 		batch      = flag.Int("batch", 1, "ops per request (requires -proto binary); 1 = unbatched")
 		churnBatch = flag.Int("churn-batch", 1,
@@ -113,8 +115,8 @@ func main() {
 	if *proto != benchkit.ProtoJSON && *proto != benchkit.ProtoBinary {
 		usageError("-proto must be %q or %q, got %q", benchkit.ProtoJSON, benchkit.ProtoBinary, *proto)
 	}
-	if *proto == benchkit.ProtoBinary && *target == "" {
-		usageError("-proto binary drives a live holidayd's /v1/bin endpoints; it requires -target")
+	if *proto == benchkit.ProtoBinary && *target == "" && *clusterTop == "" {
+		usageError("-proto binary drives a live holidayd's /v1/bin endpoints; it requires -target or -cluster")
 	}
 	if *batch < 1 {
 		usageError("-batch must be ≥ 1, got %d", *batch)
@@ -125,7 +127,7 @@ func main() {
 	if *churnBatch < 1 {
 		usageError("-churn-batch must be ≥ 1, got %d", *churnBatch)
 	}
-	if *churnBatch > 1 && *target != "" {
+	if *churnBatch > 1 && (*target != "" || *clusterTop != "") {
 		usageError("-churn-batch batches the in-process write path; against a live holidayd use -batch with -proto binary")
 	}
 	if *churnBatch > 1 && *batch > 1 {
@@ -166,7 +168,25 @@ func main() {
 			}
 		}
 		var driver benchkit.Driver
-		if *target != "" {
+		var clusterDriver *benchkit.ClusterDriver
+		if *clusterTop != "" {
+			if *target != "" {
+				usageError("-cluster and -target are mutually exclusive")
+			}
+			if *persist {
+				usageError("-persist only applies to in-process runs; a cluster's durability is each daemon's -data-dir")
+			}
+			topo, err := service.LoadTopology(*clusterTop)
+			if err != nil {
+				fatal(err)
+			}
+			clusterDriver, err = benchkit.NewClusterDriver(topo, *workers)
+			if err != nil {
+				fatal(err)
+			}
+			clusterDriver.Proto = *proto
+			driver = clusterDriver
+		} else if *target != "" {
 			if *persist {
 				usageError("-persist only applies to in-process runs; a live holidayd's durability is its own -data-dir")
 			}
@@ -178,6 +198,20 @@ func main() {
 			inproc.ForcePersist = *persist
 			inproc.SyncEveryOp = *syncAlways
 			driver = inproc
+		}
+		// Cluster runs verify the replication contract up front: an owner's
+		// acked write (its journal sequence) must become visible on every
+		// replica, byte-identically, before the measured run trusts
+		// replica-served reads.
+		if clusterDriver != nil {
+			if _, err := clusterDriver.Setup(sc, *seed); err != nil {
+				fatal(err)
+			}
+			id := sc.Communities[0].ID
+			if err := clusterDriver.VerifyReadYourWrites(id, 15*time.Second); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("read-your-writes verified on %q across %d nodes\n", id, clusterDriver.NodeCount())
 		}
 		if *rev == "" {
 			*rev = gitRev()
@@ -300,8 +334,8 @@ func diffWindow(target, spec string) error {
 		return fmt.Errorf("binary window framing: %v (%d stray bytes)", err, len(rest))
 	}
 	if f.Kind == wire.KindError {
-		status, msg, _ := f.ErrorResp()
-		return fmt.Errorf("binary window query failed in-band: status %d: %s", status, msg)
+		status, code, msg, _ := f.ErrorResp()
+		return fmt.Errorf("binary window query failed in-band: status %d (code %d): %s", status, code, msg)
 	}
 	wr, err := f.WindowResp()
 	if err != nil {

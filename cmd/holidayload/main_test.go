@@ -49,7 +49,7 @@ func TestDiffWindow(t *testing.T) {
 	if _, err := reg.Create("demo", 9, [][2]int{{0, 1}, {0, 2}}, ""); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(service.NewHandler(reg))
+	srv := httptest.NewServer(service.NewHandler(service.HandlerOpts{Owner: reg}))
 	defer srv.Close()
 
 	if err := diffWindow(srv.URL, "demo,1,52"); err != nil {

@@ -1,0 +1,287 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// ClusterDriver drives a sharded holidayd cluster: writes route client-side
+// to each community's placed owner (the same consistent-hash function the
+// daemons compute, so no request pays a server-side forward hop) and reads
+// fan out round-robin across every member — replicas serve window and next
+// queries from their fenced copies, which is the read-scaling story the
+// BENCH_<rev>_cluster.json snapshots record.
+type ClusterDriver struct {
+	nodes  []*HTTPDriver // index-aligned with router node order
+	ids    []string      // node ids, index-aligned with nodes
+	router *service.Router
+	reads  atomic.Uint64
+
+	// Proto selects the wire protocol for window/next queries, as on
+	// HTTPDriver.
+	Proto string
+}
+
+// NewClusterDriver builds a driver over a cluster topology. Every member
+// gets its own connection pool sized for workers concurrent streams.
+func NewClusterDriver(topo service.Topology, workers int) (*ClusterDriver, error) {
+	router, err := service.NewRouter(service.RouterOpts{Nodes: topo.Nodes})
+	if err != nil {
+		return nil, err
+	}
+	d := &ClusterDriver{router: router}
+	for _, n := range router.Nodes() {
+		d.nodes = append(d.nodes, NewHTTPDriver(n.Addr, workers))
+		d.ids = append(d.ids, n.ID)
+	}
+	return d, nil
+}
+
+// Name implements Driver.
+func (d *ClusterDriver) Name() string { return "cluster" }
+
+// NodeCount reports the cluster size recorded in snapshots.
+func (d *ClusterDriver) NodeCount() int { return len(d.nodes) }
+
+// ProtoName implements the protocol label hook, as on HTTPDriver.
+func (d *ClusterDriver) ProtoName() string {
+	if d.Proto == ProtoBinary {
+		return ProtoBinary
+	}
+	return ""
+}
+
+// ownerIdx resolves the node index owning a community (by scenario index).
+func (d *ClusterDriver) ownerIdx(community int) int {
+	placed := d.router.Place(d.nodes[0].ids[community])
+	for i, id := range d.ids {
+		if id == placed {
+			return i
+		}
+	}
+	return 0
+}
+
+// Setup implements Driver: communities are created through their placed
+// owner directly. Every member driver shares the id list so any of them
+// can serve reads for any community.
+func (d *ClusterDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
+	// Partition the scenario by placement and let each owner's HTTPDriver
+	// create its own shard; then give every node driver the full id list
+	// (Setup only appended its own).
+	byNode := make([]Scenario, len(d.nodes))
+	for _, cs := range sc.Communities {
+		i := 0
+		placed := d.router.Place(cs.ID)
+		for j, id := range d.ids {
+			if id == placed {
+				i = j
+			}
+		}
+		byNode[i].Communities = append(byNode[i].Communities, cs)
+	}
+	sizeByID := make(map[string]int, len(sc.Communities))
+	for i := range d.nodes {
+		d.nodes[i].Proto = d.Proto
+		if len(byNode[i].Communities) == 0 {
+			continue
+		}
+		// Seed must match the single-node run per community index in sc,
+		// not per shard, or op streams would target different graphs:
+		// create one community at a time with its scenario-global seed.
+		for _, cs := range byNode[i].Communities {
+			idx := indexOf(sc, cs.ID)
+			one := Scenario{Communities: []CommunitySpec{cs}}
+			sizes, err := d.nodes[i].Setup(&one, seed+uint64(idx))
+			if err != nil {
+				return nil, err
+			}
+			sizeByID[cs.ID] = sizes[0]
+		}
+	}
+	ids := make([]string, len(sc.Communities))
+	sizes := make([]int, len(sc.Communities))
+	for i, cs := range sc.Communities {
+		ids[i] = cs.ID
+		sizes[i] = sizeByID[cs.ID]
+	}
+	for i := range d.nodes {
+		d.nodes[i].ids = ids
+	}
+	return sizes, nil
+}
+
+// indexOf finds a community's index in the scenario.
+func indexOf(sc *Scenario, id string) int {
+	for i, cs := range sc.Communities {
+		if cs.ID == id {
+			return i
+		}
+	}
+	return 0
+}
+
+// Do implements Driver: writes go to the owner, reads round-robin across
+// the whole membership.
+func (d *ClusterDriver) Do(op Op) error {
+	return d.nodes[d.pick(op)].Do(op)
+}
+
+// pick routes one op to a node index.
+func (d *ClusterDriver) pick(op Op) int {
+	switch op.Kind {
+	case OpWindow, OpNext:
+		return int(d.reads.Add(1) % uint64(len(d.nodes)))
+	default:
+		return d.ownerIdx(op.Community)
+	}
+}
+
+// DoBatch implements BatchDriver: ops are grouped per target node and each
+// group goes out as one (or a few) batched requests on that node.
+func (d *ClusterDriver) DoBatch(ops []Op, errs []error) error {
+	if len(d.nodes) == 1 {
+		return d.nodes[0].DoBatch(ops, errs)
+	}
+	groups := make([][]int, len(d.nodes))
+	for i, op := range ops {
+		n := d.pick(op)
+		groups[n] = append(groups[n], i)
+	}
+	var firstErr error
+	for n, idx := range groups {
+		if len(idx) == 0 {
+			continue
+		}
+		sub := make([]Op, len(idx))
+		subErrs := make([]error, len(idx))
+		for j, i := range idx {
+			sub[j] = ops[i]
+		}
+		if err := d.nodes[n].DoBatch(sub, subErrs); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for j, i := range idx {
+			errs[i] = subErrs[j]
+		}
+	}
+	return firstErr
+}
+
+// CacheStats implements Driver, summing the counters across members so
+// replica-served reads are counted where they were served.
+func (d *ClusterDriver) CacheStats() (hits, misses int64, err error) {
+	for _, n := range d.nodes {
+		h, m, err := n.localCacheStats()
+		if err != nil {
+			return 0, 0, err
+		}
+		hits += h
+		misses += m
+	}
+	return hits, misses, nil
+}
+
+// Recolorings sums the recoloring counters via each community's owner.
+func (d *ClusterDriver) Recolorings() (int64, error) {
+	var total int64
+	for i := range d.nodes[0].ids {
+		n, err := d.nodes[d.ownerIdx(i)].recoloringsOf(i)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// VerifyReadYourWrites checks the replication contract the cluster bench
+// relies on: a write acknowledged by a community's owner (with its journal
+// sequence) becomes visible on every replica — same sequence, then
+// byte-identical window — within the deadline.
+func (d *ClusterDriver) VerifyReadYourWrites(community string, deadline time.Duration) error {
+	ownerIdx := 0
+	placed := d.router.Place(community)
+	for j, id := range d.ids {
+		if id == placed {
+			ownerIdx = j
+		}
+	}
+	owner := d.nodes[ownerIdx]
+
+	// One churn op through the owner; its response carries the journal
+	// sequence the batch landed at.
+	body := `[{"op":"marry","u":0,"v":1},{"op":"divorce","u":0,"v":1}]`
+	resp, err := owner.client.Post(owner.base+"/v1/communities/"+url.PathEscape(community)+"/churn",
+		"application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var ack struct {
+		Seq uint64 `json:"seq"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ack)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("benchkit: churn ack: %w", err)
+	}
+	if ack.Seq == 0 {
+		return fmt.Errorf("benchkit: owner acked churn without a sequence")
+	}
+
+	want, err := owner.fetchWindow(community, 1, 60)
+	if err != nil {
+		return err
+	}
+	limit := time.Now().Add(deadline)
+	for i, n := range d.nodes {
+		if i == ownerIdx {
+			continue
+		}
+		for {
+			seq, err := n.communitySeq(community)
+			if err == nil && seq >= ack.Seq {
+				break
+			}
+			if time.Now().After(limit) {
+				return fmt.Errorf("benchkit: node %s never reached seq %d for %q (last: %d, %v)",
+					d.ids[i], ack.Seq, community, seq, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		got, err := n.fetchWindow(community, 1, 60)
+		if err != nil {
+			return err
+		}
+		if string(got) != string(want) {
+			return fmt.Errorf("benchkit: node %s window diverges from owner for %q", d.ids[i], community)
+		}
+	}
+	return nil
+}
+
+// Close implements Driver: communities are deleted once, via their owners.
+func (d *ClusterDriver) Close() error {
+	var firstErr error
+	for i := range d.nodes {
+		// Restrict each node driver's Close to nothing (ids cleared) except
+		// node 0, which deletes through forwarding.
+		if i == 0 {
+			if err := d.nodes[i].Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		d.nodes[i].ids = nil
+		if err := d.nodes[i].Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -583,31 +583,21 @@ func frameErr(f wire.Frame) error {
 	if f.Kind != wire.KindError {
 		return nil
 	}
-	status, msg, err := f.ErrorResp()
+	status, code, msg, err := f.ErrorResp()
 	if err != nil {
 		return fmt.Errorf("benchkit: malformed error frame: %w", err)
 	}
-	return fmt.Errorf("benchkit: binary query failed: status %d: %s", status, msg)
+	return fmt.Errorf("benchkit: binary query failed: status %d (%s): %s", status, service.CodeFromNum(code), msg)
 }
 
 // CacheStats implements Driver via the per-community stats endpoint.
 func (d *HTTPDriver) CacheStats() (hits, misses int64, err error) {
 	for _, id := range d.ids {
-		resp, err := d.client.Get(d.base + "/communities/" + url.PathEscape(id))
+		// An error payload would decode into all-zero Stats; statsOf fails
+		// the run instead of silently zeroing the cache ratio.
+		st, err := d.statsOf(id)
 		if err != nil {
 			return 0, 0, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			// An error payload would decode into all-zero Stats; fail the
-			// run instead of silently zeroing the cache ratio.
-			err := drainExpect(resp, http.StatusOK)
-			return 0, 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
-		}
-		var st service.Stats
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return 0, 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
 		}
 		hits += st.CacheHits
 		misses += st.CacheMisses
@@ -620,19 +610,9 @@ func (d *HTTPDriver) CacheStats() (hits, misses int64, err error) {
 func (d *HTTPDriver) Recolorings() (int64, error) {
 	var n int64
 	for _, id := range d.ids {
-		resp, err := d.client.Get(d.base + "/communities/" + url.PathEscape(id))
+		st, err := d.statsOf(id)
 		if err != nil {
 			return 0, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			err := drainExpect(resp, http.StatusOK)
-			return 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
-		}
-		var st service.Stats
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return 0, fmt.Errorf("benchkit: stats for %q: %w", id, err)
 		}
 		n += st.Recolorings
 	}
@@ -663,6 +643,111 @@ func (d *HTTPDriver) Close() error {
 	d.ids = nil
 	d.client.CloseIdleConnections()
 	return firstErr
+}
+
+// localCacheStats sums cache counters for the scenario communities held
+// locally on this node (owner or fenced replica), per /v1/status. Skipping
+// absent communities keeps cluster-wide sums double-count-free: a stats GET
+// for an absent community would be forwarded and count its owner twice.
+func (d *HTTPDriver) localCacheStats() (hits, misses int64, err error) {
+	local, err := d.localCommunities()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, id := range d.ids {
+		if _, ok := local[id]; !ok {
+			continue
+		}
+		st, err := d.statsOf(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		hits += st.CacheHits
+		misses += st.CacheMisses
+	}
+	return hits, misses, nil
+}
+
+// recoloringsOf reads one community's recoloring counter.
+func (d *HTTPDriver) recoloringsOf(community int) (int64, error) {
+	st, err := d.statsOf(d.ids[community])
+	if err != nil {
+		return 0, err
+	}
+	return st.Recolorings, nil
+}
+
+// statsOf fetches one community's stats.
+func (d *HTTPDriver) statsOf(id string) (service.Stats, error) {
+	resp, err := d.client.Get(d.base + "/communities/" + url.PathEscape(id))
+	if err != nil {
+		return service.Stats{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := drainExpect(resp, http.StatusOK)
+		return service.Stats{}, fmt.Errorf("benchkit: stats for %q: %w", id, err)
+	}
+	var st service.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return service.Stats{}, fmt.Errorf("benchkit: stats for %q: %w", id, err)
+	}
+	return st, nil
+}
+
+// localCommunities returns the ids held on this node with their applied
+// journal sequence, from /v1/status (which never forwards).
+func (d *HTTPDriver) localCommunities() (map[string]uint64, error) {
+	resp, err := d.client.Get(d.base + "/v1/status")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := drainExpect(resp, http.StatusOK)
+		return nil, fmt.Errorf("benchkit: status: %w", err)
+	}
+	var st struct {
+		Communities []struct {
+			ID  string `json:"id"`
+			Seq uint64 `json:"seq"`
+		} `json:"communities"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: status: %w", err)
+	}
+	out := make(map[string]uint64, len(st.Communities))
+	for _, c := range st.Communities {
+		out[c.ID] = c.Seq
+	}
+	return out, nil
+}
+
+// communitySeq reads the applied journal sequence of one community on this
+// node, or 0 if the node doesn't hold it yet.
+func (d *HTTPDriver) communitySeq(id string) (uint64, error) {
+	local, err := d.localCommunities()
+	if err != nil {
+		return 0, err
+	}
+	return local[id], nil
+}
+
+// fetchWindow returns one community's JSON window response body verbatim,
+// for byte-identity checks across replicas.
+func (d *HTTPDriver) fetchWindow(id string, from, to int64) ([]byte, error) {
+	resp, err := d.client.Get(d.base + "/v1/communities/" + url.PathEscape(id) + "/window?from=" +
+		strconv.FormatInt(from, 10) + "&to=" + strconv.FormatInt(to, 10))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("benchkit: window for %q: status %d", id, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // drain consumes and closes a response body so the connection can be reused.

@@ -13,7 +13,7 @@ import (
 // comparisons against JSON runs refuse to gate.
 func TestRunHTTPBinary(t *testing.T) {
 	reg := service.NewRegistry()
-	srv := httptest.NewServer(service.NewHandler(reg))
+	srv := httptest.NewServer(service.NewHandler(service.HandlerOpts{Owner: reg}))
 	defer srv.Close()
 
 	d := NewHTTPDriver(srv.URL, 2)
@@ -57,7 +57,7 @@ func TestDoBatchMapsErrors(t *testing.T) {
 	if _, err := reg.Create("c", 16, [][2]int{{0, 1}}, ""); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(service.NewHandler(reg))
+	srv := httptest.NewServer(service.NewHandler(service.HandlerOpts{Owner: reg}))
 	defer srv.Close()
 
 	d := NewHTTPDriver(srv.URL, 1)

@@ -301,7 +301,7 @@ func TestInProcDoBatchMatchesSequential(t *testing.T) {
 // endpoint across the scenario's communities.
 func TestHTTPRecolorings(t *testing.T) {
 	reg := service.NewRegistry()
-	hs := httptest.NewServer(service.NewHandler(reg))
+	hs := httptest.NewServer(service.NewHandler(service.HandlerOpts{Owner: reg}))
 	defer hs.Close()
 	d := NewHTTPDriver(hs.URL, 1)
 	sizes, err := d.Setup(testScenario(), 7)

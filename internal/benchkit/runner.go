@@ -227,6 +227,7 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 		WALSyncAlways: isSyncAlways(d),
 		Proto:         protoOf(d),
 		Batch:         batchLabel(opt.Batch),
+		Nodes:         nodesOf(d),
 		ChurnFrac:     sc.ChurnFrac,
 		Note:          opt.Note,
 		Totals: Metrics{
@@ -312,6 +313,19 @@ func protoOf(d Driver) string {
 		return ""
 	}
 	return p.ProtoName()
+}
+
+// nodesReporter is the optional Driver interface reporting cluster size
+// (see ClusterDriver); the snapshot records the member count.
+type nodesReporter interface{ NodeCount() int }
+
+// nodesOf probes a driver for its cluster size; 0 for single-target drivers.
+func nodesOf(d Driver) int {
+	n, ok := d.(nodesReporter)
+	if !ok {
+		return 0
+	}
+	return n.NodeCount()
 }
 
 // batchLabel normalizes the snapshot's batch field: unbatched runs record

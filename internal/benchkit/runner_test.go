@@ -96,7 +96,7 @@ func TestRunInProc(t *testing.T) {
 // an httptest server and checks the communities are created and torn down.
 func TestRunHTTP(t *testing.T) {
 	reg := service.NewRegistry()
-	srv := httptest.NewServer(service.NewHandler(reg))
+	srv := httptest.NewServer(service.NewHandler(service.HandlerOpts{Owner: reg}))
 	defer srv.Close()
 	d := NewHTTPDriver(srv.URL, 2)
 	snap, err := Run(testScenario(), d, Options{Seed: 3, Workers: 2, Rev: "test"})

@@ -17,7 +17,9 @@ import (
 //	   the top-level churn_frac — all additive and omitted when zero, so
 //	   readers accept schema 1 snapshots unchanged (see minSchemaVersion);
 //	   the version records which fields a writer could have produced.
-const SchemaVersion = 2
+//	3: adds the top-level nodes count of sharded-cluster runs (the
+//	   ClusterDriver); additive, omitted for single-target runs.
+const SchemaVersion = 3
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -58,6 +60,11 @@ type Snapshot struct {
 	// Batch is the ops-per-request grouping of a batched binary run; 0
 	// means unbatched.
 	Batch int `json:"batch,omitempty"`
+	// Nodes is the member count of a sharded-cluster run (the
+	// ClusterDriver): reads fan out across this many daemons. 0 for
+	// single-target runs. Node counts must match for a comparison to be
+	// meaningful, so Compare gates on it (schema ≥ 3).
+	Nodes int `json:"nodes,omitempty"`
 	// ChurnFrac is the fraction of ops dedicated to churn when the
 	// scenario's mix was derived via WithChurnFraction; 0 for hand-set
 	// mixes. Differing fractions make throughput incomparable, so Compare
@@ -189,6 +196,12 @@ func Compare(old, new *Snapshot, threshold float64) *Comparison {
 	if old.Batch != new.Batch {
 		cmp.Mismatch = fmt.Sprintf("batch mismatch: old grouped %d ops per request, new %d — rerun with -batch %d",
 			max(old.Batch, 1), max(new.Batch, 1), max(old.Batch, 1))
+		cmp.Pass = false
+		return cmp
+	}
+	if old.Nodes != new.Nodes {
+		cmp.Mismatch = fmt.Sprintf("cluster-size mismatch: old ran %d nodes, new ran %d — read fan-out makes throughput incomparable",
+			old.Nodes, new.Nodes)
 		cmp.Pass = false
 		return cmp
 	}

@@ -40,6 +40,9 @@ func (c *Community) ChurnBatch(edits []core.Edit, out []core.EditResult) (recolo
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fencedErrLocked(); err != nil {
+		return 0, err
+	}
 	n := c.dyn.N()
 	for i, e := range edits {
 		if e.Op != core.EditInsert && e.Op != core.EditDelete {

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrCode names an API failure class. It is the one error vocabulary of the
+// serving layer: JSON endpoints answer {code, message} envelopes carrying
+// the string form, binary endpoints carry the numeric form in Error frames
+// (wire.AppendError), and both decode back to the same enum — a client
+// switching transports never re-learns error handling.
+type ErrCode string
+
+const (
+	// CodeBadRequest: the request was malformed or semantically invalid
+	// (bad JSON, out-of-range window, unknown op).
+	CodeBadRequest ErrCode = "bad_request"
+	// CodeNotFound: the community (or family) does not exist on this node
+	// and the topology places it nowhere else.
+	CodeNotFound ErrCode = "not_found"
+	// CodeConflict: the request contradicts existing state (duplicate
+	// community id).
+	CodeConflict ErrCode = "conflict"
+	// CodeNotOwner: the request is a write for a community this node does
+	// not own — it was misrouted, or ownership moved. The message names the
+	// owner when the topology knows it; clients re-resolve placement and
+	// retry there.
+	CodeNotOwner ErrCode = "not_owner"
+	// CodeInternal: the node failed the request (journal error, encoding
+	// failure).
+	CodeInternal ErrCode = "internal"
+	// CodeUnavailable: the node could not reach the responsible peer
+	// (forwarding failed, owner missing from the topology).
+	CodeUnavailable ErrCode = "unavailable"
+)
+
+// codeTable fixes each code's wire number and default HTTP status. Numbers
+// are part of wire format v2 and must never be reused or renumbered.
+var codeTable = map[ErrCode]struct {
+	num    uint16
+	status int
+}{
+	CodeBadRequest:  {1, http.StatusBadRequest},
+	CodeNotFound:    {2, http.StatusNotFound},
+	CodeConflict:    {3, http.StatusConflict},
+	CodeNotOwner:    {4, http.StatusMisdirectedRequest},
+	CodeInternal:    {5, http.StatusInternalServerError},
+	CodeUnavailable: {6, http.StatusServiceUnavailable},
+}
+
+// Num returns the code's wire number (the u16 of binary Error frames).
+// Unknown codes map to CodeInternal's number.
+func (c ErrCode) Num() uint16 {
+	if e, ok := codeTable[c]; ok {
+		return e.num
+	}
+	return codeTable[CodeInternal].num
+}
+
+// HTTPStatus returns the code's default HTTP status.
+func (c ErrCode) HTTPStatus() int {
+	if e, ok := codeTable[c]; ok {
+		return e.status
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeFromNum maps a wire number back to its code; unknown numbers decode
+// as CodeInternal (a newer peer spoke a code this build does not know).
+func CodeFromNum(n uint16) ErrCode {
+	for c, e := range codeTable {
+		if e.num == n {
+			return c
+		}
+	}
+	return CodeInternal
+}
+
+// codeForStatus classifies a bare HTTP status into the enum — the adapter
+// for call sites that still report errors as (status, error) pairs.
+func codeForStatus(status int) ErrCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusMisdirectedRequest:
+		return CodeNotOwner
+	case http.StatusServiceUnavailable, http.StatusBadGateway:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// Error is the API error envelope — the one body every failing endpoint
+// answers, JSON or binary. It implements error so service methods can
+// return it directly and handlers can surface it without translation.
+type Error struct {
+	Code    ErrCode `json:"code"`
+	Message string  `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// Errf builds an enveloped error.
+func Errf(code ErrCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// envelope normalizes any error to the envelope: enveloped errors pass
+// through (wrapped or not), everything else is classified by the status the
+// call site chose.
+func envelope(status int, err error) (int, *Error) {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.Code.HTTPStatus(), ae
+	}
+	return status, &Error{Code: codeForStatus(status), Message: err.Error()}
+}

@@ -14,36 +14,23 @@ import (
 	"repro/internal/wire"
 )
 
-// NewHandler exposes a registry over HTTP/JSON:
-//
-//	POST   /communities                          create {id, families, edges, code}
-//	GET    /communities                          list ids
-//	GET    /communities/{id}                     stats
-//	DELETE /communities/{id}                     unregister
-//	POST   /communities/{id}/families            append a family → {family}
-//	POST   /communities/{id}/edges               marry {u, v} → {recolored}
-//	DELETE /communities/{id}/edges?u=U&v=V       divorce → {removed, recolored}
-//	POST   /communities/{id}/churn               batched churn [{op, u, v}, ...]
-//	GET    /communities/{id}/window?from=F&to=T  schedule window
-//	GET    /communities/{id}/families/{v}/next?from=F  next happy holiday
-//	POST   /v1/bin/window                        batched binary windows
-//	POST   /v1/bin/next                          batched binary next queries
-//	POST   /v1/bin/churn                         batched binary churn
-//	GET    /healthz                              liveness
-//
-// Window and next queries answer from the community's cached frozen
-// schedule; churn endpoints route through the §6 dynamic recoloring. The
-// /v1/bin endpoint family speaks the internal/wire binary format (DESIGN.md
-// §9): the request body is a batch of length-prefixed frames, the response
-// the matching frames in order, and window answers are word-packed happy
-// bitmaps emitted straight from the closed-form periodic schedules. JSON
-// endpoints stay for compatibility and answer identically.
-func NewHandler(reg *Registry) http.Handler {
-	return NewHandlerOpts(reg, HandlerOptions{})
-}
+// HandlerOpts configures NewHandler. Owner is the only required field; the
+// zero values of the rest give a standalone single-node handler.
+type HandlerOpts struct {
+	// Owner is the node's community store (required).
+	Owner *Owner
 
-// HandlerOptions tune NewHandlerOpts beyond the defaults.
-type HandlerOptions struct {
+	// Router, when set, makes the handler cluster-aware: writes for
+	// communities placed on other nodes are forwarded to their owner once
+	// (421 not_owner if a forwarded request is still misplaced — stale
+	// topologies must not loop), and reads for communities absent locally
+	// are forwarded instead of answering 404.
+	Router *Router
+
+	// Node is this node's id, reported by /v1/status and stamped on
+	// forwarded requests. Defaults to Router.Self when a router is set.
+	Node string
+
 	// MaxBinBatch caps the frames one /v1/bin request body may carry (and
 	// the edits one JSON churn batch may carry); 0 means DefaultMaxBinBatch.
 	// Batches beyond the cap fail with 400 before any query is served.
@@ -55,211 +42,516 @@ type HandlerOptions struct {
 	// churn endpoints amortize within each request themselves and never
 	// consult it.
 	Churn *Coalescer
+
+	// Lag, when set, reports per-community replication lag (owner seq minus
+	// locally applied seq) for communities this node follows; surfaced by
+	// /v1/status.
+	Lag func() map[string]uint64
+}
+
+// HandlerOptions is the pre-cluster options struct of NewHandlerOpts.
+//
+// Deprecated: use HandlerOpts with NewHandler.
+type HandlerOptions struct {
+	// MaxBinBatch caps the frames one /v1/bin request body may carry.
+	MaxBinBatch int
+	// Churn routes single-op churn through the coalescer.
+	Churn *Coalescer
 }
 
 // DefaultMaxBinBatch is the frames-per-request cap of the binary endpoints
-// when HandlerOptions does not override it.
+// when HandlerOpts does not override it.
 const DefaultMaxBinBatch = 1024
 
-// NewHandlerOpts is NewHandler with explicit options.
-func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
-	if opts.MaxBinBatch < 1 {
-		opts.MaxBinBatch = DefaultMaxBinBatch
+// forwardHeader marks a request as having been routed once. A node
+// receiving a marked request it still does not own answers 421 not_owner
+// rather than forwarding again, so disagreeing topologies degrade to an
+// error instead of a forwarding loop.
+const forwardHeader = "X-Holiday-Forwarded"
+
+// legacyDeprecation is the Deprecation header (RFC 9745) the unversioned
+// route aliases carry: the date the /v1 prefix replaced them.
+const legacyDeprecation = "@1786147200" // 2026-08-08T00:00:00Z
+
+// NewHandler exposes an owner — and, with a Router, its cluster — over
+// HTTP. JSON routes live under /v1/ (the unversioned originals remain as
+// deprecated aliases answering identically plus a Deprecation header):
+//
+//	POST   /v1/communities                          create {id, families, edges, code}
+//	GET    /v1/communities                          list ids
+//	GET    /v1/communities/{id}                     stats
+//	DELETE /v1/communities/{id}                     unregister
+//	POST   /v1/communities/{id}/families            append a family → {family}
+//	POST   /v1/communities/{id}/edges               marry {u, v} → {recolored}
+//	DELETE /v1/communities/{id}/edges?u=U&v=V       divorce → {removed, recolored}
+//	POST   /v1/communities/{id}/churn               batched churn [{op, u, v}, ...]
+//	GET    /v1/communities/{id}/window?from=F&to=T  schedule window
+//	GET    /v1/communities/{id}/families/{v}/next?from=F  next happy holiday
+//	GET    /v1/status                               node role, placement, per-community seq
+//	POST   /v1/promote                              take ownership of a community {community}
+//	POST   /v1/bin/window                           batched binary windows
+//	POST   /v1/bin/next                             batched binary next queries
+//	POST   /v1/bin/churn                            batched binary churn
+//	GET    /healthz                                 liveness
+//
+// Window and next queries answer from the community's cached frozen
+// schedule; churn endpoints route through the §6 dynamic recoloring. The
+// /v1/bin endpoint family speaks the internal/wire binary format (DESIGN.md
+// §9): the request body is a batch of length-prefixed frames, the response
+// the matching frames in order, and window answers are word-packed happy
+// bitmaps emitted straight from the closed-form periodic schedules.
+//
+// Every failure, JSON or binary, carries the {code, message} envelope (see
+// ErrCode). With a Router, JSON writes are forwarded to the placed owner;
+// binary frames are never forwarded — a misplaced frame answers an
+// in-position not_owner Error and the client re-routes.
+func NewHandler(h HandlerOpts) http.Handler {
+	if h.Owner == nil {
+		panic("service: NewHandler requires an Owner")
 	}
+	if h.MaxBinBatch < 1 {
+		h.MaxBinBatch = DefaultMaxBinBatch
+	}
+	if h.Node == "" && h.Router != nil {
+		h.Node = h.Router.Self()
+	}
+	a := &apiHandler{HandlerOpts: h, client: &http.Client{}}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/bin/window", binHandler(reg, opts, wire.KindWindowReq))
-	mux.HandleFunc("POST /v1/bin/next", binHandler(reg, opts, wire.KindNextReq))
-	mux.HandleFunc("POST /v1/bin/churn", churnBinHandler(reg, opts))
+	// route registers fn at its /v1 path and at the legacy unversioned
+	// alias, which answers identically but advertises its deprecation.
+	route := func(method, path string, fn http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, fn)
+		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", legacyDeprecation)
+			fn(w, r)
+		})
+	}
+	mux.HandleFunc("POST /v1/bin/window", a.binHandler(wire.KindWindowReq))
+	mux.HandleFunc("POST /v1/bin/next", a.binHandler(wire.KindNextReq))
+	mux.HandleFunc("POST /v1/bin/churn", a.churnBinHandler())
+	mux.HandleFunc("GET /v1/status", a.serveStatus)
+	mux.HandleFunc("POST /v1/promote", a.servePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("POST /communities", func(w http.ResponseWriter, r *http.Request) {
-		var req createRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
-			return
-		}
-		c, err := reg.Create(req.ID, req.Families, req.Edges, req.Code)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, c.Stats())
+	route("POST", "/communities", a.serveCreate)
+	route("GET", "/communities", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"communities": a.Owner.List()})
 	})
-	mux.HandleFunc("GET /communities", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string][]string{"communities": reg.List()})
-	})
-	mux.HandleFunc("GET /communities/{id}", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
+	route("GET", "/communities/{id}", a.read(func(w http.ResponseWriter, r *http.Request, c *Community) {
 		writeJSON(w, http.StatusOK, c.Stats())
 	}))
-	mux.HandleFunc("DELETE /communities/{id}", func(w http.ResponseWriter, r *http.Request) {
-		ok, err := reg.Delete(r.PathValue("id"))
-		if err != nil {
-			// A journal failure means the deletion is not durable; the
-			// community stays registered and the client must not believe
-			// it gone.
-			writeError(w, http.StatusInternalServerError, err)
+	route("DELETE", "/communities/{id}", a.write(a.serveDelete))
+	route("POST", "/communities/{id}/families", a.write(a.withCommunity(a.serveAddFamily)))
+	route("POST", "/communities/{id}/edges", a.write(a.withCommunity(a.serveMarry)))
+	route("DELETE", "/communities/{id}/edges", a.write(a.withCommunity(a.serveDivorce)))
+	route("POST", "/communities/{id}/churn", a.write(a.withCommunity(a.serveChurn)))
+	route("GET", "/communities/{id}/window", a.read(a.serveWindow))
+	route("GET", "/communities/{id}/families/{v}/next", a.read(a.serveNext))
+	return mux
+}
+
+// NewHandlerOpts is the pre-cluster constructor.
+//
+// Deprecated: use NewHandler(HandlerOpts{...}).
+func NewHandlerOpts(reg *Owner, opts HandlerOptions) http.Handler {
+	return NewHandler(HandlerOpts{Owner: reg, MaxBinBatch: opts.MaxBinBatch, Churn: opts.Churn})
+}
+
+// apiHandler carries the handler configuration and the forwarding client.
+type apiHandler struct {
+	HandlerOpts
+	client *http.Client
+}
+
+// misplaced reports whether a request for community id must not be served
+// locally, and if so answers it (forwarding once, then failing closed with
+// 421 not_owner). Reads pass present=true when the community exists locally
+// — replicas serve reads regardless of placement.
+func (a *apiHandler) misplaced(w http.ResponseWriter, r *http.Request, id string, present bool) bool {
+	if a.Router == nil || present {
+		return false
+	}
+	node := a.Router.Place(id)
+	if node == a.Router.Self() {
+		return false
+	}
+	if r.Header.Get(forwardHeader) != "" {
+		writeError(w, http.StatusMisdirectedRequest,
+			Errf(CodeNotOwner, "community %q is owned by node %q, not %q", id, node, a.Node))
+		return true
+	}
+	a.forward(w, r, node, nil)
+	return true
+}
+
+// forward proxies the request to a peer node, stamping the loop guard. body
+// replaces r.Body when the handler already consumed it.
+func (a *apiHandler) forward(w http.ResponseWriter, r *http.Request, node string, body []byte) {
+	addr, ok := a.Router.Addr(node)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable,
+			Errf(CodeUnavailable, "owner node %q has no address in the topology", node))
+		return
+	}
+	var rd io.Reader = r.Body
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, addr+r.URL.RequestURI(), rd)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, Errf(CodeInternal, "forward to %q: %v", node, err))
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(forwardHeader, a.Node)
+	resp, err := a.client.Do(req)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, Errf(CodeUnavailable, "forward to %q: %v", node, err))
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// write wraps a mutating {id} endpoint with placement routing: misplaced
+// requests are forwarded to the owner, local ones proceed (and fencing
+// inside Owner backstops any disagreement).
+func (a *apiHandler) write(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if a.misplaced(w, r, r.PathValue("id"), false) {
 			return
 		}
+		fn(w, r)
+	}
+}
+
+// read wraps a read-only {id} endpoint: a community present locally serves
+// (replicas included); an absent one placed elsewhere forwards.
+func (a *apiHandler) read(fn func(http.ResponseWriter, *http.Request, *Community)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		c, ok := a.Owner.Get(id)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no community %q", r.PathValue("id")))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
-	})
-	mux.HandleFunc("POST /communities/{id}/families", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		fam, err := c.AddFamily()
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, map[string]int{"family": fam})
-	}))
-	mux.HandleFunc("POST /communities/{id}/edges", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		var req edgeRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
-			return
-		}
-		var recolored bool
-		var err error
-		if opts.Churn != nil {
-			var res core.EditResult
-			res, err = opts.Churn.Churn(c, core.Edit{Op: core.EditInsert, U: req.U, V: req.V})
-			recolored = res.Recolored
-		} else {
-			recolored, err = c.Marry(req.U, req.V)
-		}
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"recolored": recolored})
-	}))
-	mux.HandleFunc("DELETE /communities/{id}/edges", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		u, errU := strconv.Atoi(r.URL.Query().Get("u"))
-		v, errV := strconv.Atoi(r.URL.Query().Get("v"))
-		if errU != nil || errV != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("query params u and v must be integers"))
-			return
-		}
-		var removed, recolored bool
-		var err error
-		if opts.Churn != nil {
-			var res core.EditResult
-			res, err = opts.Churn.Churn(c, core.Edit{Op: core.EditDelete, U: u, V: v})
-			removed, recolored = res.Applied, res.Recolored
-		} else {
-			removed, recolored, err = c.Divorce(u, v)
-		}
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]bool{"removed": removed, "recolored": recolored})
-	}))
-	mux.HandleFunc("POST /communities/{id}/churn", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		var reqs []churnOpRequest
-		if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
-			return
-		}
-		if len(reqs) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("empty churn batch"))
-			return
-		}
-		if len(reqs) > opts.MaxBinBatch {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d edits", opts.MaxBinBatch))
-			return
-		}
-		edits := make([]core.Edit, len(reqs))
-		for i, q := range reqs {
-			switch q.Op {
-			case "marry":
-				edits[i] = core.Edit{Op: core.EditInsert, U: q.U, V: q.V}
-			case "divorce":
-				edits[i] = core.Edit{Op: core.EditDelete, U: q.U, V: q.V}
-			default:
-				writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: op %q is not \"marry\" or \"divorce\"", i, q.Op))
+			if a.misplaced(w, r, id, false) {
 				return
 			}
-		}
-		res := make([]core.EditResult, len(edits))
-		recolorings, err := c.ChurnBatch(edits, res)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusNotFound, Errf(CodeNotFound, "no community %q", id))
 			return
 		}
-		resp := churnResponse{
-			Community:   c.ID(),
-			Recolorings: recolorings,
-			Results:     make([]churnOpResult, len(res)),
-		}
-		for i, r := range res {
-			if r.Applied {
-				resp.Applied++
-			}
-			resp.Results[i] = churnOpResult{Applied: r.Applied, Recolored: r.Recolored}
-		}
-		writeJSON(w, http.StatusOK, resp)
-	}))
-	mux.HandleFunc("GET /communities/{id}/window", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		from, err := queryInt64(r, "from", 1)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		fn(w, r, c)
+	}
+}
+
+// withCommunity resolves {id} locally or responds 404 — for write endpoints
+// whose routing the write wrapper already settled.
+func (a *apiHandler) withCommunity(fn func(http.ResponseWriter, *http.Request, *Community)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c, ok := a.Owner.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, Errf(CodeNotFound, "no community %q", r.PathValue("id")))
 			return
 		}
-		// Reject from beyond the servable horizon before deriving the
-		// default end: from+51 overflows int64 for from near the maximum,
-		// which used to surface as a baffling "window [..,..] is empty".
-		if from > core.MaxHoliday {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("window start %d beyond last servable holiday %d", from, core.MaxHoliday))
+		fn(w, r, c)
+	}
+}
+
+func (a *apiHandler) serveCreate(w http.ResponseWriter, r *http.Request) {
+	// The community id decides placement and lives in the body, so buffer it
+	// before deciding whether this create is ours to serve.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxFrame))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read request body: %w", err))
+		return
+	}
+	var req createRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if a.Router != nil && !a.Router.IsLocal(req.ID) {
+		node := a.Router.Place(req.ID)
+		if r.Header.Get(forwardHeader) != "" {
+			writeError(w, http.StatusMisdirectedRequest,
+				Errf(CodeNotOwner, "community %q is owned by node %q, not %q", req.ID, node, a.Node))
 			return
 		}
-		defTo := from + 51 // default: one year of weekly holidays
-		if defTo > core.MaxHoliday {
-			defTo = core.MaxHoliday
-		}
-		to, err := queryInt64(r, "to", defTo)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		a.forward(w, r, node, body)
+		return
+	}
+	c, err := a.Owner.Create(req.ID, req.Families, req.Edges, req.Code)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, c.Stats())
+}
+
+func (a *apiHandler) serveDelete(w http.ResponseWriter, r *http.Request) {
+	ok, err := a.Owner.Delete(r.PathValue("id"))
+	if err != nil {
+		// A journal failure means the deletion is not durable; the community
+		// stays registered and the client must not believe it gone.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, Errf(CodeNotFound, "no community %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+func (a *apiHandler) serveAddFamily(w http.ResponseWriter, r *http.Request, c *Community) {
+	fam, err := c.AddFamily()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"family": fam})
+}
+
+func (a *apiHandler) serveMarry(w http.ResponseWriter, r *http.Request, c *Community) {
+	var req edgeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	var recolored bool
+	var err error
+	if a.Churn != nil {
+		var res core.EditResult
+		res, err = a.Churn.Churn(c, core.Edit{Op: core.EditInsert, U: req.U, V: req.V})
+		recolored = res.Recolored
+	} else {
+		recolored, err = c.Marry(req.U, req.V)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"recolored": recolored})
+}
+
+func (a *apiHandler) serveDivorce(w http.ResponseWriter, r *http.Request, c *Community) {
+	u, errU := strconv.Atoi(r.URL.Query().Get("u"))
+	v, errV := strconv.Atoi(r.URL.Query().Get("v"))
+	if errU != nil || errV != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("query params u and v must be integers"))
+		return
+	}
+	var removed, recolored bool
+	var err error
+	if a.Churn != nil {
+		var res core.EditResult
+		res, err = a.Churn.Churn(c, core.Edit{Op: core.EditDelete, U: u, V: v})
+		removed, recolored = res.Applied, res.Recolored
+	} else {
+		removed, recolored, err = c.Divorce(u, v)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"removed": removed, "recolored": recolored})
+}
+
+func (a *apiHandler) serveChurn(w http.ResponseWriter, r *http.Request, c *Community) {
+	var reqs []churnOpRequest
+	if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty churn batch"))
+		return
+	}
+	if len(reqs) > a.MaxBinBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d edits", a.MaxBinBatch))
+		return
+	}
+	edits := make([]core.Edit, len(reqs))
+	for i, q := range reqs {
+		switch q.Op {
+		case "marry":
+			edits[i] = core.Edit{Op: core.EditInsert, U: q.U, V: q.V}
+		case "divorce":
+			edits[i] = core.Edit{Op: core.EditDelete, U: q.U, V: q.V}
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("edit %d: op %q is not \"marry\" or \"divorce\"", i, q.Op))
 			return
 		}
-		// The response rows (and their happy-set buffers) are pooled: the
-		// window endpoint is the serving hot path and steady-state queries
-		// should not allocate per row. AppendWindow overwrites the reused
-		// slots, and writeJSON finishes encoding before the rows go back.
-		wr := windowPool.Get().(*windowResponse)
-		wr.Holidays, err = c.AppendWindow(wr.Holidays[:0], from, to)
-		if err != nil {
-			putWindowResponse(wr)
-			writeError(w, http.StatusBadRequest, err)
-			return
+	}
+	res := make([]core.EditResult, len(edits))
+	recolorings, err := c.ChurnBatch(edits, res)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := churnResponse{
+		Community:   c.ID(),
+		Seq:         c.Seq(),
+		Recolorings: recolorings,
+		Results:     make([]churnOpResult, len(res)),
+	}
+	for i, r := range res {
+		if r.Applied {
+			resp.Applied++
 		}
-		wr.Community, wr.From, wr.To = c.ID(), from, to
-		writeJSON(w, http.StatusOK, wr)
+		resp.Results[i] = churnOpResult{Applied: r.Applied, Recolored: r.Recolored}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (a *apiHandler) serveWindow(w http.ResponseWriter, r *http.Request, c *Community) {
+	from, err := queryInt64(r, "from", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Reject from beyond the servable horizon before deriving the
+	// default end: from+51 overflows int64 for from near the maximum,
+	// which used to surface as a baffling "window [..,..] is empty".
+	if from > core.MaxHoliday {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("window start %d beyond last servable holiday %d", from, core.MaxHoliday))
+		return
+	}
+	defTo := from + 51 // default: one year of weekly holidays
+	if defTo > core.MaxHoliday {
+		defTo = core.MaxHoliday
+	}
+	to, err := queryInt64(r, "to", defTo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The response rows (and their happy-set buffers) are pooled: the
+	// window endpoint is the serving hot path and steady-state queries
+	// should not allocate per row. AppendWindow overwrites the reused
+	// slots, and writeJSON finishes encoding before the rows go back.
+	wr := windowPool.Get().(*windowResponse)
+	wr.Holidays, err = c.AppendWindow(wr.Holidays[:0], from, to)
+	if err != nil {
 		putWindowResponse(wr)
-	}))
-	mux.HandleFunc("GET /communities/{id}/families/{v}/next", withCommunity(reg, func(w http.ResponseWriter, r *http.Request, c *Community) {
-		v, err := strconv.Atoi(r.PathValue("v"))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("family id %q is not an integer", r.PathValue("v")))
-			return
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wr.Community, wr.From, wr.To = c.ID(), from, to
+	writeJSON(w, http.StatusOK, wr)
+	putWindowResponse(wr)
+}
+
+func (a *apiHandler) serveNext(w http.ResponseWriter, r *http.Request, c *Community) {
+	v, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("family id %q is not an integer", r.PathValue("v")))
+		return
+	}
+	from, err := queryInt64(r, "from", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	next, err := c.NextHappy(v, from)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, nextResponse{Community: c.ID(), Family: v, From: from, Next: next})
+}
+
+// communityStatus is one community's row in the /v1/status answer.
+type communityStatus struct {
+	ID string `json:"id"`
+	// Role is "owner" for communities this node takes writes for and
+	// "follower" for fenced replicas.
+	Role string `json:"role"`
+	// Placed is the node the topology places the community on (only with a
+	// router).
+	Placed string `json:"placed,omitempty"`
+	// Seq is the last journal sequence applied locally.
+	Seq uint64 `json:"seq"`
+	// Lag is the owner's sequence minus Seq for followed communities.
+	Lag uint64 `json:"lag,omitempty"`
+}
+
+// statusResponse is the GET /v1/status answer.
+type statusResponse struct {
+	Node        string            `json:"node,omitempty"`
+	Nodes       []Node            `json:"nodes,omitempty"`
+	Overrides   map[string]string `json:"overrides,omitempty"`
+	Communities []communityStatus `json:"communities"`
+}
+
+func (a *apiHandler) serveStatus(w http.ResponseWriter, r *http.Request) {
+	resp := statusResponse{Node: a.Node, Communities: []communityStatus{}}
+	if a.Router != nil {
+		resp.Nodes = a.Router.Nodes()
+		if ov := a.Router.Overrides(); len(ov) > 0 {
+			resp.Overrides = ov
 		}
-		from, err := queryInt64(r, "from", 1)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+	}
+	var lag map[string]uint64
+	if a.Lag != nil {
+		lag = a.Lag()
+	}
+	for _, id := range a.Owner.List() {
+		c, ok := a.Owner.Get(id)
+		if !ok {
+			continue
 		}
-		next, err := c.NextHappy(v, from)
-		if err != nil {
-			writeError(w, http.StatusNotFound, err)
-			return
+		cs := communityStatus{ID: id, Role: "owner", Seq: c.Seq()}
+		if c.Fenced() {
+			cs.Role = "follower"
+			cs.Lag = lag[id]
 		}
-		writeJSON(w, http.StatusOK, nextResponse{Community: c.ID(), Family: v, From: from, Next: next})
-	}))
-	return mux
+		if a.Router != nil {
+			cs.Placed = a.Router.Place(id)
+		}
+		resp.Communities = append(resp.Communities, cs)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// promoteRequest is the POST /v1/promote body.
+type promoteRequest struct {
+	Community string `json:"community"`
+}
+
+// servePromote takes ownership of a community this node replicates: the
+// fence lifts and the router pins the community here, so writes land
+// locally from the next request on. The failover path after the placed
+// owner dies; holidayctl drives it per the topology.
+func (a *apiHandler) servePromote(w http.ResponseWriter, r *http.Request) {
+	if a.Router == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("this node is not in a cluster"))
+		return
+	}
+	var req promoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	c, ok := a.Owner.Get(req.Community)
+	if !ok {
+		writeError(w, http.StatusNotFound, Errf(CodeNotFound, "no community %q on this node", req.Community))
+		return
+	}
+	if err := a.Router.Override(req.Community, a.Router.Self()); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	a.Owner.Unfence(req.Community)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"community": req.Community, "node": a.Node, "seq": c.Seq(),
+	})
 }
 
 // binHandler serves one binary endpoint: the request body is a batch of
@@ -269,7 +561,7 @@ func NewHandlerOpts(reg *Registry, opts HandlerOptions) http.Handler {
 // Protocol violations (malformed framing, a frame of the wrong kind, an
 // empty or over-long batch) fail the whole request with a JSON 400: the
 // client spoke the protocol wrong and no per-frame correspondence exists.
-func binHandler(reg *Registry, opts HandlerOptions, allowed wire.Kind) http.HandlerFunc {
+func (a *apiHandler) binHandler(allowed wire.Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxFrame))
 		if err != nil {
@@ -292,16 +584,16 @@ func binHandler(reg *Registry, opts HandlerOptions, allowed wire.Kind) http.Hand
 				writeError(w, http.StatusBadRequest, fmt.Errorf("%s frame on the %s endpoint", f.Kind, allowed))
 				return
 			}
-			if frames++; frames > opts.MaxBinBatch {
+			if frames++; frames > a.MaxBinBatch {
 				putBinBuf(bp, buf)
-				writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d frames", opts.MaxBinBatch))
+				writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d frames", a.MaxBinBatch))
 				return
 			}
 			switch allowed {
 			case wire.KindWindowReq:
-				buf = serveBinWindow(reg, buf, f)
+				buf = a.serveBinWindow(buf, f)
 			default:
-				buf = serveBinNext(reg, buf, f)
+				buf = a.serveBinNext(buf, f)
 			}
 		}
 		if frames == 0 {
@@ -317,19 +609,32 @@ func binHandler(reg *Registry, opts HandlerOptions, allowed wire.Kind) http.Hand
 	}
 }
 
+// binNotFound answers a binary query for a community absent locally: 404 —
+// or, with a router placing it elsewhere, an in-band not_owner Error so the
+// client re-routes the frame itself (binary frames are never forwarded).
+func (a *apiHandler) binNotFound(dst []byte, id string) []byte {
+	if a.Router != nil {
+		if node := a.Router.Place(id); node != a.Router.Self() {
+			return appendWireError(dst, http.StatusMisdirectedRequest,
+				Errf(CodeNotOwner, "community %q is owned by node %q, not %q", id, node, a.Node))
+		}
+	}
+	return appendWireError(dst, http.StatusNotFound, Errf(CodeNotFound, "no community %q", id))
+}
+
 // churnBinHandler serves POST /v1/bin/churn: the request body is a batch of
 // churn-request frames and the response the matching churn-response (or
 // in-position Error) frames. Consecutive-or-not requests for the same
 // community are grouped and applied as one amortized ChurnBatch flush —
 // per-community order is the arrival order, which is the only order the
 // protocol promises (edits to distinct communities are independent). Each
-// frame is validated up front (unknown community → 404, out-of-range edit →
-// 400, both as in-position Error frames), so a bad edit fails alone and the
-// grouped batches it is excluded from stay all-or-nothing only against
-// journal failures (→ 500 on every edit of the failed flush). Framing
-// violations fail the whole request with a JSON 400, exactly like the other
-// binary endpoints.
-func churnBinHandler(reg *Registry, opts HandlerOptions) http.HandlerFunc {
+// frame is validated up front (unknown community → 404, misplaced community
+// → 421 not_owner, out-of-range edit → 400, all as in-position Error
+// frames), so a bad edit fails alone and the grouped batches it is excluded
+// from stay all-or-nothing only against journal failures (→ 500 on every
+// edit of the failed flush). Framing violations fail the whole request with
+// a JSON 400, exactly like the other binary endpoints.
+func (a *apiHandler) churnBinHandler() http.HandlerFunc {
 	type group struct {
 		c     *Community
 		edits []core.Edit
@@ -356,25 +661,31 @@ func churnBinHandler(reg *Registry, opts HandlerOptions) http.HandlerFunc {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("%s frame on the %s endpoint", f.Kind, wire.KindChurnReq))
 				return
 			}
-			if frames++; frames > opts.MaxBinBatch {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d frames", opts.MaxBinBatch))
+			if frames++; frames > a.MaxBinBatch {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("batch exceeds %d frames", a.MaxBinBatch))
 				return
 			}
 			op, id, u, v, err := f.ChurnReq()
 			if err != nil {
-				slots = append(slots, binChurnSlot{status: http.StatusBadRequest, msg: err.Error()})
+				slots = append(slots, binChurnSlot{status: http.StatusBadRequest, err: err})
 				continue
 			}
-			c, ok := reg.Get(id)
+			if a.Router != nil && !a.Router.IsLocal(id) {
+				node := a.Router.Place(id)
+				slots = append(slots, binChurnSlot{status: http.StatusMisdirectedRequest,
+					err: Errf(CodeNotOwner, "community %q is owned by node %q, not %q", id, node, a.Node)})
+				continue
+			}
+			c, ok := a.Owner.Get(id)
 			if !ok {
-				slots = append(slots, binChurnSlot{status: http.StatusNotFound, msg: fmt.Sprintf("no community %q", id)})
+				slots = append(slots, binChurnSlot{status: http.StatusNotFound, err: Errf(CodeNotFound, "no community %q", id)})
 				continue
 			}
 			// Validate now, against the current family count: families only
 			// grow, so the edit stays valid at flush time and one bad edit
 			// can never sink its groupmates' batch.
 			if err := validEdge(c.Families(), u, v); err != nil {
-				slots = append(slots, binChurnSlot{status: http.StatusBadRequest, msg: err.Error()})
+				slots = append(slots, binChurnSlot{status: http.StatusBadRequest, err: err})
 				continue
 			}
 			g := groups[c]
@@ -392,13 +703,13 @@ func churnBinHandler(reg *Registry, opts HandlerOptions) http.HandlerFunc {
 			return
 		}
 		// One flush per community touched, in first-touch order. Validation
-		// above means a flush can only fail on the journal — an error every
-		// edit of the flush shares.
+		// above means a flush can only fail on the journal or the fence — an
+		// error every edit of the flush shares.
 		for _, g := range order {
 			res := make([]core.EditResult, len(g.edits))
 			if _, err := g.c.ChurnBatch(g.edits, res); err != nil {
 				for _, p := range g.pos {
-					slots[p] = binChurnSlot{status: http.StatusInternalServerError, msg: err.Error()}
+					slots[p] = binChurnSlot{status: http.StatusInternalServerError, err: err}
 				}
 				continue
 			}
@@ -412,7 +723,7 @@ func churnBinHandler(reg *Registry, opts HandlerOptions) http.HandlerFunc {
 			if s.ok {
 				buf = wire.AppendChurnResp(buf, s.res.Applied, s.res.Recolored)
 			} else {
-				buf = wire.AppendError(buf, s.status, s.msg)
+				buf = appendWireError(buf, s.status, s.err)
 			}
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -429,7 +740,14 @@ type binChurnSlot struct {
 	ok     bool
 	res    core.EditResult
 	status int
-	msg    string
+	err    error
+}
+
+// appendWireError appends a binary Error frame carrying the same {code,
+// message} envelope writeError renders as JSON.
+func appendWireError(dst []byte, status int, err error) []byte {
+	status, ae := envelope(status, err)
+	return wire.AppendError(dst, status, ae.Code.Num(), ae.Message)
 }
 
 // serveBinWindow answers one window-request frame, streaming the packed
@@ -437,15 +755,15 @@ type binChurnSlot struct {
 // response header is emitted once the family count is known, then one
 // ⌈n/64⌉-word row per holiday — no []int row and no JSON on this path.
 // Errors mirror the JSON endpoint's statuses (404 unknown community, 400
-// invalid query).
-func serveBinWindow(reg *Registry, dst []byte, f wire.Frame) []byte {
+// invalid query, 421 misplaced).
+func (a *apiHandler) serveBinWindow(dst []byte, f wire.Frame) []byte {
 	id, from, to, err := f.WindowReq()
 	if err != nil {
-		return wire.AppendError(dst, http.StatusBadRequest, err.Error())
+		return appendWireError(dst, http.StatusBadRequest, err)
 	}
-	c, ok := reg.Get(id)
+	c, ok := a.Owner.Get(id)
 	if !ok {
-		return wire.AppendError(dst, http.StatusNotFound, fmt.Sprintf("no community %q", id))
+		return a.binNotFound(dst, id)
 	}
 	werr := c.WindowBits(from, to,
 		func(n int) { dst = wire.AppendWindowRespHeader(dst, n, from, int(to-from+1)) },
@@ -453,25 +771,25 @@ func serveBinWindow(reg *Registry, dst []byte, f wire.Frame) []byte {
 	if werr != nil {
 		// WindowBits validates before emitting, so dst holds no partial
 		// response; the error frame is the query's whole answer.
-		return wire.AppendError(dst, http.StatusBadRequest, werr.Error())
+		return appendWireError(dst, http.StatusBadRequest, werr)
 	}
 	return dst
 }
 
 // serveBinNext answers one next-request frame; statuses mirror the JSON
 // endpoint (404 for unknown community or family).
-func serveBinNext(reg *Registry, dst []byte, f wire.Frame) []byte {
+func (a *apiHandler) serveBinNext(dst []byte, f wire.Frame) []byte {
 	id, v, from, err := f.NextReq()
 	if err != nil {
-		return wire.AppendError(dst, http.StatusBadRequest, err.Error())
+		return appendWireError(dst, http.StatusBadRequest, err)
 	}
-	c, ok := reg.Get(id)
+	c, ok := a.Owner.Get(id)
 	if !ok {
-		return wire.AppendError(dst, http.StatusNotFound, fmt.Sprintf("no community %q", id))
+		return a.binNotFound(dst, id)
 	}
 	next, err := c.NextHappy(v, from)
 	if err != nil {
-		return wire.AppendError(dst, http.StatusNotFound, err.Error())
+		return appendWireError(dst, http.StatusNotFound, err)
 	}
 	return wire.AppendNextResp(dst, next)
 }
@@ -501,7 +819,7 @@ func putBinBuf(bp *[]byte, buf []byte) {
 // pool.
 func retainBinBuf(buf []byte) bool { return cap(buf) <= binBufMax }
 
-// createRequest is the POST /communities body.
+// createRequest is the POST /v1/communities body.
 type createRequest struct {
 	ID       string   `json:"id"`
 	Families int      `json:"families"`
@@ -509,13 +827,13 @@ type createRequest struct {
 	Code     string   `json:"code"`
 }
 
-// edgeRequest is the POST /communities/{id}/edges body.
+// edgeRequest is the POST /v1/communities/{id}/edges body.
 type edgeRequest struct {
 	U int `json:"u"`
 	V int `json:"v"`
 }
 
-// churnOpRequest is one element of the POST /communities/{id}/churn array.
+// churnOpRequest is one element of the POST /v1/communities/{id}/churn array.
 type churnOpRequest struct {
 	Op string `json:"op"` // "marry" or "divorce"
 	U  int    `json:"u"`
@@ -528,11 +846,14 @@ type churnOpResult struct {
 	Recolored bool `json:"recolored"`
 }
 
-// churnResponse is the POST /communities/{id}/churn answer: per-edit
+// churnResponse is the POST /v1/communities/{id}/churn answer: per-edit
 // outcomes plus batch totals. Applied counts edits that changed the edge
-// set; Recolorings counts §6 recoloring events the batch triggered.
+// set; Recolorings counts §6 recoloring events the batch triggered. Seq is
+// the community's journal sequence after the batch — the read-your-writes
+// token a client hands to followers.
 type churnResponse struct {
 	Community   string          `json:"community"`
+	Seq         uint64          `json:"seq"`
 	Applied     int             `json:"applied"`
 	Recolorings int             `json:"recolorings"`
 	Results     []churnOpResult `json:"results"`
@@ -598,18 +919,6 @@ type nextResponse struct {
 	Next int64 `json:"next"`
 }
 
-// withCommunity resolves {id} or responds 404.
-func withCommunity(reg *Registry, fn func(http.ResponseWriter, *http.Request, *Community)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		c, ok := reg.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("no community %q", r.PathValue("id")))
-			return
-		}
-		fn(w, r, c)
-	}
-}
-
 // queryInt64 parses an optional integer query parameter.
 func queryInt64(r *http.Request, key string, def int64) (int64, error) {
 	s := r.URL.Query().Get(key)
@@ -640,7 +949,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		// Encoding failures are programming errors (all payloads are plain
 		// structs); degrade to an opaque 500 rather than a torn body.
-		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		http.Error(w, `{"code":"internal","message":"response encoding failed"}`, http.StatusInternalServerError)
 		encodeBufPool.Put(buf)
 		return
 	}
@@ -653,7 +962,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError renders an error payload.
+// writeError renders the {code, message} envelope. Enveloped errors (the
+// *Error type) carry their own code and status; anything else is classified
+// by the status the call site chose.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	status, ae := envelope(status, err)
+	writeJSON(w, status, ae)
 }

@@ -175,8 +175,8 @@ func TestBinaryBatch(t *testing.T) {
 	if err != nil || wr1.From != 1 || wr1.Rows != 4 {
 		t.Fatalf("frame 1 = %+v (%v)", wr1, err)
 	}
-	estatus, msg, err := f2.ErrorResp()
-	if err != nil || estatus != http.StatusNotFound || !strings.Contains(msg, "ghost") {
+	estatus, ecode, msg, err := f2.ErrorResp()
+	if err != nil || estatus != http.StatusNotFound || ecode != CodeNotFound.Num() || !strings.Contains(msg, "ghost") {
 		t.Fatalf("frame 2 = %d %q (%v), want a 404 naming the community", estatus, msg, err)
 	}
 	wr3, err := f3.WindowResp()
@@ -203,7 +203,7 @@ func TestBinaryBatch(t *testing.T) {
 	if next, err := f1.NextResp(); err != nil || next < 5 {
 		t.Fatalf("frame 1 next = %d (%v)", next, err)
 	}
-	if estatus, _, err := f2.ErrorResp(); err != nil || estatus != http.StatusNotFound {
+	if estatus, _, _, err := f2.ErrorResp(); err != nil || estatus != http.StatusNotFound {
 		t.Fatalf("frame 2 = %d (%v), want 404 for an unknown family", estatus, err)
 	}
 }
@@ -247,7 +247,7 @@ func TestBinaryErrorStatusesMirrorJSON(t *testing.T) {
 		if status != http.StatusOK {
 			t.Fatalf("%s: per-query failures answer in-band, got HTTP %d", tc.name, status)
 		}
-		estatus, msg, err := splitOne(t, body).ErrorResp()
+		estatus, _, msg, err := splitOne(t, body).ErrorResp()
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -292,11 +292,9 @@ func TestBinaryProtocolViolations(t *testing.T) {
 		if ct != "application/json" {
 			t.Fatalf("%s: content type %q, want a JSON error body", tc.name, ct)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Fatalf("%s: body %q is not a JSON error (%v)", tc.name, body, err)
+		var e Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Code == "" || e.Message == "" {
+			t.Fatalf("%s: body %q is not a {code, message} envelope (%v)", tc.name, body, err)
 		}
 	}
 
@@ -347,18 +345,19 @@ func TestServeBinWindowAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops items under the race detector")
 	}
-	reg := NewRegistry()
+	reg := New(Opts{})
 	if _, err := reg.Create("c", 500, [][2]int{{0, 1}, {1, 2}, {3, 4}}, ""); err != nil {
 		t.Fatal(err)
 	}
+	a := &apiHandler{HandlerOpts: HandlerOpts{Owner: reg}}
 	for _, span := range []int64{52, 512} {
 		frame := splitOne(t, wire.AppendWindowReq(nil, "c", 1, span))
 		buf := make([]byte, 0, 1<<20)
 		for i := 0; i < 4; i++ { // warm the core bitmap scratch pool
-			buf = serveBinWindow(reg, buf[:0], frame)
+			buf = a.serveBinWindow(buf[:0], frame)
 		}
 		allocs := testing.AllocsPerRun(100, func() {
-			buf = serveBinWindow(reg, buf[:0], frame)
+			buf = a.serveBinWindow(buf[:0], frame)
 		})
 		// The constant cost is the id string plus the emit closures and
 		// their captured buffer cell; a per-row regression over 512 rows

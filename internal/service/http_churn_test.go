@@ -204,7 +204,7 @@ func TestBinaryChurnGroupsAndErrors(t *testing.T) {
 			t.Fatalf("response frame %d: %v", i, err)
 		}
 		if wantStatus, isErr := wantErr[i]; isErr {
-			estatus, msg, err := f.ErrorResp()
+			estatus, _, msg, err := f.ErrorResp()
 			if err != nil || estatus != wantStatus {
 				t.Fatalf("frame %d = %d %q (%v), want status %d", i, estatus, msg, err, wantStatus)
 			}
@@ -258,11 +258,9 @@ func TestBinaryChurnProtocolViolations(t *testing.T) {
 		if status != http.StatusBadRequest || ct != "application/json" {
 			t.Fatalf("%s: status %d content type %q, want a JSON 400", tc.name, status, ct)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Fatalf("%s: body %q is not a JSON error (%v)", tc.name, body, err)
+		var e Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Code == "" || e.Message == "" {
+			t.Fatalf("%s: body %q is not a {code, message} envelope (%v)", tc.name, body, err)
 		}
 	}
 	if c, _ := reg.Get("demo"); c.Stats().Marriages != 0 {

@@ -14,7 +14,7 @@ import (
 // performs a request and decodes the JSON response into out.
 func newTestServer(t *testing.T) (*httptest.Server, func(method, path, body string, wantStatus int, out any)) {
 	t.Helper()
-	srv := httptest.NewServer(NewHandler(NewRegistry()))
+	srv := httptest.NewServer(NewHandler(HandlerOpts{Owner: New(Opts{})}))
 	t.Cleanup(srv.Close)
 	do := func(method, path, body string, wantStatus int, out any) {
 		t.Helper()

@@ -62,11 +62,15 @@ type BatchJournal interface {
 	LogBatch(recs []Record) (last uint64, err error)
 }
 
-// SetJournal attaches (or, with nil, detaches) the registry's journal.
+// SetJournal attaches (or, with nil, detaches) the owner's journal.
 // Attach before accepting traffic: ops applied while no journal is attached
 // are not logged and will not survive a restart. Restore and Apply never
 // log — recovery replays through them without re-journaling.
-func (r *Registry) SetJournal(j Journal) {
+//
+// Deprecated: pass Opts.Journal to New instead; SetJournal remains for the
+// one legitimate late-attach site (recovery replays a WAL into a bare
+// owner, then attaches the same WAL for new writes).
+func (r *Owner) SetJournal(j Journal) {
 	r.journal.Store(&journalBox{j: j})
 }
 
@@ -75,7 +79,7 @@ func (r *Registry) SetJournal(j Journal) {
 type journalBox struct{ j Journal }
 
 // getJournal returns the attached journal, or nil.
-func (r *Registry) getJournal() Journal {
+func (r *Owner) getJournal() Journal {
 	if b := r.journal.Load(); b != nil {
 		return b.j
 	}
@@ -125,7 +129,7 @@ func (c *Community) Export() CommunityState {
 // its exact coloring, version, and journal sequence. Nothing is logged:
 // restore is the recovery path, not a new mutation. Errors on duplicate
 // ids, unknown codes, and colorings that are not proper for the edge set.
-func (r *Registry) Restore(st CommunityState) (*Community, error) {
+func (r *Owner) Restore(st CommunityState) (*Community, error) {
 	if st.ID == "" {
 		return nil, fmt.Errorf("service: restore: empty community id")
 	}
@@ -172,7 +176,7 @@ func (r *Registry) Restore(st CommunityState) (*Community, error) {
 // (their delete is further down the log, or their create preceded an
 // already-applied delete). Errors are reserved for genuinely inconsistent
 // logs, e.g. a marry referencing a family outside the community.
-func (r *Registry) Apply(seq uint64, rec Record) error {
+func (r *Owner) Apply(seq uint64, rec Record) error {
 	switch rec.Op {
 	case OpCreate:
 		r.mu.RLock()

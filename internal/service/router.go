@@ -1,0 +1,276 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Node is one cluster member of a topology: its stable id (the consistent
+// hash input), the base URL peers reach its HTTP API at, and the host:port
+// its replication stream listens on (empty for nodes that don't replicate).
+type Node struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	Repl string `json:"repl,omitempty"`
+}
+
+// Topology is the static cluster description of a nodes.json file.
+type Topology struct {
+	Nodes []Node `json:"nodes"`
+}
+
+// LoadTopology reads a nodes.json topology file.
+func LoadTopology(path string) (Topology, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Topology{}, fmt.Errorf("service: topology: %w", err)
+	}
+	var t Topology
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Topology{}, fmt.Errorf("service: topology %s: %w", path, err)
+	}
+	if len(t.Nodes) == 0 {
+		return Topology{}, fmt.Errorf("service: topology %s lists no nodes", path)
+	}
+	return t, nil
+}
+
+// DefaultVNodes is the virtual nodes each member contributes to the hash
+// ring. 64 points per node keeps the expected placement imbalance of a
+// small cluster within a few percent while the ring stays tiny.
+const DefaultVNodes = 64
+
+// Router is the placement surface of the cluster: a consistent-hash ring
+// mapping community ids to member nodes, plus explicit per-community
+// overrides for promotions after a node death. Placement is a pure function
+// of the member ids (and overrides) — every process loading the same
+// topology computes the same owner for every community, across restarts,
+// with no coordination.
+//
+// Daemons embed a Router to decide whether to serve, forward, or refuse;
+// clients (holidayctl, the benchmark cluster driver) embed one with an
+// empty Self to route requests themselves. Safe for concurrent use.
+type Router struct {
+	self   string
+	vnodes int
+
+	mu        sync.RWMutex
+	nodes     []Node // sorted by ID
+	ring      []ringPoint
+	overrides map[string]string // community id → node id
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// RouterOpts configures NewRouter.
+type RouterOpts struct {
+	// Self is this process's node id — empty for client-side routers that
+	// only resolve placement. When set it must name a topology node.
+	Self string
+	// Nodes are the cluster members; at least one, ids unique.
+	Nodes []Node
+	// VNodes overrides the virtual nodes per member; 0 means DefaultVNodes.
+	VNodes int
+}
+
+// NewRouter builds a router over the given members.
+func NewRouter(o RouterOpts) (*Router, error) {
+	if len(o.Nodes) == 0 {
+		return nil, fmt.Errorf("service: router needs at least one node")
+	}
+	if o.VNodes < 1 {
+		o.VNodes = DefaultVNodes
+	}
+	rt := &Router{
+		self:      o.Self,
+		vnodes:    o.VNodes,
+		nodes:     append([]Node(nil), o.Nodes...),
+		overrides: make(map[string]string),
+	}
+	sort.Slice(rt.nodes, func(i, j int) bool { return rt.nodes[i].ID < rt.nodes[j].ID })
+	for i, n := range rt.nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("service: router node %d has an empty id", i)
+		}
+		if i > 0 && rt.nodes[i-1].ID == n.ID {
+			return nil, fmt.Errorf("service: router has duplicate node id %q", n.ID)
+		}
+	}
+	if o.Self != "" && !rt.isMemberLocked(o.Self) {
+		return nil, fmt.Errorf("service: router self %q is not in the topology", o.Self)
+	}
+	rt.rebuildLocked()
+	return rt, nil
+}
+
+// isMemberLocked reports whether id names a member; caller holds mu (or the
+// router is still private).
+func (rt *Router) isMemberLocked(id string) bool {
+	for _, n := range rt.nodes {
+		if n.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildLocked recomputes the ring from the member list; caller holds mu.
+func (rt *Router) rebuildLocked() {
+	rt.ring = rt.ring[:0]
+	for _, n := range rt.nodes {
+		h := fnvString(fnvOffset64, n.ID)
+		h = fnvByte(h, '#')
+		for i := 0; i < rt.vnodes; i++ {
+			rt.ring = append(rt.ring, ringPoint{hash: mix64(fnvString(h, strconv.Itoa(i))), node: n.ID})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool {
+		if rt.ring[i].hash != rt.ring[j].hash {
+			return rt.ring[i].hash < rt.ring[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node id so placement stays
+		// deterministic regardless of member insertion order.
+		return rt.ring[i].node < rt.ring[j].node
+	})
+}
+
+// FNV-1a, inlined so ring rebuilds and lookups never allocate a hasher.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// mix64 is the murmur3 finalizer. Raw FNV-1a hashes of strings sharing a
+// prefix and differing only in a short suffix ("a#0" … "a#63", or
+// "community-1" … "community-9") land numerically close together — the
+// suffix bytes get too few multiplies to diffuse — which clumps vnodes on
+// the ring and wrecks placement balance. The finalizer's avalanche
+// decorrelates them.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Self returns this process's node id ("" for client-side routers).
+func (rt *Router) Self() string { return rt.self }
+
+// Nodes returns the members, sorted by id.
+func (rt *Router) Nodes() []Node {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]Node(nil), rt.nodes...)
+}
+
+// Place returns the node id owning a community: its override if one was
+// promoted, otherwise the first ring point at or after the community's
+// hash.
+func (rt *Router) Place(community string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if n, ok := rt.overrides[community]; ok {
+		return n
+	}
+	h := mix64(fnvString(fnvOffset64, community))
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= h })
+	if i == len(rt.ring) {
+		i = 0
+	}
+	return rt.ring[i].node
+}
+
+// IsLocal reports whether a community is placed on this node.
+func (rt *Router) IsLocal(community string) bool { return rt.Place(community) == rt.self }
+
+// Addr returns the base URL of a member node.
+func (rt *Router) Addr(node string) (string, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	for _, n := range rt.nodes {
+		if n.ID == node {
+			return n.Addr, true
+		}
+	}
+	return "", false
+}
+
+// Override pins a community to a node regardless of the ring — the
+// promotion path after its hash-placed owner dies. The node must be a
+// member.
+func (rt *Router) Override(community, node string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.isMemberLocked(node) {
+		return fmt.Errorf("service: override %q → %q: no such node", community, node)
+	}
+	rt.overrides[community] = node
+	return nil
+}
+
+// Overrides returns a copy of the promotion overrides.
+func (rt *Router) Overrides() map[string]string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]string, len(rt.overrides))
+	for k, v := range rt.overrides {
+		out[k] = v
+	}
+	return out
+}
+
+// AddNode joins a member to the ring; placement of communities hashing to
+// other members is unchanged (the consistent-hash property the tests pin).
+func (rt *Router) AddNode(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("service: AddNode: empty node id")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.isMemberLocked(n.ID) {
+		return fmt.Errorf("service: AddNode: node %q already a member", n.ID)
+	}
+	rt.nodes = append(rt.nodes, n)
+	sort.Slice(rt.nodes, func(i, j int) bool { return rt.nodes[i].ID < rt.nodes[j].ID })
+	rt.rebuildLocked()
+	return nil
+}
+
+// RemoveNode drops a member (and any overrides pointing at it), reporting
+// whether it was one. Communities it owned move to their next ring point.
+func (rt *Router) RemoveNode(id string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, n := range rt.nodes {
+		if n.ID == id {
+			rt.nodes = append(rt.nodes[:i], rt.nodes[i+1:]...)
+			for c, o := range rt.overrides {
+				if o == id {
+					delete(rt.overrides, c)
+				}
+			}
+			rt.rebuildLocked()
+			return true
+		}
+	}
+	return false
+}

@@ -33,10 +33,14 @@ import (
 // per-request work and response size proportional to one page.
 const MaxWindow = 4096
 
-// Registry is the concurrent community store. Attach a Journal (SetJournal)
-// to make it durable: every mutation is then logged write-ahead, and
-// internal/persist can snapshot and replay the registry across restarts.
-type Registry struct {
+// Owner is the per-community ownership surface: the concurrent store of
+// communities this node is authoritative for, plus any replicas it follows.
+// Attach a Journal (Opts.Journal or SetJournal) to make it durable: every
+// mutation is then logged write-ahead, and internal/persist can snapshot
+// and replay the store across restarts. Placement — which node should own
+// which community — is the Router's job; an Owner only enforces its side of
+// the split by fencing communities it merely replicates (see Fence).
+type Owner struct {
 	mu          sync.RWMutex
 	communities map[string]*Community
 	// journal is read on every mutation with a single atomic load, so the
@@ -45,16 +49,41 @@ type Registry struct {
 	journal atomic.Pointer[journalBox]
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{communities: make(map[string]*Community)}
+// Registry is the pre-cluster name of Owner.
+//
+// Deprecated: use Owner; the routing/ownership split gave the type its
+// real name. The alias keeps existing callers compiling.
+type Registry = Owner
+
+// Opts configures New. The zero value is a valid standalone configuration.
+type Opts struct {
+	// Journal, when non-nil, is attached before the owner serves anything,
+	// so no mutation can slip in unlogged between construction and a later
+	// SetJournal. Recovery paths (Restore, Apply) never log, so attaching
+	// at construction is safe even when a replay follows.
+	Journal Journal
 }
+
+// New returns an empty owner configured by opts — the constructor that
+// replaced the setter-accreted NewRegistry+SetJournal pair.
+func New(opts Opts) *Owner {
+	o := &Owner{communities: make(map[string]*Community)}
+	if opts.Journal != nil {
+		o.SetJournal(opts.Journal)
+	}
+	return o
+}
+
+// NewRegistry returns an empty registry.
+//
+// Deprecated: use New(Opts{}).
+func NewRegistry() *Owner { return New(Opts{}) }
 
 // Create registers a new community of n families with the given initial
 // marriages, scheduled by the dynamic color-bound scheduler over the named
 // prefix code ("" means omega, the paper's choice). Errors on duplicate
 // ids, unknown codes, and invalid edges.
-func (r *Registry) Create(id string, n int, edges [][2]int, codeName string) (*Community, error) {
+func (r *Owner) Create(id string, n int, edges [][2]int, codeName string) (*Community, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("service: community %q needs at least one family, got %d", id, n)
 	}
@@ -75,7 +104,7 @@ func (r *Registry) Create(id string, n int, edges [][2]int, codeName string) (*C
 // retained; the community evolves its own dynamic copy. With a journal
 // attached, the creation is logged before the community becomes visible; a
 // journal failure registers nothing.
-func (r *Registry) CreateFromGraph(id string, g *graph.Graph, codeName string) (*Community, error) {
+func (r *Owner) CreateFromGraph(id string, g *graph.Graph, codeName string) (*Community, error) {
 	c, err := r.newCommunity(id, g, codeName)
 	if err != nil {
 		return nil, err
@@ -106,7 +135,7 @@ func (r *Registry) CreateFromGraph(id string, g *graph.Graph, codeName string) (
 }
 
 // newCommunity validates and builds a community without registering it.
-func (r *Registry) newCommunity(id string, g *graph.Graph, codeName string) (*Community, error) {
+func (r *Owner) newCommunity(id string, g *graph.Graph, codeName string) (*Community, error) {
 	if id == "" {
 		return nil, fmt.Errorf("service: empty community id")
 	}
@@ -129,7 +158,7 @@ func (r *Registry) newCommunity(id string, g *graph.Graph, codeName string) (*Co
 
 // createUnlogged registers a community from an edge list without touching
 // the journal — the replay path for OpCreate records.
-func (r *Registry) createUnlogged(id string, n int, edges [][2]int, codeName string) (*Community, error) {
+func (r *Owner) createUnlogged(id string, n int, edges [][2]int, codeName string) (*Community, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("service: community %q needs at least one family, got %d", id, n)
 	}
@@ -156,21 +185,50 @@ func (r *Registry) createUnlogged(id string, n int, edges [][2]int, codeName str
 }
 
 // Get returns the community with the given id, if registered.
-func (r *Registry) Get(id string) (*Community, bool) {
+func (r *Owner) Get(id string) (*Community, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c, ok := r.communities[id]
 	return c, ok
 }
 
+// Fence marks a community as followed rather than owned: direct writes are
+// rejected with CodeNotOwner from the next acquisition of its lock, while
+// reads and replication (Apply) continue. Reports whether the community
+// exists. The cluster layer fences every community a follower replicates,
+// so churn misrouted during a topology change fails closed instead of
+// silently double-applying.
+func (r *Owner) Fence(id string) bool { return r.setFenced(id, true) }
+
+// Unfence lifts a fence — the promotion path when this node takes
+// ownership. Reports whether the community exists.
+func (r *Owner) Unfence(id string) bool { return r.setFenced(id, false) }
+
+func (r *Owner) setFenced(id string, fenced bool) bool {
+	c, ok := r.Get(id)
+	if !ok {
+		return false
+	}
+	c.mu.Lock()
+	c.fenced = fenced
+	c.mu.Unlock()
+	return true
+}
+
 // Delete unregisters a community, reporting whether it existed. With a
 // journal attached the deletion is logged first; a journal failure leaves
 // the community registered and returns the error.
-func (r *Registry) Delete(id string) (bool, error) {
+func (r *Owner) Delete(id string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.communities[id]; !ok {
+	c, ok := r.communities[id]
+	if !ok {
 		return false, nil
+	}
+	// A fenced community is deleted by its owner's replicated delete record,
+	// never directly: lock order r.mu → c.mu matches Apply's delete path.
+	if c.Fenced() {
+		return false, Errf(CodeNotOwner, "community %q is a replica on this node; its owner takes deletes", id)
 	}
 	if j := r.getJournal(); j != nil {
 		if _, err := j.Log(Record{Op: OpDelete, ID: id}); err != nil {
@@ -182,7 +240,7 @@ func (r *Registry) Delete(id string) (bool, error) {
 }
 
 // List returns the registered community ids, sorted.
-func (r *Registry) List() []string {
+func (r *Owner) List() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	ids := make([]string, 0, len(r.communities))
@@ -222,6 +280,10 @@ type Community struct {
 	// replayed into) this community; snapshots export it as the replay
 	// cut-point. Guarded by mu like the state it versions.
 	seq uint64
+	// fenced marks a community this node merely replicates: direct writes
+	// are rejected with CodeNotOwner while replication (Apply) still lands.
+	// Guarded by mu so an ownership change cannot interleave with a write.
+	fenced bool
 
 	hits   atomic.Int64 // queries answered from the cached schedule
 	misses atomic.Int64 // queries that had to freeze a new schedule
@@ -229,6 +291,29 @@ type Community struct {
 
 // ID returns the community's registry id.
 func (c *Community) ID() string { return c.id }
+
+// Seq returns the journal sequence of the last record logged for (or
+// replayed into) this community — the read-your-writes token of the
+// cluster API and the basis of follower lag.
+func (c *Community) Seq() uint64 { return c.journalSeq() }
+
+// Fenced reports whether direct writes are fenced off (this node follows
+// the community rather than owning it).
+func (c *Community) Fenced() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.fenced
+}
+
+// fencedErrLocked rejects writes on fenced communities; caller holds c.mu.
+// Replication bypasses it by design: Apply edits the state directly at
+// explicit sequence numbers and never calls the write methods.
+func (c *Community) fencedErrLocked() error {
+	if !c.fenced {
+		return nil
+	}
+	return Errf(CodeNotOwner, "community %q is a replica on this node; its owner takes writes", c.id)
+}
 
 // Stats is a point-in-time summary of a community.
 type Stats struct {
@@ -271,6 +356,9 @@ func (c *Community) Families() int {
 func (c *Community) AddFamily() (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fencedErrLocked(); err != nil {
+		return 0, err
+	}
 	if err := c.logLocked(Record{Op: OpAddFamily, ID: c.id}); err != nil {
 		return 0, err
 	}
@@ -287,6 +375,9 @@ func (c *Community) AddFamily() (int, error) {
 func (c *Community) Marry(u, v int) (recolored bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fencedErrLocked(); err != nil {
+		return false, err
+	}
 	if err := validEdge(c.dyn.N(), u, v); err != nil {
 		return false, fmt.Errorf("service: community %q: %w", c.id, err)
 	}
@@ -314,6 +405,9 @@ func (c *Community) Marry(u, v int) (recolored bool, err error) {
 func (c *Community) Divorce(u, v int) (removed, recolored bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.fencedErrLocked(); err != nil {
+		return false, false, err
+	}
 	if err := validEdge(c.dyn.N(), u, v); err != nil {
 		return false, false, fmt.Errorf("service: community %q: %w", c.id, err)
 	}

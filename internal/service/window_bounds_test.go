@@ -18,13 +18,11 @@ func TestWindowDefaultEndNearHorizon(t *testing.T) {
 	do("POST", "/communities", star9, http.StatusCreated, nil)
 
 	// from beyond the horizon: a clear 400 naming the bound.
-	var errResp struct {
-		Error string `json:"error"`
-	}
+	var errResp Error
 	path := fmt.Sprintf("/communities/demo/window?from=%d", core.MaxHoliday+1)
 	do("GET", path, "", http.StatusBadRequest, &errResp)
-	if !strings.Contains(errResp.Error, "beyond last servable holiday") {
-		t.Fatalf("error = %q, want the servable-horizon bound named", errResp.Error)
+	if errResp.Code != CodeBadRequest || !strings.Contains(errResp.Message, "beyond last servable holiday") {
+		t.Fatalf("error = %+v, want a bad_request envelope naming the servable-horizon bound", errResp)
 	}
 
 	// from at the horizon with no explicit to: the default end caps at

@@ -14,7 +14,11 @@ func seedCorpus() [][]byte {
 		AppendWindowReq(nil, "demo", 1, 52),
 		AppendNextReq(nil, "demo", 3, 10),
 		AppendNextResp(nil, 12),
-		AppendError(nil, 404, "no community \"x\""),
+		AppendError(nil, 404, 2, "no community \"x\""),
+		AppendSubscribe(nil, 42, "node-b"),
+		AppendRecords(nil, []RawRecord{{Seq: 1, Data: []byte(`{"op":1}`)}, {Seq: 2}}),
+		AppendSnapshot(nil, 17, []byte(`{"id":"demo"}`)),
+		AppendHeartbeat(nil, 99),
 		encodeWindowResp(nil, 70, 41, [][]int{{0, 3, 64}, {}, {69}}),
 		encodeWindowResp(nil, 1, 1, [][]int{{0}}),
 		encodeWindowResp(nil, 0, 1, nil),
@@ -68,7 +72,31 @@ func FuzzSplit(f *testing.F) {
 					}
 				}
 			case KindError:
-				_, _, _ = fr.ErrorResp()
+				_, _, _, _ = fr.ErrorResp()
+			case KindSubscribe:
+				if fromSeq, node, err := fr.Subscribe(); err == nil {
+					if got := AppendSubscribe(nil, fromSeq, node); !bytes.Equal(got, consumed) {
+						t.Fatalf("subscribe did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindRecords:
+				if recs, err := fr.Records(nil); err == nil {
+					if got := AppendRecords(nil, recs); !bytes.Equal(got, consumed) {
+						t.Fatalf("records did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindSnapshot:
+				if cutoff, state, err := fr.Snapshot(); err == nil {
+					if got := AppendSnapshot(nil, cutoff, state); !bytes.Equal(got, consumed) {
+						t.Fatalf("snapshot did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
+			case KindHeartbeat:
+				if seq, err := fr.Heartbeat(); err == nil {
+					if got := AppendHeartbeat(nil, seq); !bytes.Equal(got, consumed) {
+						t.Fatalf("heartbeat did not round trip:\n got %x\nwant %x", got, consumed)
+					}
+				}
 			case KindChurnReq:
 				if op, id, u, v, err := fr.ChurnReq(); err == nil {
 					if got := AppendChurnReq(nil, op, id, u, v); !bytes.Equal(got, consumed) {

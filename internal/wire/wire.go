@@ -15,9 +15,21 @@
 //	WindowResp (2): u32 n | i64 from | u32 rows | rows × ⌈n/64⌉ × u64
 //	NextReq    (3): u16 idLen | id | u32 family | i64 from
 //	NextResp   (4): i64 next
-//	Error      (5): u16 status | u16 msgLen | msg
+//	Error      (5): u16 status | u16 code | u16 msgLen | msg
 //	ChurnReq   (6): u8 op | u16 idLen | id | u32 u | u32 v
 //	ChurnResp  (7): u8 flags (bit 0 applied, bit 1 recolored)
+//	Subscribe  (8): u64 fromSeq | u16 idLen | node id
+//	Records    (9): u32 count | count × (u64 seq | u32 len | bytes)
+//	Snapshot  (10): u64 cutoff | u32 len | bytes
+//	Heartbeat (11): u64 seq
+//
+// Kinds 8–11 are the replication stream of internal/cluster: a follower
+// opens a connection with Subscribe naming the last sequence it has applied,
+// and the owner answers with Snapshot frames (one per community, the
+// catch-up path), then Records frames carrying WAL records (the same JSON
+// objects wal.jsonl stores, framed with their sequence numbers) and
+// Heartbeat frames advertising the owner's current sequence so an idle
+// follower can still measure its lag.
 //
 // A batch is frames concatenated back to back; responses correspond 1:1 and
 // in order with the request frames, per-query failures arriving as Error
@@ -30,13 +42,17 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/bits"
 
 	"repro/internal/graph"
 )
 
 // Version is the wire-format version byte; decoders refuse anything else.
-const Version = 1
+// History: 1 = PR 5 query frames; 2 adds the replication kinds (8–11) and a
+// u16 error code to Error frames (the {code, message} envelope shared with
+// the JSON endpoints).
+const Version = 2
 
 // MaxFrame bounds a single frame's payload. A window response over MaxWindow
 // holidays of a 100k-family community is ~6.4 MB; 16 MiB leaves headroom
@@ -73,6 +89,19 @@ const (
 	KindChurnReq
 	// KindChurnResp reports what one churn edit did.
 	KindChurnResp
+	// KindSubscribe opens a replication stream: the follower names the last
+	// WAL sequence it has applied and its node id.
+	KindSubscribe
+	// KindRecords carries a batch of WAL records, each framed with its
+	// sequence number (the payload bytes are the wal.jsonl JSON objects).
+	KindRecords
+	// KindSnapshot carries one community's exported state (JSON) plus the
+	// sequence cutoff it reflects — the catch-up path when a follower's
+	// subscription predates the owner's replication buffer.
+	KindSnapshot
+	// KindHeartbeat advertises the owner's current WAL sequence so idle
+	// followers can measure replication lag.
+	KindHeartbeat
 )
 
 // Churn op bytes of a ChurnReq body. The values deliberately match
@@ -102,6 +131,14 @@ func (k Kind) String() string {
 		return "churn-request"
 	case KindChurnResp:
 		return "churn-response"
+	case KindSubscribe:
+		return "subscribe"
+	case KindRecords:
+		return "records"
+	case KindSnapshot:
+		return "snapshot"
+	case KindHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -193,14 +230,16 @@ func AppendNextResp(dst []byte, next int64) []byte {
 // allows more, but a query error never needs it.
 const maxErrMsg = 512
 
-// AppendError appends an error frame with the HTTP-equivalent status the
-// JSON endpoint would have answered.
-func AppendError(dst []byte, status int, msg string) []byte {
+// AppendError appends an error frame carrying the {code, message} envelope
+// the JSON endpoints answer with: status is the HTTP-equivalent status, code
+// the numeric service.ErrCode identifier (see service.ErrCode.Num).
+func AppendError(dst []byte, status int, code uint16, msg string) []byte {
 	if len(msg) > maxErrMsg {
 		msg = msg[:maxErrMsg]
 	}
-	dst = appendHeader(dst, KindError, 4+len(msg))
+	dst = appendHeader(dst, KindError, 6+len(msg))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(status))
+	dst = binary.LittleEndian.AppendUint16(dst, code)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(msg)))
 	return append(dst, msg...)
 }
@@ -239,7 +278,7 @@ func Split(b []byte) (Frame, []byte, error) {
 		return Frame{}, nil, fmt.Errorf("wire: version %d, this build speaks %d", p[2], Version)
 	}
 	k := Kind(p[3])
-	if k < KindWindowReq || k > KindChurnResp {
+	if k < KindWindowReq || k > KindHeartbeat {
 		return Frame{}, nil, fmt.Errorf("wire: unknown frame kind %d", p[3])
 	}
 	return Frame{Kind: k, Body: p[headerLen:]}, b[prefixLen+int(n):], nil
@@ -347,19 +386,20 @@ func (f Frame) NextResp() (int64, error) {
 	return int64(binary.LittleEndian.Uint64(f.Body)), nil
 }
 
-// ErrorResp decodes an error body.
-func (f Frame) ErrorResp() (status int, msg string, err error) {
+// ErrorResp decodes an error body into its status, numeric code, and
+// message.
+func (f Frame) ErrorResp() (status int, code uint16, msg string, err error) {
 	if f.Kind != KindError {
-		return 0, "", fmt.Errorf("wire: %s frame is not an error", f.Kind)
+		return 0, 0, "", fmt.Errorf("wire: %s frame is not an error", f.Kind)
 	}
-	if len(f.Body) < 4 {
-		return 0, "", fmt.Errorf("wire: error body is %d bytes, want ≥ 4", len(f.Body))
+	if len(f.Body) < 6 {
+		return 0, 0, "", fmt.Errorf("wire: error body is %d bytes, want ≥ 6", len(f.Body))
 	}
-	n := int(binary.LittleEndian.Uint16(f.Body[2:]))
-	if len(f.Body)-4 != n {
-		return 0, "", fmt.Errorf("wire: error message of %d bytes declared, %d present", n, len(f.Body)-4)
+	n := int(binary.LittleEndian.Uint16(f.Body[4:]))
+	if len(f.Body)-6 != n {
+		return 0, 0, "", fmt.Errorf("wire: error message of %d bytes declared, %d present", n, len(f.Body)-6)
 	}
-	return int(binary.LittleEndian.Uint16(f.Body)), string(f.Body[4:]), nil
+	return int(binary.LittleEndian.Uint16(f.Body)), binary.LittleEndian.Uint16(f.Body[2:]), string(f.Body[6:]), nil
 }
 
 // WindowResp is a decoded window response: rows × Words(N) packed words
@@ -428,4 +468,164 @@ func (wr WindowResp) AppendHappy(dst []int, i int) []int {
 		}
 	}
 	return dst
+}
+
+// AppendSubscribe appends a subscribe frame: the follower's node id plus the
+// last WAL sequence it has applied (the owner streams everything after it).
+func AppendSubscribe(dst []byte, fromSeq uint64, node string) []byte {
+	dst = appendHeader(dst, KindSubscribe, 8+2+len(node))
+	dst = binary.LittleEndian.AppendUint64(dst, fromSeq)
+	return appendID(dst, node)
+}
+
+// Subscribe decodes a subscribe body.
+func (f Frame) Subscribe() (fromSeq uint64, node string, err error) {
+	if f.Kind != KindSubscribe {
+		return 0, "", fmt.Errorf("wire: %s frame is not a subscribe", f.Kind)
+	}
+	if len(f.Body) < 8 {
+		return 0, "", fmt.Errorf("wire: subscribe body is %d bytes, want ≥ 8", len(f.Body))
+	}
+	fromSeq = binary.LittleEndian.Uint64(f.Body)
+	node, rest, err := splitID(f.Body[8:])
+	if err != nil {
+		return 0, "", err
+	}
+	if len(rest) != 0 {
+		return 0, "", fmt.Errorf("wire: subscribe has %d trailing bytes", len(rest))
+	}
+	return fromSeq, node, nil
+}
+
+// RawRecord is one replicated WAL record: the owner-assigned sequence number
+// plus the record's serialized bytes (the same JSON object wal.jsonl holds).
+// Decoded records reference the frame body — copy Data before the buffer is
+// reused.
+type RawRecord struct {
+	Seq  uint64
+	Data []byte
+}
+
+// AppendRecords appends a records frame carrying recs in order.
+func AppendRecords(dst []byte, recs []RawRecord) []byte {
+	body := 4
+	for _, r := range recs {
+		body += 12 + len(r.Data)
+	}
+	dst = appendHeader(dst, KindRecords, body)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(recs)))
+	for _, r := range recs {
+		dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Data)))
+		dst = append(dst, r.Data...)
+	}
+	return dst
+}
+
+// Records decodes a records body, appending to dst (reusing its capacity).
+// The returned records' Data fields alias the frame body.
+func (f Frame) Records(dst []RawRecord) ([]RawRecord, error) {
+	if f.Kind != KindRecords {
+		return nil, fmt.Errorf("wire: %s frame is not a records frame", f.Kind)
+	}
+	if len(f.Body) < 4 {
+		return nil, fmt.Errorf("wire: records body is %d bytes, want ≥ 4", len(f.Body))
+	}
+	count := binary.LittleEndian.Uint32(f.Body)
+	b := f.Body[4:]
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 12 {
+			return nil, fmt.Errorf("wire: records frame truncated at record %d of %d", i, count)
+		}
+		seq := binary.LittleEndian.Uint64(b)
+		n := int(binary.LittleEndian.Uint32(b[8:]))
+		if len(b)-12 < n {
+			return nil, fmt.Errorf("wire: record %d declares %d bytes, %d present", i, n, len(b)-12)
+		}
+		dst = append(dst, RawRecord{Seq: seq, Data: b[12 : 12+n]})
+		b = b[12+n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: records frame has %d trailing bytes", len(b))
+	}
+	return dst, nil
+}
+
+// AppendSnapshot appends a snapshot frame: one community's exported state
+// plus the WAL sequence cutoff it reflects.
+func AppendSnapshot(dst []byte, cutoff uint64, state []byte) []byte {
+	dst = appendHeader(dst, KindSnapshot, 12+len(state))
+	dst = binary.LittleEndian.AppendUint64(dst, cutoff)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
+	return append(dst, state...)
+}
+
+// Snapshot decodes a snapshot body. The returned data aliases the frame
+// body.
+func (f Frame) Snapshot() (cutoff uint64, data []byte, err error) {
+	if f.Kind != KindSnapshot {
+		return 0, nil, fmt.Errorf("wire: %s frame is not a snapshot", f.Kind)
+	}
+	if len(f.Body) < 12 {
+		return 0, nil, fmt.Errorf("wire: snapshot body is %d bytes, want ≥ 12", len(f.Body))
+	}
+	n := int(binary.LittleEndian.Uint32(f.Body[8:]))
+	if len(f.Body)-12 != n {
+		return 0, nil, fmt.Errorf("wire: snapshot declares %d state bytes, %d present", n, len(f.Body)-12)
+	}
+	return binary.LittleEndian.Uint64(f.Body), f.Body[12:], nil
+}
+
+// AppendHeartbeat appends a heartbeat frame advertising the owner's current
+// WAL sequence.
+func AppendHeartbeat(dst []byte, seq uint64) []byte {
+	dst = appendHeader(dst, KindHeartbeat, 8)
+	return binary.LittleEndian.AppendUint64(dst, seq)
+}
+
+// Heartbeat decodes a heartbeat body.
+func (f Frame) Heartbeat() (uint64, error) {
+	if f.Kind != KindHeartbeat {
+		return 0, fmt.Errorf("wire: %s frame is not a heartbeat", f.Kind)
+	}
+	if len(f.Body) != 8 {
+		return 0, fmt.Errorf("wire: heartbeat body is %d bytes, want 8", len(f.Body))
+	}
+	return binary.LittleEndian.Uint64(f.Body), nil
+}
+
+// ReadFrame reads one frame from a stream, reusing buf (grown as needed) for
+// the payload; the returned buffer must be passed back in on the next call,
+// and the frame body aliases it. This is the replication-stream reader —
+// batch HTTP bodies, which arrive fully buffered, use Split instead.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var prefix [prefixLen]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return Frame{}, buf, fmt.Errorf("wire: frame payload of %d bytes exceeds MaxFrame %d", n, MaxFrame)
+	}
+	if n < headerLen {
+		return Frame{}, buf, fmt.Errorf("wire: frame payload of %d bytes is shorter than its header", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, buf, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return Frame{}, buf, fmt.Errorf("wire: bad magic %q", buf[:2])
+	}
+	if buf[2] != Version {
+		return Frame{}, buf, fmt.Errorf("wire: version %d, this build speaks %d", buf[2], Version)
+	}
+	k := Kind(buf[3])
+	if k < KindWindowReq || k > KindHeartbeat {
+		return Frame{}, buf, fmt.Errorf("wire: unknown frame kind %d", buf[3])
+	}
+	return Frame{Kind: k, Body: buf[headerLen:]}, buf, nil
 }

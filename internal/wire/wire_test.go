@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func encodeWindowResp(dst []byte, n int, from int64, rows [][]int) []byte {
 func TestRequestRoundTrip(t *testing.T) {
 	buf := AppendWindowReq(nil, "demo", 7, 58)
 	buf = AppendNextReq(buf, "café", 12, 99)
-	buf = AppendError(buf, 404, "no community")
+	buf = AppendError(buf, 404, 2, "no community")
 	buf = AppendNextResp(buf, 1234)
 
 	f, rest, err := Split(buf)
@@ -49,9 +50,9 @@ func TestRequestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	status, msg, err := f.ErrorResp()
-	if err != nil || status != 404 || msg != "no community" {
-		t.Fatalf("ErrorResp = %d %q (%v)", status, msg, err)
+	status, code, msg, err := f.ErrorResp()
+	if err != nil || status != 404 || code != 2 || msg != "no community" {
+		t.Fatalf("ErrorResp = %d %d %q (%v)", status, code, msg, err)
 	}
 	f, rest, err = Split(rest)
 	if err != nil {
@@ -274,12 +275,156 @@ func TestBodyDecodersReject(t *testing.T) {
 // TestAppendErrorTruncates: over-long messages are capped, not torn.
 func TestAppendErrorTruncates(t *testing.T) {
 	long := strings.Repeat("x", 4*maxErrMsg)
-	f, rest, err := Split(AppendError(nil, 500, long))
+	f, rest, err := Split(AppendError(nil, 500, 5, long))
 	if err != nil || len(rest) != 0 {
 		t.Fatalf("Split: %v", err)
 	}
-	status, msg, err := f.ErrorResp()
-	if err != nil || status != 500 || len(msg) != maxErrMsg {
-		t.Fatalf("ErrorResp = %d, %d bytes (%v)", status, len(msg), err)
+	status, code, msg, err := f.ErrorResp()
+	if err != nil || status != 500 || code != 5 || len(msg) != maxErrMsg {
+		t.Fatalf("ErrorResp = %d %d, %d bytes (%v)", status, code, len(msg), err)
+	}
+}
+
+// TestReplicationRoundTrip covers the replication stream kinds (8–11) both
+// through Split and through the streaming ReadFrame reader.
+func TestReplicationRoundTrip(t *testing.T) {
+	recs := []RawRecord{
+		{Seq: 1, Data: []byte(`{"op":"marry"}`)},
+		{Seq: 2, Data: nil},
+		{Seq: 9, Data: []byte(`{"op":"divorce","u":3}`)},
+	}
+	buf := AppendSubscribe(nil, 42, "node-b")
+	buf = AppendSnapshot(buf, 17, []byte(`{"id":"demo"}`))
+	buf = AppendRecords(buf, recs)
+	buf = AppendHeartbeat(buf, 99)
+
+	f, rest, err := Split(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSeq, node, err := f.Subscribe()
+	if err != nil || fromSeq != 42 || node != "node-b" {
+		t.Fatalf("Subscribe = %d %q (%v)", fromSeq, node, err)
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutoff, state, err := f.Snapshot()
+	if err != nil || cutoff != 17 || string(state) != `{"id":"demo"}` {
+		t.Fatalf("Snapshot = %d %q (%v)", cutoff, state, err)
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Records(nil)
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("Records decoded %d records (%v), want %d", len(got), err, len(recs))
+	}
+	for i, r := range recs {
+		if got[i].Seq != r.Seq || string(got[i].Data) != string(r.Data) {
+			t.Fatalf("record %d = %d %q, want %d %q", i, got[i].Seq, got[i].Data, r.Seq, r.Data)
+		}
+	}
+	f, rest, err = Split(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := f.Heartbeat()
+	if err != nil || seq != 99 {
+		t.Fatalf("Heartbeat = %d (%v)", seq, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left after the last frame", len(rest))
+	}
+
+	// The same stream through the io.Reader path, reusing one buffer.
+	r := strings.NewReader(string(buf))
+	var rb []byte
+	var kinds []Kind
+	for {
+		var fr Frame
+		fr, rb, err = ReadFrame(r, rb)
+		if err != nil {
+			break
+		}
+		kinds = append(kinds, fr.Kind)
+	}
+	want := []Kind{KindSubscribe, KindSnapshot, KindRecords, KindHeartbeat}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("ReadFrame saw kinds %v, want %v", kinds, want)
+	}
+}
+
+// TestReplicationDecodersReject: malformed replication bodies must fail with
+// errors naming the problem, and wrong kinds must be refused.
+func TestReplicationDecodersReject(t *testing.T) {
+	sub, _, _ := Split(AppendSubscribe(nil, 1, "n"))
+	hb, _, _ := Split(AppendHeartbeat(nil, 1))
+	if _, _, err := hb.Subscribe(); err == nil {
+		t.Fatal("Subscribe decoded a heartbeat")
+	}
+	if _, err := sub.Heartbeat(); err == nil {
+		t.Fatal("Heartbeat decoded a subscribe")
+	}
+	if _, err := sub.Records(nil); err == nil {
+		t.Fatal("Records decoded a subscribe")
+	}
+	if _, _, err := sub.Snapshot(); err == nil {
+		t.Fatal("Snapshot decoded a subscribe")
+	}
+	// A records frame whose count exceeds the records present: count u32
+	// lives at offset 4(len)+4(header).
+	lying := AppendRecords(nil, []RawRecord{{Seq: 1, Data: []byte("x")}})
+	if f, _, err := Split(mutate(lying, 8, 2)); err != nil {
+		t.Fatal(err)
+	} else if _, err := f.Records(nil); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("Records accepted a lying count: %v", err)
+	}
+	// A record whose declared length runs past the body: the first record's
+	// len u32 follows count(4)+seq(8) at offset 8+4+8.
+	if f, _, err := Split(mutate(lying, 20, 200)); err != nil {
+		t.Fatal(err)
+	} else if _, err := f.Records(nil); err == nil {
+		t.Fatal("Records accepted a record length past the body")
+	}
+	// A snapshot whose state length disagrees with the body: len u32 follows
+	// cutoff(8) at offset 8+8.
+	snap := AppendSnapshot(nil, 1, []byte("state"))
+	if f, _, err := Split(mutate(snap, 16, 200)); err != nil {
+		t.Fatal(err)
+	} else if _, _, err := f.Snapshot(); err == nil {
+		t.Fatal("Snapshot accepted a state length disagreeing with the body")
+	}
+}
+
+// TestReadFrameRejects: the streaming reader must enforce the same framing
+// rules as Split and surface clean EOF at a frame boundary.
+func TestReadFrameRejects(t *testing.T) {
+	good := AppendHeartbeat(nil, 7)
+	if _, _, err := ReadFrame(strings.NewReader(""), nil); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+	if _, _, err := ReadFrame(strings.NewReader(string(good[:6])), nil); err == nil {
+		t.Fatal("ReadFrame accepted a truncated frame")
+	}
+	for name, tc := range map[string]struct {
+		data []byte
+		want string
+	}{
+		"bad magic":    {mutate(good, 4, 'X'), "bad magic"},
+		"bad version":  {mutate(good, 6, 99), "version"},
+		"unknown kind": {mutate(good, 7, 42), "unknown frame kind"},
+		"tiny payload": {mutate(good, 0, 2), "shorter than its header"},
+		"huge payload": {mutate(mutate(mutate(mutate(good, 0, 0xff), 1, 0xff), 2, 0xff), 3, 0xff), "exceeds MaxFrame"},
+	} {
+		_, _, err := ReadFrame(strings.NewReader(string(tc.data)), nil)
+		if err == nil {
+			t.Fatalf("%s: ReadFrame accepted %x", name, tc.data)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, tc.want)
+		}
 	}
 }

@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — boot a 3-node holidayd cluster, replicate, kill the
+# owner of a hot community, promote a survivor per topology, and require
+# byte-for-byte identical window/next answers across the failover.
+#
+# Run from the repo root. Builds into a temp dir; cleans up on every exit.
+set -euo pipefail
+
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+fail() {
+  echo "FAIL: $1" >&2
+  for n in a b c; do
+    echo "--- $n.log ---" >&2
+    cat "$WORK/$n.log" >&2 || true
+  done
+  exit 1
+}
+trap cleanup EXIT
+
+go build -o "$BIN/holidayd" ./cmd/holidayd
+go build -o "$BIN/holidayctl" ./cmd/holidayctl
+
+cat > "$WORK/nodes.json" <<'EOF'
+{
+  "nodes": [
+    {"id": "a", "addr": "http://127.0.0.1:18081", "repl": "127.0.0.1:19091"},
+    {"id": "b", "addr": "http://127.0.0.1:18082", "repl": "127.0.0.1:19092"},
+    {"id": "c", "addr": "http://127.0.0.1:18083", "repl": "127.0.0.1:19093"}
+  ]
+}
+EOF
+
+declare -A ADDR=([a]=http://127.0.0.1:18081 [b]=http://127.0.0.1:18082 [c]=http://127.0.0.1:18083)
+declare -A PID
+
+start_node() {
+  local id=$1
+  "$BIN/holidayd" -addr "${ADDR[$id]#http://}" -node-id "$id" \
+    -peers "$WORK/nodes.json" -follow all \
+    -data-dir "$WORK/data-$id" >"$WORK/$id.log" 2>&1 &
+  PID[$id]=$!
+  PIDS+=($!)
+}
+
+for n in a b c; do start_node "$n"; done
+
+await_healthy() {
+  for i in $(seq 1 60); do
+    curl -sf "$1/healthz" >/dev/null && return 0
+    sleep 0.25
+  done
+  fail "node at $1 never became healthy"
+}
+for n in a b c; do await_healthy "${ADDR[$n]}"; done
+
+# Create communities through one node; misplaced creates forward to their
+# placed owner server-side.
+COMMS=(comm-0 comm-1 comm-2 comm-3 comm-4 comm-5)
+for id in "${COMMS[@]}"; do
+  curl -sf -X POST "${ADDR[a]}/v1/communities" -d "{\"id\":\"$id\",\"families\":8}" >/dev/null \
+    || fail "create $id"
+done
+
+# Churn every community so replication carries real records, and remember
+# each owner's acked sequence.
+for id in "${COMMS[@]}"; do
+  for i in 1 2 3; do
+    curl -sf -X POST "${ADDR[b]}/v1/communities/$id/churn" \
+      -d '[{"op":"marry","u":0,"v":'"$i"'},{"op":"marry","u":'"$i"',"v":'"$((i+1))"'}]' >/dev/null \
+      || fail "churn $id"
+  done
+done
+
+# Pick the hot community and find its owner from the topology.
+HOT=comm-0
+OWNER=$("$BIN/holidayctl" -topology "$WORK/nodes.json" place "$HOT" | awk '{print $3}')
+echo "hot community $HOT is owned by node $OWNER"
+
+owner_seq() {
+  curl -sf "${ADDR[$1]}/v1/status" \
+    | jq -r --arg id "$2" '.communities[] | select(.id==$id) | .seq'
+}
+
+# Wait until every follower holds HOT at the owner's sequence.
+WANT=$(owner_seq "$OWNER" "$HOT")
+[ -n "$WANT" ] || fail "owner has no sequence for $HOT"
+for n in a b c; do
+  [ "$n" = "$OWNER" ] && continue
+  for i in $(seq 1 120); do
+    got=$(owner_seq "$n" "$HOT" || true)
+    [ "$got" = "$WANT" ] && break
+    sleep 0.25
+    [ "$i" = 120 ] && fail "node $n never replicated $HOT to seq $WANT (at: ${got:-none})"
+  done
+done
+echo "replication caught up: $HOT at seq $WANT on all nodes"
+
+# Pre-kill captures — the failover must reproduce these byte-for-byte.
+curl -sf "${ADDR[$OWNER]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window.pre" \
+  || fail "pre-kill window"
+curl -sf "${ADDR[$OWNER]}/v1/communities/$HOT/families/3/next?from=1" > "$WORK/next.pre" \
+  || fail "pre-kill next"
+
+# Followers must already serve identical bytes (replica reads).
+for n in a b c; do
+  [ "$n" = "$OWNER" ] && continue
+  curl -sf "${ADDR[$n]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window.$n"
+  cmp -s "$WORK/window.pre" "$WORK/window.$n" || fail "replica window on $n differs from owner before the kill"
+done
+
+# Kill the owner, hard.
+kill -9 "${PID[$OWNER]}" || fail "kill owner"
+echo "killed owner $OWNER"
+
+# Promote: the first surviving node in topology order takes over.
+for n in a b c; do
+  if [ "$n" != "$OWNER" ]; then PROMOTE=$n; break; fi
+done
+"$BIN/holidayctl" -topology "$WORK/nodes.json" promote "$HOT" "$PROMOTE" \
+  || fail "promote $HOT to $PROMOTE"
+echo "promoted $HOT on $PROMOTE"
+
+# Post-failover answers must be byte-identical to the pre-kill captures.
+curl -sf "${ADDR[$PROMOTE]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window.post" \
+  || fail "post-failover window"
+curl -sf "${ADDR[$PROMOTE]}/v1/communities/$HOT/families/3/next?from=1" > "$WORK/next.post" \
+  || fail "post-failover next"
+cmp -s "$WORK/window.pre" "$WORK/window.post" || fail "window answer changed across failover"
+cmp -s "$WORK/next.pre" "$WORK/next.post" || fail "next answer changed across failover"
+
+# The promoted node now takes writes for the community.
+curl -sf -X POST "${ADDR[$PROMOTE]}/v1/communities/$HOT/churn" \
+  -d '[{"op":"divorce","u":0,"v":1}]' >/dev/null \
+  || fail "write to promoted node"
+
+"$BIN/holidayctl" -topology "$WORK/nodes.json" status || true
+echo "cluster smoke OK: replication, kill, promote, byte-identical failover"
