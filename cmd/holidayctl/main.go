@@ -1,20 +1,30 @@
 // Command holidayctl operates a holidayd cluster from its static topology
-// file (nodes.json, see DESIGN.md §11):
+// file (nodes.json, see DESIGN.md §11–12):
 //
 //	holidayctl -topology nodes.json status
 //	holidayctl -topology nodes.json place demo other-community
 //	holidayctl -topology nodes.json join d http://127.0.0.1:8084 127.0.0.1:9094
+//	holidayctl -topology nodes.json rebalance
 //	holidayctl -topology nodes.json promote demo b
 //
-// status polls every member's /v1/status; place resolves consistent-hash
-// placement client-side (the same pure function the daemons compute, so no
-// node needs to be up); join appends a member to the topology file and
-// reports how much placement moves; promote asks a node to take ownership
-// of a community (after its placed owner died).
+// status polls every member's /v1/status and renders the cluster table:
+// placement epoch, per-node community counts, then per-community detail.
+// place resolves consistent-hash placement client-side (the same pure
+// function the daemons compute, so no node needs to be up). join appends a
+// member to the topology file and — when the cluster is reachable — live-
+// rebalances onto it: each moved community is streamed to the new node by
+// its owner (snapshot + WAL tail over the §9 framing) and flips at a new
+// placement epoch, no restarts. rebalance runs the same move plan against
+// the current membership. promote is the break-glass ownership override
+// for when the automatic failover cannot run (a cluster running with
+// -failover-after 0, or a partition the detector cannot see through);
+// under normal operation a dead owner's communities fail over to their
+// most-caught-up replicas with no operator involved.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -52,6 +63,8 @@ func main() {
 		err = place(topo, rest)
 	case "join":
 		err = join(*topoPath, topo, rest)
+	case "rebalance":
+		err = rebalance(topo)
 	case "promote":
 		err = promote(client, topo, rest)
 	default:
@@ -68,10 +81,12 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: holidayctl [-topology nodes.json] <command> [args]
 
 commands:
-  status                     poll every member's /v1/status
+  status                     poll every member's /v1/status (epoch + per-node table)
   place <community>...       resolve placement for community ids
-  join <id> <addr> [repl]    append a member to the topology file
-  promote <community> <node> ask a node to take ownership of a community
+  join <id> <addr> [repl]    add a member to the topology file and live-rebalance onto it
+  rebalance                  move every community to its ring placement via live handoffs
+  promote <community> <node> break-glass: force ownership without a handoff
+                             (normal failover is automatic; see -failover-after)
 `)
 	flag.PrintDefaults()
 }
@@ -79,6 +94,7 @@ commands:
 // nodeStatus mirrors the service status response shape holidayctl consumes.
 type nodeStatus struct {
 	Node        string            `json:"node"`
+	Epoch       uint64            `json:"epoch"`
 	Overrides   map[string]string `json:"overrides"`
 	Communities []struct {
 		ID     string `json:"id"`
@@ -90,43 +106,63 @@ type nodeStatus struct {
 }
 
 func status(client *http.Client, topo service.Topology) error {
+	type row struct {
+		node service.Node
+		st   nodeStatus
+		err  error
+	}
+	rows := make([]row, 0, len(topo.Nodes))
 	for _, n := range topo.Nodes {
+		r := row{node: n}
 		resp, err := client.Get(strings.TrimRight(n.Addr, "/") + "/v1/status")
 		if err != nil {
-			fmt.Printf("%-8s %-24s DOWN (%v)\n", n.ID, n.Addr, err)
-			continue
+			r.err = err
+		} else {
+			r.err = json.NewDecoder(resp.Body).Decode(&r.st)
+			resp.Body.Close()
 		}
-		var st nodeStatus
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			fmt.Printf("%-8s %-24s BAD STATUS (%v)\n", n.ID, n.Addr, err)
+		rows = append(rows, r)
+	}
+
+	// The cluster table: epoch and community counts per node. Epochs can
+	// disagree transiently while gossip converges — showing each node's own
+	// epoch is the point.
+	fmt.Printf("%-8s %-24s %-6s %-6s %-6s %-8s\n", "NODE", "ADDR", "STATE", "EPOCH", "OWNS", "FOLLOWS")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Printf("%-8s %-24s %-6s %-6s %-6s %-8s  (%v)\n", r.node.ID, r.node.Addr, "down", "-", "-", "-", r.err)
 			continue
 		}
 		owned, following := 0, 0
-		for _, c := range st.Communities {
+		for _, c := range r.st.Communities {
 			if c.Role == "owner" {
 				owned++
 			} else {
 				following++
 			}
 		}
-		fmt.Printf("%-8s %-24s up  owns %d  follows %d\n", n.ID, n.Addr, owned, following)
-		for _, c := range st.Communities {
+		fmt.Printf("%-8s %-24s %-6s %-6d %-6d %-8d\n", r.node.ID, r.node.Addr, "up", r.st.Epoch, owned, following)
+	}
+
+	for _, r := range rows {
+		if r.err != nil {
+			continue
+		}
+		for _, c := range r.st.Communities {
 			lag := ""
 			if c.Role != "owner" {
 				lag = fmt.Sprintf("  lag %d", c.Lag)
 			}
-			fmt.Printf("         %-16s %-8s seq %-8d placed on %s%s\n", c.ID, c.Role, c.Seq, c.Placed, lag)
+			fmt.Printf("%-8s %-16s %-8s seq %-8d placed on %s%s\n", r.node.ID, c.ID, c.Role, c.Seq, c.Placed, lag)
 		}
-		if len(st.Overrides) > 0 {
-			keys := make([]string, 0, len(st.Overrides))
-			for k := range st.Overrides {
+		if len(r.st.Overrides) > 0 {
+			keys := make([]string, 0, len(r.st.Overrides))
+			for k := range r.st.Overrides {
 				keys = append(keys, k)
 			}
 			sort.Strings(keys)
 			for _, k := range keys {
-				fmt.Printf("         override: %s -> %s\n", k, st.Overrides[k])
+				fmt.Printf("%-8s assign: %s -> %s\n", r.node.ID, k, r.st.Overrides[k])
 			}
 		}
 	}
@@ -196,10 +232,60 @@ func join(path string, topo service.Topology, args []string) error {
 	}
 	fmt.Printf("joined %s; %d nodes; ~%.1f%% of placements move\n",
 		n.ID, len(topo.Nodes), 100*float64(moved)/sample)
-	fmt.Println("restart daemons (or roll them) so every member loads the new topology")
+
+	// Live rebalance: if the cluster (including the new node) is up, move
+	// the communities now — owners stream each one to the joiner and the
+	// placement epoch advances, no restarts. A down cluster degrades to the
+	// file edit alone.
+	if err := rebalance(topo); err != nil {
+		fmt.Printf("live rebalance not run (%v)\n", err)
+		fmt.Println("start the new node, then run: holidayctl rebalance")
+	}
 	return nil
 }
 
+// rebalance moves every community onto its consistent-hash placement under
+// the topology's membership, one live handoff per move, publishing the
+// resulting table cluster-wide.
+func rebalance(topo service.Topology) error {
+	seed := ""
+	for _, n := range topo.Nodes {
+		if n.Addr != "" {
+			seed = n.Addr
+			break
+		}
+	}
+	if seed == "" {
+		return fmt.Errorf("rebalance: no node in the topology has an address")
+	}
+	rb := &cluster.Rebalancer{Logf: func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	moves, table, err := rb.Rebalance(ctx, strings.TrimRight(seed, "/"), topo.Nodes)
+	if err != nil {
+		return err
+	}
+	if len(moves) == 0 {
+		fmt.Printf("already balanced; epoch %d\n", table.Epoch)
+		return nil
+	}
+	var worst time.Duration
+	for _, mv := range moves {
+		fmt.Printf("moved %-16s %s -> %-8s cut %-8d pause %v\n", mv.Community, mv.From, mv.To, mv.CutSeq, mv.Pause)
+		if mv.Pause > worst {
+			worst = mv.Pause
+		}
+	}
+	fmt.Printf("%d communities moved; epoch %d; worst write pause %v\n", len(moves), table.Epoch, worst)
+	return nil
+}
+
+// promote force-takes ownership without a handoff: the target node bumps
+// the epoch with an assignment to itself and unfences its replica. Data
+// logged on the old owner after its last replicated record is lost —
+// that's why this is break-glass, not the failover path.
 func promote(client *http.Client, topo service.Topology, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("promote: want <community> <node>")

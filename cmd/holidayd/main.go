@@ -80,6 +80,9 @@ func main() {
 				"requests beyond the limit queue rather than fail")
 		follow = flag.String("follow", "",
 			"comma-separated peer node ids to replicate from, or 'all' for every peer with a repl address")
+		failoverAfter = flag.Duration("failover-after", cluster.DefaultDeadline,
+			"missed-heartbeat deadline before a followed owner is probed and, if dead, failed over "+
+				"to its most-caught-up replica; 0 disables automatic failover and placement gossip")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -167,7 +170,19 @@ func main() {
 	// replicate.
 	var src *cluster.Source
 	if router != nil {
-		sopts := cluster.SourceOpts{Owner: reg}
+		sopts := cluster.SourceOpts{Owner: reg, Router: router}
+		if store != nil {
+			// A community taken over mid-handoff (or by failover) should
+			// survive a crash here even before the next periodic snapshot.
+			st := store
+			sopts.OnTakeover = func(id string) {
+				go func() {
+					if err := st.SaveSnapshot(reg); err != nil {
+						log.Printf("post-takeover snapshot failed: %v", err)
+					}
+				}()
+			}
+		}
 		if store != nil {
 			sopts.Journal = store.Journal()
 			if w, ok := sopts.Journal.(interface{ Seq() uint64 }); ok {
@@ -212,7 +227,7 @@ func main() {
 	defer stop()
 
 	// Replication: serve this node's stream and subscribe to followed peers.
-	var followers []*cluster.Follower
+	var followers map[string]*cluster.Follower
 	if src != nil && *replAddr != "" {
 		ln, err := net.Listen("tcp", *replAddr)
 		if err != nil {
@@ -250,6 +265,17 @@ func main() {
 			return lag
 		}
 	}
+	if src != nil {
+		hopts.Handoff = func(community string, table service.Placement) (uint64, time.Duration, error) {
+			res, err := cluster.Handoff(reg, src, router, community, table, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			log.Printf("handed off %q to %s at epoch %d (cut %d, pause %v)",
+				community, table.Assign[community], table.Epoch, res.CutSeq, res.Pause)
+			return res.CutSeq, res.Pause, nil
+		}
+	}
 	var coalescer *service.Coalescer
 	if *churnBatch > 1 {
 		coalescer = service.NewCoalescer(*churnBatch, *churnFlush)
@@ -257,6 +283,27 @@ func main() {
 		log.Printf("coalescing churn: up to %d ops per flush, %v max wait", *churnBatch, *churnFlush)
 	}
 	var handler http.Handler = service.NewHandler(hopts)
+	// The failover plane: placement gossip plus, for followed owners, the
+	// missed-heartbeat detector that elects a most-caught-up replica. Built
+	// after NewHandler so its fence-reconciliation watcher sees every table
+	// the detector installs; the synchronous boot round adopts the cluster's
+	// current epoch before this node serves (a rejoining stale owner
+	// refences its lost communities here, not after its first bad write).
+	if router != nil && *failoverAfter > 0 {
+		det, err := cluster.NewDetector(cluster.DetectorOpts{
+			Router:    router,
+			Owner:     reg,
+			Followers: followers,
+			Deadline:  *failoverAfter,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		det.Gossip(ctx)
+		go det.Run(ctx)
+		log.Printf("failover detector armed: deadline %v over %d followed peers", *failoverAfter, len(followers))
+	}
 	if *maxQPS > 0 {
 		handler = admissionLimit(handler, *maxQPS)
 		log.Printf("admission limit: %d data-plane requests/s", *maxQPS)
@@ -331,7 +378,7 @@ func main() {
 // startFollowers subscribes this node to the peers named by the -follow
 // flag ("all" or a comma-separated id list), each replicating exactly the
 // communities the router places on that peer.
-func startFollowers(ctx context.Context, reg *service.Registry, router *service.Router, self, follow string) []*cluster.Follower {
+func startFollowers(ctx context.Context, reg *service.Registry, router *service.Router, self, follow string) map[string]*cluster.Follower {
 	var peers []service.Node
 	if follow == "all" {
 		for _, n := range router.Nodes() {
@@ -361,7 +408,7 @@ func startFollowers(ctx context.Context, reg *service.Registry, router *service.
 			peers = append(peers, *found)
 		}
 	}
-	followers := make([]*cluster.Follower, 0, len(peers))
+	followers := make(map[string]*cluster.Follower, len(peers))
 	for _, peer := range peers {
 		peerID := peer.ID
 		f, err := cluster.NewFollower(cluster.FollowerOpts{
@@ -377,7 +424,7 @@ func startFollowers(ctx context.Context, reg *service.Registry, router *service.
 			fatal(err)
 		}
 		go f.Run(ctx)
-		followers = append(followers, f)
+		followers[peerID] = f
 		log.Printf("following node %s at %s", peerID, peer.Repl)
 	}
 	return followers

@@ -14,6 +14,7 @@
 //	holidayload -scenario read -target http://127.0.0.1:8080 -proto binary -batch 16
 //	holidayload -scenario mixed -churn-frac 0.5 -churn-batch 64 -persist
 //	holidayload -scenario mega -duration 20s
+//	holidayload -scenario mega-ci -cluster nodes.json -rotate-every 2s
 //	holidayload -scenario read -qps 5000 -workers 8
 //	holidayload -scenario ci -compare BENCH_baseline.json -threshold 0.25
 //	holidayload -replay BENCH_pr.json -compare BENCH_baseline.json
@@ -36,6 +37,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -74,6 +76,8 @@ func main() {
 		persist    = flag.Bool("persist", false, "enable the durability WAL on the in-process registry (prices the write-ahead hot path; ignored with -target)")
 		syncAlways = flag.Bool("wal-sync-always", false,
 			"with -persist, fsync every WAL append before acking (per-op durability) instead of timer group commit — the regime where -churn-batch amortization matters most")
+		rotateEvery = flag.Duration("rotate-every", 0,
+			"with -cluster, live-move one community to another node at this interval during the measured run, recording the handoff count and write-pause p99 in the snapshot; 0 = static placement")
 		out       = flag.String("out", "", "snapshot output path (default BENCH_<rev>.json; \"-\" skips writing)")
 		replay    = flag.String("replay", "", "load the current snapshot from a file instead of running")
 		compare   = flag.String("compare", "", "prior snapshot to compare against; regression fails the exit status")
@@ -138,6 +142,12 @@ func main() {
 	}
 	if *syncAlways && !*persist {
 		usageError("-wal-sync-always tunes the durability WAL; add -persist")
+	}
+	if *rotateEvery < 0 {
+		usageError("-rotate-every must be ≥ 0, got %s", *rotateEvery)
+	}
+	if *rotateEvery > 0 && *clusterTop == "" {
+		usageError("-rotate-every moves communities between cluster members; it requires -cluster")
 	}
 	if *diffWin != "" {
 		if *target == "" {
@@ -225,9 +235,26 @@ func main() {
 			Rev:      *rev,
 			Note:     *note,
 		}
+		// Placement rotation runs beside the measured load: a ticker moves
+		// one community per interval through a live handoff, and the
+		// snapshot records how many moves ran and the p99 write pause they
+		// cost — the number the epoch plane is supposed to keep small.
+		var stopRotate func()
+		if *rotateEvery > 0 {
+			stopRotate = startRotation(clusterDriver, *rotateEvery)
+		}
 		snap, err = benchkit.Run(sc, driver, opt)
+		if stopRotate != nil {
+			stopRotate()
+		}
 		if err != nil {
 			fatal(err)
+		}
+		if clusterDriver != nil {
+			if pauses := clusterDriver.HandoffPauses(); len(pauses) > 0 {
+				snap.Handoffs = len(pauses)
+				snap.HandoffPauseP99Micro = benchkit.PauseP99(pauses)
+			}
 		}
 		benchkit.RenderSnapshot(os.Stdout, snap)
 		if *out != "-" {
@@ -254,6 +281,33 @@ func main() {
 	cmp.Render(os.Stdout, *threshold)
 	if !cmp.Pass {
 		os.Exit(2)
+	}
+}
+
+// startRotation moves one community per tick until the returned stop
+// function is called. Failed moves are reported but do not abort the run —
+// only completed handoffs count toward the snapshot's rotation metrics.
+func startRotation(d *benchkit.ClusterDriver, every time.Duration) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if err := d.Rotate(ctx); err != nil && ctx.Err() == nil {
+					fmt.Fprintln(os.Stderr, "holidayload: rotation:", err)
+				}
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
 	}
 }
 

@@ -1,13 +1,17 @@
 package benchkit
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/url"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -26,6 +30,11 @@ type ClusterDriver struct {
 	// Proto selects the wire protocol for window/next queries, as on
 	// HTTPDriver.
 	Proto string
+
+	// Rotation state: mid-run live handoffs and the write pauses they cost.
+	rotMu  sync.Mutex
+	rotIdx int
+	pauses []time.Duration
 }
 
 // NewClusterDriver builds a driver over a cluster topology. Every member
@@ -199,6 +208,76 @@ func (d *ClusterDriver) Recolorings() (int64, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// Rotate performs one live community handoff while the workload runs: the
+// next community in round-robin order moves from its current owner to the
+// next member in id order, via the same /v1/handoff path holidayctl uses.
+// The driver's client-side router re-learns the published table, so writes
+// follow the community to its new owner; the write pause the move cost is
+// recorded for the snapshot's handoff_pause_p99_us.
+func (d *ClusterDriver) Rotate(ctx context.Context) error {
+	if len(d.nodes) < 2 {
+		return fmt.Errorf("benchkit: rotation needs at least two nodes")
+	}
+	ids := d.nodes[0].ids
+	if len(ids) == 0 {
+		return fmt.Errorf("benchkit: rotation before Setup")
+	}
+	d.rotMu.Lock()
+	community := ids[d.rotIdx%len(ids)]
+	d.rotIdx++
+	d.rotMu.Unlock()
+
+	fromIdx := 0
+	from := d.router.Place(community)
+	for j, id := range d.ids {
+		if id == from {
+			fromIdx = j
+		}
+	}
+	to := d.ids[(fromIdx+1)%len(d.ids)]
+
+	rb := &cluster.Rebalancer{}
+	mv, err := rb.MoveCommunity(ctx, d.nodes[fromIdx].base, community, to)
+	if err != nil {
+		return fmt.Errorf("benchkit: rotate %q %s→%s: %w", community, from, to, err)
+	}
+	// Re-learn the table from the old owner (the handoff installed it on
+	// both ends) so the next write routes to the new owner, not through a
+	// 421 retry.
+	p, err := rb.FetchPlacement(ctx, d.nodes[fromIdx].base)
+	if err != nil {
+		return fmt.Errorf("benchkit: rotate %q: refresh table: %w", community, err)
+	}
+	d.router.SetPlacement(p)
+
+	d.rotMu.Lock()
+	d.pauses = append(d.pauses, mv.Pause)
+	d.rotMu.Unlock()
+	return nil
+}
+
+// HandoffPauses returns the write pauses recorded by Rotate so far.
+func (d *ClusterDriver) HandoffPauses() []time.Duration {
+	d.rotMu.Lock()
+	defer d.rotMu.Unlock()
+	return append([]time.Duration(nil), d.pauses...)
+}
+
+// PauseP99 reports the nearest-rank 99th-percentile pause in microseconds
+// (0 for an empty set) — the snapshot's handoff_pause_p99_us.
+func PauseP99(pauses []time.Duration) float64 {
+	if len(pauses) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), pauses...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (99*len(sorted)+99)/100 - 1
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Microsecond)
 }
 
 // VerifyReadYourWrites checks the replication contract the cluster bench

@@ -19,7 +19,11 @@ import (
 //	   the version records which fields a writer could have produced.
 //	3: adds the top-level nodes count of sharded-cluster runs (the
 //	   ClusterDriver); additive, omitted for single-target runs.
-const SchemaVersion = 3
+//	4: adds handoffs and handoff_pause_p99_us — the live-handoff count of a
+//	   rotation run (-rotate-every) and the p99 write-unavailability window
+//	   a moved community saw. Additive, omitted when placement stayed
+//	   static; Compare refuses to mix rotation and static runs.
+const SchemaVersion = 4
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -65,6 +69,16 @@ type Snapshot struct {
 	// single-target runs. Node counts must match for a comparison to be
 	// meaningful, so Compare gates on it (schema ≥ 3).
 	Nodes int `json:"nodes,omitempty"`
+	// Handoffs counts the live community handoffs a rotation run triggered
+	// mid-measurement (holidayload -rotate-every); 0 means placement stayed
+	// static. Rotation perturbs throughput, so Compare refuses to gate a
+	// rotation run against a static baseline (schema ≥ 4).
+	Handoffs int `json:"handoffs,omitempty"`
+	// HandoffPauseP99Micro is the p99 write-unavailability window (µs) a
+	// moved community saw across the run's handoffs: the time from fencing
+	// on the old owner to the new owner's ack, during which that one
+	// community's writes fail or forward and every read still serves.
+	HandoffPauseP99Micro float64 `json:"handoff_pause_p99_us,omitempty"`
 	// ChurnFrac is the fraction of ops dedicated to churn when the
 	// scenario's mix was derived via WithChurnFraction; 0 for hand-set
 	// mixes. Differing fractions make throughput incomparable, so Compare
@@ -205,6 +219,12 @@ func Compare(old, new *Snapshot, threshold float64) *Comparison {
 		cmp.Pass = false
 		return cmp
 	}
+	if (old.Handoffs == 0) != (new.Handoffs == 0) {
+		cmp.Mismatch = fmt.Sprintf("rotation mismatch: old ran %d mid-run handoffs, new ran %d — placement churn makes throughput incomparable",
+			old.Handoffs, new.Handoffs)
+		cmp.Pass = false
+		return cmp
+	}
 	if old.ChurnFrac != new.ChurnFrac {
 		cmp.Mismatch = fmt.Sprintf("churn-fraction mismatch: old ran %v, new ran %v — write-heavy and read-heavy throughput are not comparable",
 			old.ChurnFrac, new.ChurnFrac)
@@ -296,6 +316,9 @@ func RenderSnapshot(w io.Writer, s *Snapshot) {
 		s.Totals.Ops, s.Totals.Errors, s.Totals.QPS, s.Totals.P50Micro, s.Totals.P95Micro, s.Totals.P99Micro)
 	fmt.Fprintf(w, "  cache hit ratio %.4f  allocs/op %.1f  bytes/op %.0f\n",
 		s.Totals.CacheHitRatio, s.Totals.AllocsPerOp, s.Totals.BytesPerOp)
+	if s.Handoffs > 0 {
+		fmt.Fprintf(w, "  handoffs %d  pause p99 %.0fµs\n", s.Handoffs, s.HandoffPauseP99Micro)
+	}
 	for _, k := range opNames(s.PerOp) {
 		o := s.PerOp[k]
 		fmt.Fprintf(w, "  %-8s count %-9d p50 %.0fµs  p95 %.0fµs  p99 %.0fµs\n",

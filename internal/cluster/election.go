@@ -1,0 +1,301 @@
+// Failure detection and operator-free failover: the Detector each daemon
+// runs gossips the placement table with its peers, watches the heartbeat
+// watermark of every owner it follows, and — when an owner misses its
+// deadline and fails a liveness probe — elects the most-caught-up replica
+// of each orphaned community by publishing an epoch-bumped table. See
+// DESIGN.md §12.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/service"
+)
+
+// DefaultDeadline is the missed-heartbeat deadline before an owner is
+// suspected dead: six source heartbeat intervals, so a single delayed
+// frame never triggers an election.
+const DefaultDeadline = 6 * DefaultHeartbeat
+
+// DetectorOpts configures NewDetector.
+type DetectorOpts struct {
+	// Router is this node's placement surface (required).
+	Router *service.Router
+	// Owner is the local community store (required).
+	Owner *service.Owner
+	// Followers maps followed node id → the follower replicating from it.
+	// Nodes without an entry are gossiped with but never declared dead here.
+	Followers map[string]*Follower
+	// Deadline is how long an owner may miss heartbeats before this node
+	// probes it and, on failure, runs an election; 0 means DefaultDeadline.
+	Deadline time.Duration
+	// Interval is the check cadence; 0 means Deadline/3.
+	Interval time.Duration
+	// Logf, when set, receives gossip/election diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Detector is one node's failover plane. Run starts it; it needs no
+// coordination service — every decision derives from the epoch-ordered
+// placement table, peer /v1/status answers, and replication watermarks.
+type Detector struct {
+	rt        *service.Router
+	owner     *service.Owner
+	followers map[string]*Follower
+	deadline  time.Duration
+	interval  time.Duration
+	logf      func(string, ...any)
+	client    *http.Client
+
+	// seen is the last proof of life per followed node: Run start, then
+	// each heartbeat arrival. Guarded by Run's single goroutine.
+	seen map[string]time.Time
+}
+
+// NewDetector returns a detector; call Run to start it.
+func NewDetector(o DetectorOpts) (*Detector, error) {
+	if o.Router == nil || o.Owner == nil {
+		return nil, fmt.Errorf("cluster: NewDetector requires a Router and an Owner")
+	}
+	if o.Deadline <= 0 {
+		o.Deadline = DefaultDeadline
+	}
+	if o.Interval <= 0 {
+		o.Interval = o.Deadline / 3
+	}
+	return &Detector{
+		rt:        o.Router,
+		owner:     o.Owner,
+		followers: o.Followers,
+		deadline:  o.Deadline,
+		interval:  o.Interval,
+		logf:      o.Logf,
+		client:    &http.Client{Timeout: 2 * time.Second},
+		seen:      make(map[string]time.Time),
+	}, nil
+}
+
+func (d *Detector) debugf(format string, args ...any) {
+	if d.logf != nil {
+		d.logf(format, args...)
+	}
+}
+
+// Run gossips and detects until ctx is cancelled. It blocks; run it in a
+// goroutine.
+func (d *Detector) Run(ctx context.Context) {
+	now := time.Now()
+	for n := range d.followers {
+		d.seen[n] = now
+	}
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		d.Gossip(ctx)
+		d.detect(ctx)
+	}
+}
+
+// Gossip runs one placement anti-entropy round: pull every peer's table
+// (installing any that supersedes ours), then push ours to peers still
+// behind. A rejoining node converges to the cluster's epoch within one
+// round — which is also how a stale owner learns it has been failed over.
+func (d *Detector) Gossip(ctx context.Context) {
+	self := d.rt.Self()
+	for _, n := range d.rt.Nodes() {
+		if n.ID == self || n.Addr == "" {
+			continue
+		}
+		p, err := d.fetchPlacement(ctx, n.Addr)
+		if err != nil {
+			continue
+		}
+		if installed, err := d.rt.SetPlacement(p); err == nil && installed {
+			d.debugf("cluster: adopted epoch %d from %s", p.Epoch, n.ID)
+		}
+		if cur := d.rt.Placement(); cur.Epoch > p.Epoch {
+			d.pushPlacement(ctx, n.Addr, cur)
+		}
+	}
+}
+
+// detect checks every followed owner's heartbeat watermark and runs an
+// election for those past the deadline that also fail a liveness probe.
+func (d *Detector) detect(ctx context.Context) {
+	for node, f := range d.followers {
+		if hb := f.LastHeartbeat(); hb.After(d.seen[node]) {
+			d.seen[node] = hb
+		}
+		if time.Since(d.seen[node]) < d.deadline {
+			continue
+		}
+		if addr, ok := d.rt.Addr(node); ok && d.alive(ctx, addr) {
+			// Replication is stalled but the node answers HTTP: not a death,
+			// not ours to fail over.
+			d.seen[node] = time.Now()
+			continue
+		}
+		d.failover(ctx, node)
+	}
+}
+
+// alive probes a peer's liveness endpoint.
+func (d *Detector) alive(ctx context.Context, addr string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// failover elects a new owner for every community the dead node held, by
+// publishing a table (epoch+1) that assigns each to its most-caught-up
+// replica — highest applied sequence across the surviving peers' status
+// answers, node id breaking ties. Every survivor detecting the death runs
+// the same election; identical data yields identical tables (idempotent
+// republication), and divergent ones converge by fingerprint order, the
+// loser refencing through its table watcher.
+func (d *Detector) failover(ctx context.Context, dead string) {
+	cur := d.rt.Placement()
+	orphans := map[string]uint64{} // community → best seq seen so far
+	winner := map[string]string{}  // community → node holding it
+	self := d.rt.Self()
+	for _, id := range d.owner.List() {
+		if d.rt.Place(id) != dead {
+			continue
+		}
+		c, ok := d.owner.Get(id)
+		if !ok {
+			continue
+		}
+		orphans[id] = c.Seq()
+		winner[id] = self
+	}
+	if len(orphans) == 0 {
+		return
+	}
+	// Let surviving peers outbid us per community.
+	for _, n := range cur.Nodes {
+		if n.ID == self || n.ID == dead || n.Addr == "" {
+			continue
+		}
+		st, err := d.fetchStatus(ctx, n.Addr)
+		if err != nil {
+			continue
+		}
+		for _, cs := range st.Communities {
+			best, ok := orphans[cs.ID]
+			if !ok {
+				continue
+			}
+			if cs.Seq > best || (cs.Seq == best && n.ID < winner[cs.ID]) {
+				orphans[cs.ID] = cs.Seq
+				winner[cs.ID] = n.ID
+			}
+		}
+	}
+	p := cur.Clone()
+	p.Epoch++
+	if p.Assign == nil {
+		p.Assign = make(map[string]string)
+	}
+	ids := make([]string, 0, len(winner))
+	for id := range winner {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p.Assign[id] = winner[id]
+		d.debugf("cluster: failover: %s → %s at seq %d (epoch %d)", id, winner[id], orphans[id], p.Epoch)
+	}
+	installed, err := d.rt.SetPlacement(p)
+	if err != nil || !installed {
+		return // a competing table (ours or newer) won; conform to it
+	}
+	delete(d.seen, dead) // don't re-elect every tick while it stays down
+	for _, n := range p.Nodes {
+		if n.ID != self && n.ID != dead && n.Addr != "" {
+			d.pushPlacement(ctx, n.Addr, p)
+		}
+	}
+}
+
+// peerStatus mirrors the fields of /v1/status the detector reads.
+type peerStatus struct {
+	Node        string `json:"node"`
+	Epoch       uint64 `json:"epoch"`
+	Communities []struct {
+		ID   string `json:"id"`
+		Role string `json:"role"`
+		Seq  uint64 `json:"seq"`
+	} `json:"communities"`
+}
+
+func (d *Detector) fetchStatus(ctx context.Context, addr string) (peerStatus, error) {
+	var st peerStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/status", nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("cluster: status from %s: HTTP %d", addr, resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func (d *Detector) fetchPlacement(ctx context.Context, addr string) (service.Placement, error) {
+	var p service.Placement
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/placement", nil)
+	if err != nil {
+		return p, err
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("cluster: placement from %s: HTTP %d", addr, resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	return p, err
+}
+
+func (d *Detector) pushPlacement(ctx context.Context, addr string, p service.Placement) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/placement", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}

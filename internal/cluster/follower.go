@@ -48,7 +48,8 @@ type Follower struct {
 	mu        sync.Mutex
 	applied   uint64
 	sourceSeq uint64
-	ids       map[string]struct{}
+	through   map[string]uint64 // per community: last seq its replica is current through
+	lastBeat  time.Time
 	connected bool
 }
 
@@ -70,7 +71,7 @@ func NewFollower(o FollowerOpts) (*Follower, error) {
 		accept:  o.Accept,
 		backoff: o.Backoff,
 		logf:    o.Logf,
-		ids:     make(map[string]struct{}),
+		through: make(map[string]uint64),
 	}, nil
 }
 
@@ -89,22 +90,39 @@ func (f *Follower) Connected() bool {
 	return f.connected
 }
 
-// Lag reports, per replicated community, how many sequences the local
-// replica trails the owner's stream (owner's advertised sequence minus the
-// last applied). The stream is totally ordered, so one number describes
-// every community it carries.
+// Lag reports, per replicated community, how many sequences its local
+// replica trails the owner's stream: the owner's advertised sequence minus
+// the last sequence the replica is known current through. A community's
+// own watermark advances when one of its records or snapshots applies; the
+// stream's total order then lifts every tracked community to the applied
+// watermark (a record processed at seq S proves everything at or below S
+// was already delivered and applied), so an idle community never inherits
+// the lag of its busy stream-mates — the pre-epoch status page reported
+// one aggregate number for every community.
 func (f *Follower) Lag() map[string]uint64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var lag uint64
-	if f.sourceSeq > f.applied {
-		lag = f.sourceSeq - f.applied
-	}
-	out := make(map[string]uint64, len(f.ids))
-	for id := range f.ids {
+	out := make(map[string]uint64, len(f.through))
+	for id, thru := range f.through {
+		if f.applied > thru {
+			thru = f.applied
+		}
+		var lag uint64
+		if f.sourceSeq > thru {
+			lag = f.sourceSeq - thru
+		}
 		out[id] = lag
 	}
 	return out
+}
+
+// LastHeartbeat returns when the owner's watermark heartbeat last arrived
+// (zero before the first). The failure detector compares it against the
+// missed-heartbeat deadline.
+func (f *Follower) LastHeartbeat() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastBeat
 }
 
 // Run replicates until ctx is cancelled, reconnecting with capped
@@ -204,7 +222,7 @@ func (f *Follower) runOnce(ctx context.Context) error {
 			// so advancing the applied watermark past skipped or filtered
 			// records is safe.
 			caughtUp = true
-			f.advance(seq)
+			f.heartbeat(seq)
 		default:
 			return fmt.Errorf("cluster: unexpected %v frame on replication stream", fr.Kind)
 		}
@@ -234,7 +252,7 @@ func (f *Follower) applySnapshot(data []byte) error {
 			return nil // we own this community now; ignore the old stream
 		}
 		if c.Seq() >= st.Seq {
-			f.track(st.ID)
+			f.track(st.ID, c.Seq())
 			return nil
 		}
 		// Stale replica: drop it through the unlogged replay path, then
@@ -247,7 +265,7 @@ func (f *Follower) applySnapshot(data []byte) error {
 		return fmt.Errorf("cluster: restore %q: %w", st.ID, err)
 	}
 	f.owner.Fence(st.ID)
-	f.track(st.ID)
+	f.track(st.ID, st.Seq)
 	return nil
 }
 
@@ -272,11 +290,11 @@ func (f *Follower) applyRecord(seq uint64, data []byte, advance bool) error {
 		switch rec.Op {
 		case service.OpCreate:
 			f.owner.Fence(rec.ID)
-			f.track(rec.ID)
+			f.track(rec.ID, seq)
 		case service.OpDelete:
 			f.untrack(rec.ID)
 		default:
-			f.track(rec.ID)
+			f.track(rec.ID, seq)
 		}
 	}
 	if advance {
@@ -297,14 +315,32 @@ func (f *Follower) advance(seq uint64) {
 	f.mu.Unlock()
 }
 
-func (f *Follower) track(id string) {
+// heartbeat records the owner's watermark: the stream has delivered
+// everything at or below seq, so every tracked community is current
+// through it.
+func (f *Follower) heartbeat(seq uint64) {
+	f.advance(seq)
 	f.mu.Lock()
-	f.ids[id] = struct{}{}
+	f.lastBeat = time.Now()
+	for id, thru := range f.through {
+		if seq > thru {
+			f.through[id] = seq
+		}
+	}
+	f.mu.Unlock()
+}
+
+// track marks a community replicated and current through seq.
+func (f *Follower) track(id string, seq uint64) {
+	f.mu.Lock()
+	if thru, ok := f.through[id]; !ok || seq > thru {
+		f.through[id] = seq
+	}
 	f.mu.Unlock()
 }
 
 func (f *Follower) untrack(id string) {
 	f.mu.Lock()
-	delete(f.ids, id)
+	delete(f.through, id)
 	f.mu.Unlock()
 }

@@ -1,0 +1,352 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// hNode is one in-process node for handoff tests: an owner whose journal is
+// a Source serving the replication listener, plus that node's router.
+type hNode struct {
+	owner *service.Owner
+	src   *Source
+	rt    *service.Router
+}
+
+func listenTCP(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return ln
+}
+
+func bootHNode(t *testing.T, id string, nodes []service.Node, ln net.Listener) *hNode {
+	t.Helper()
+	owner := service.New(service.Opts{})
+	rt, err := service.NewRouter(service.RouterOpts{Self: id, Nodes: nodes})
+	if err != nil {
+		t.Fatalf("NewRouter(%s): %v", id, err)
+	}
+	src, err := NewSource(SourceOpts{Owner: owner, Router: rt, Heartbeat: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewSource(%s): %v", id, err)
+	}
+	owner.SetJournal(src)
+	go src.Serve(ln)
+	t.Cleanup(src.Close)
+	return &hNode{owner: owner, src: src, rt: rt}
+}
+
+// bootHandoffPair boots nodes a and b, both accepting handoffs.
+func bootHandoffPair(t *testing.T) (a, b *hNode) {
+	t.Helper()
+	lnA, lnB := listenTCP(t), listenTCP(t)
+	nodes := []service.Node{
+		{ID: "a", Repl: lnA.Addr().String()},
+		{ID: "b", Repl: lnB.Addr().String()},
+	}
+	return bootHNode(t, "a", nodes, lnA), bootHNode(t, "b", nodes, lnB)
+}
+
+func windowJSON(t *testing.T, o *service.Owner, id string) string {
+	t.Helper()
+	c, ok := o.Get(id)
+	if !ok {
+		t.Fatalf("community %q missing", id)
+	}
+	w, err := c.Window(1, 200)
+	if err != nil {
+		t.Fatalf("window: %v", err)
+	}
+	b, _ := json.Marshal(w)
+	return string(b)
+}
+
+// TestHandoffEndToEnd moves a live community from a to b and checks the
+// whole contract: byte-identical answers across the cut, ownership and
+// fencing flipped on both ends, both routers at the new epoch, and the new
+// owner writable while the old one refuses.
+func TestHandoffEndToEnd(t *testing.T) {
+	a, b := bootHandoffPair(t)
+	c := seed(t, a.owner, "alpha", 6)
+	want := windowJSON(t, a.owner, "alpha")
+	wantSeq := c.Seq()
+
+	table := a.rt.Placement()
+	table.Epoch++
+	table.Assign["alpha"] = "b"
+	res, err := Handoff(a.owner, a.src, a.rt, "alpha", table, 0)
+	if err != nil {
+		t.Fatalf("Handoff: %v", err)
+	}
+	if res.CutSeq != wantSeq {
+		t.Fatalf("cut seq = %d, want %d", res.CutSeq, wantSeq)
+	}
+	if res.Pause <= 0 {
+		t.Fatalf("pause = %v, want > 0", res.Pause)
+	}
+
+	bc, ok := b.owner.Get("alpha")
+	if !ok {
+		t.Fatal("new owner has no community after the handoff")
+	}
+	if bc.Fenced() {
+		t.Fatal("new owner's community is still fenced after the ack")
+	}
+	if got := windowJSON(t, b.owner, "alpha"); got != want {
+		t.Fatalf("window diverged across the handoff:\nold %s\nnew %s", want, got)
+	}
+	if !c.Fenced() {
+		t.Fatal("old owner's community is not fenced after the handoff")
+	}
+	if a.rt.Epoch() != table.Epoch || b.rt.Epoch() != table.Epoch {
+		t.Fatalf("epochs not flipped: a=%d b=%d want %d", a.rt.Epoch(), b.rt.Epoch(), table.Epoch)
+	}
+	if a.rt.Place("alpha") != "b" || b.rt.Place("alpha") != "b" {
+		t.Fatal("placement does not point at the new owner on both nodes")
+	}
+
+	// The new owner serves writes (TakeOwnership rebased its sequence into
+	// the local journal space, so the write journals cleanly)...
+	if _, err := bc.Marry(1, 2); err != nil {
+		t.Fatalf("write on the new owner: %v", err)
+	}
+	// ...and the old copy fails closed.
+	if _, err := c.Marry(1, 2); err == nil {
+		t.Fatal("write on the old owner succeeded after the handoff")
+	}
+}
+
+// TestHandoffRefusals covers the sender-side preconditions: absent
+// community, fenced replica, self-assignment, unassigned table.
+func TestHandoffRefusals(t *testing.T) {
+	a, _ := bootHandoffPair(t)
+	seed(t, a.owner, "alpha", 4)
+
+	table := a.rt.Placement()
+	table.Epoch++
+	table.Assign["ghost"] = "b"
+	if _, err := Handoff(a.owner, a.src, a.rt, "ghost", table, 0); err == nil {
+		t.Fatal("handoff of an absent community succeeded")
+	}
+	if _, err := Handoff(a.owner, a.src, a.rt, "alpha", table, 0); err == nil {
+		t.Fatal("handoff with a table that does not assign the community succeeded")
+	}
+	table.Assign["alpha"] = "a"
+	if _, err := Handoff(a.owner, a.src, a.rt, "alpha", table, 0); err == nil {
+		t.Fatal("handoff to self succeeded")
+	}
+	a.owner.Fence("alpha")
+	table.Assign["alpha"] = "b"
+	if _, err := Handoff(a.owner, a.src, a.rt, "alpha", table, 0); err == nil {
+		t.Fatal("handoff of a fenced replica succeeded")
+	}
+}
+
+// TestHandoffCrashMidway: the receiver dies before acking, so the old owner
+// lifts its fence and keeps serving at the old epoch — the availability
+// half of the protocol's failure contract.
+func TestHandoffCrashMidway(t *testing.T) {
+	lnA := listenTCP(t)
+	lnZ := listenTCP(t)
+	nodes := []service.Node{
+		{ID: "a", Repl: lnA.Addr().String()},
+		{ID: "z", Repl: lnZ.Addr().String()},
+	}
+	a := bootHNode(t, "a", nodes, lnA)
+	// z accepts and slams the connection: a crash between offer and ack.
+	go func() {
+		for {
+			conn, err := lnZ.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	t.Cleanup(func() { lnZ.Close() })
+
+	c := seed(t, a.owner, "alpha", 5)
+	before := a.rt.Epoch()
+	table := a.rt.Placement()
+	table.Epoch++
+	table.Assign["alpha"] = "z"
+	if _, err := Handoff(a.owner, a.src, a.rt, "alpha", table, 2*time.Second); err == nil {
+		t.Fatal("handoff succeeded against a crashing receiver")
+	}
+	if c.Fenced() {
+		t.Fatal("old owner left fenced after a failed handoff")
+	}
+	if a.rt.Epoch() != before {
+		t.Fatalf("epoch advanced to %d despite the failed handoff", a.rt.Epoch())
+	}
+	if _, err := c.Marry(1, 2); err != nil {
+		t.Fatalf("old owner refuses writes after a failed handoff: %v", err)
+	}
+}
+
+// TestHandoffStaleEpochRefused: a receiver already at a higher epoch
+// refuses the offer with not_owner and the sender keeps serving.
+func TestHandoffStaleEpochRefused(t *testing.T) {
+	a, b := bootHandoffPair(t)
+	c := seed(t, a.owner, "alpha", 4)
+
+	ahead := b.rt.Placement()
+	ahead.Epoch = 10
+	if ok, err := b.rt.SetPlacement(ahead); err != nil || !ok {
+		t.Fatalf("install ahead table: %v %v", ok, err)
+	}
+
+	table := a.rt.Placement()
+	table.Epoch++ // 1 — far behind b's 10
+	table.Assign["alpha"] = "b"
+	_, err := Handoff(a.owner, a.src, a.rt, "alpha", table, 2*time.Second)
+	if err == nil {
+		t.Fatal("stale-epoch handoff accepted")
+	}
+	var se *service.Error
+	if !errorAs(err, &se) || se.Code != service.CodeNotOwner {
+		t.Fatalf("stale-epoch refusal = %v, want code not_owner", err)
+	}
+	if c.Fenced() {
+		t.Fatal("sender left fenced after a refused handoff")
+	}
+}
+
+// TestDoubleSelfPromotionConverges: two replicas of a dead owner's
+// community each elect themselves (neither can reach the other's status),
+// publishing competing tables at the same epoch. Once the tables cross,
+// both nodes converge on the fingerprint winner and the loser refences —
+// exactly one owner survives.
+func TestDoubleSelfPromotionConverges(t *testing.T) {
+	nodes := []service.Node{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	mk := func(id string) (*service.Owner, *service.Router) {
+		owner := service.New(service.Opts{})
+		rt, err := service.NewRouter(service.RouterOpts{Self: id, Nodes: nodes})
+		if err != nil {
+			t.Fatalf("NewRouter(%s): %v", id, err)
+		}
+		// The handler registration wires the fence-reconciliation watcher —
+		// the same path daemons run.
+		service.NewHandler(service.HandlerOpts{Owner: owner, Router: rt, Node: id})
+		return owner, rt
+	}
+	ownerB, rtB := mk("b")
+	ownerC, rtC := mk("c")
+
+	// Both replicas hold x, fenced, at the same sequence; the initial table
+	// assigns it to the (dead) node a.
+	base := service.Placement{Epoch: 1, Nodes: nodes, Assign: map[string]string{"x": "a"}}
+	for _, rt := range []*service.Router{rtB, rtC} {
+		if ok, err := rt.SetPlacement(base); err != nil || !ok {
+			t.Fatalf("install base table: %v %v", ok, err)
+		}
+	}
+	for _, o := range []*service.Owner{ownerB, ownerC} {
+		if _, err := o.Create("x", 4, nil, ""); err != nil {
+			t.Fatalf("create replica: %v", err)
+		}
+		o.Fence("x")
+	}
+
+	detB, err := NewDetector(DetectorOpts{Router: rtB, Owner: ownerB, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	detC, err := NewDetector(DetectorOpts{Router: rtC, Owner: ownerC, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+
+	// Partitioned elections: peers have no addresses, so each node's
+	// failover sees only itself and elects itself.
+	ctx := context.Background()
+	detB.failover(ctx, "a")
+	detC.failover(ctx, "a")
+	pb, pc := rtB.Placement(), rtC.Placement()
+	if pb.Epoch != 2 || pc.Epoch != 2 {
+		t.Fatalf("election epochs: b=%d c=%d, want 2 and 2", pb.Epoch, pc.Epoch)
+	}
+	if pb.Assign["x"] != "b" || pc.Assign["x"] != "c" {
+		t.Fatalf("self-elections: b table assigns %q, c table assigns %q", pb.Assign["x"], pc.Assign["x"])
+	}
+	cb, _ := ownerB.Get("x")
+	cc, _ := ownerC.Get("x")
+	if cb.Fenced() || cc.Fenced() {
+		t.Fatal("self-promotion did not unfence the local replica")
+	}
+
+	// The partition heals: the competing tables cross (gossip), and the
+	// fingerprint order picks one winner on both nodes.
+	rtB.SetPlacement(pc)
+	rtC.SetPlacement(pb)
+	fb, fc := rtB.Placement(), rtC.Placement()
+	if fb.Fingerprint() != fc.Fingerprint() || fb.Epoch != fc.Epoch {
+		t.Fatalf("tables did not converge:\nb: epoch %d %s\nc: epoch %d %s", fb.Epoch, fb.Fingerprint(), fc.Epoch, fc.Fingerprint())
+	}
+	winner := fb.Assign["x"]
+	if winner != "b" && winner != "c" {
+		t.Fatalf("converged winner %q is neither contender", winner)
+	}
+	if winner == "b" {
+		if cb.Fenced() || !cc.Fenced() {
+			t.Fatalf("winner b: fenced(b)=%v fenced(c)=%v, want false/true", cb.Fenced(), cc.Fenced())
+		}
+	} else {
+		if cc.Fenced() || !cb.Fenced() {
+			t.Fatalf("winner c: fenced(b)=%v fenced(c)=%v, want true/false", cb.Fenced(), cc.Fenced())
+		}
+	}
+}
+
+// TestZeroCommunityJoinKeepsOwnership: a membership-grow table with every
+// community pinned (the rebalancer's stage-1 shape) moves nothing — and a
+// table that does place the community elsewhere makes the old owner fail
+// closed rather than split-brain.
+func TestZeroCommunityJoinKeepsOwnership(t *testing.T) {
+	nodes := []service.Node{{ID: "a"}, {ID: "b"}}
+	owner := service.New(service.Opts{})
+	rt, err := service.NewRouter(service.RouterOpts{Self: "a", Nodes: nodes})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	service.NewHandler(service.HandlerOpts{Owner: owner, Router: rt, Node: "a"})
+	if _, err := owner.Create("x", 4, nil, ""); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	c, _ := owner.Get("x")
+
+	// The joiner arrives with x pinned in place: no flip, no fence.
+	grown := rt.Placement()
+	grown.Epoch++
+	grown.Nodes = append(grown.Nodes, service.Node{ID: "d"})
+	grown.Assign["x"] = "a"
+	if ok, err := rt.SetPlacement(grown); err != nil || !ok {
+		t.Fatalf("install grown table: %v %v", ok, err)
+	}
+	if c.Fenced() {
+		t.Fatal("pinned join fenced the community")
+	}
+	if rt.Place("x") != "a" {
+		t.Fatalf("pinned join moved placement to %s", rt.Place("x"))
+	}
+
+	// A table placing x on the joiner fences the old owner (fail closed);
+	// ring- or assignment-derived placement never auto-promotes here.
+	moved := rt.Placement()
+	moved.Epoch++
+	moved.Assign["x"] = "d"
+	if ok, err := rt.SetPlacement(moved); err != nil || !ok {
+		t.Fatalf("install moved table: %v %v", ok, err)
+	}
+	if !c.Fenced() {
+		t.Fatal("old owner kept serving a community the table places elsewhere")
+	}
+}

@@ -1,0 +1,336 @@
+// Cluster rebalancing over the HTTP control plane: compute the target
+// placement for a (possibly changed) membership, run one live handoff per
+// moved community, and publish the final table. Shared by holidayctl
+// (join, rebalance) and the benchmark driver (mid-run rotations).
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Move records one completed community handoff.
+type Move struct {
+	Community string        `json:"community"`
+	From      string        `json:"from"`
+	To        string        `json:"to"`
+	CutSeq    uint64        `json:"cut_seq"`
+	Pause     time.Duration `json:"-"`
+	PauseUS   int64         `json:"pause_us"`
+}
+
+// Rebalancer drives placement changes against a running cluster.
+type Rebalancer struct {
+	// Client is the HTTP client used; nil means a 30s-timeout default
+	// (handoffs stream snapshots and can take a while).
+	Client *http.Client
+	// Logf, when set, receives per-move progress.
+	Logf func(format string, args ...any)
+}
+
+func (rb *Rebalancer) client() *http.Client {
+	if rb.Client != nil {
+		return rb.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (rb *Rebalancer) logf(format string, args ...any) {
+	if rb.Logf != nil {
+		rb.Logf(format, args...)
+	}
+}
+
+// Rebalance moves the cluster reached through seedAddr onto the target
+// membership: every community lands on its consistent-hash owner under the
+// target node set, each move a live handoff, and the final table — every
+// community explicitly assigned — is published to all members. It returns
+// the moves performed and the table left in force.
+//
+// The epochs advance in three stages so no table ever strands a community:
+// first a membership table that adds new nodes while pinning every
+// community to its current owner (nothing moves when the ring changes),
+// then one epoch per handoff, then — if nodes left — a shrunk membership
+// table. Zero-move rebalances (a join with nothing hashing to the new
+// node, or an already-balanced cluster) publish the membership tables and
+// stop.
+func (rb *Rebalancer) Rebalance(ctx context.Context, seedAddr string, target []service.Node) ([]Move, service.Placement, error) {
+	cur, err := rb.FetchPlacement(ctx, seedAddr)
+	if err != nil {
+		return nil, service.Placement{}, err
+	}
+	if len(target) == 0 {
+		return nil, service.Placement{}, fmt.Errorf("cluster: rebalance: empty target membership")
+	}
+
+	// Union membership: old and new nodes both present while data moves.
+	union := append([]service.Node(nil), cur.Nodes...)
+	for _, n := range target {
+		found := false
+		for _, o := range union {
+			if o.ID == n.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			union = append(union, n)
+		}
+	}
+
+	// Owners as they stand, from every reachable member's status.
+	owners, err := rb.currentOwners(ctx, cur)
+	if err != nil {
+		return nil, service.Placement{}, err
+	}
+
+	// Stage 1: grow membership with every community pinned in place.
+	p := cur.Clone()
+	p.Epoch++
+	p.Nodes = union
+	if p.Assign == nil {
+		p.Assign = make(map[string]string)
+	}
+	for id, node := range owners {
+		p.Assign[id] = node
+	}
+	if err := rb.publish(ctx, p); err != nil {
+		return nil, service.Placement{}, err
+	}
+
+	// Stage 2: one live handoff per community the target ring places
+	// elsewhere.
+	targetRing, err := service.RouterFor(service.Placement{Epoch: p.Epoch, Nodes: target, Assign: map[string]string{}})
+	if err != nil {
+		return nil, service.Placement{}, err
+	}
+	ids := make([]string, 0, len(owners))
+	for id := range owners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var moves []Move
+	for _, id := range ids {
+		from, to := owners[id], targetRing.Place(id)
+		if to == from {
+			continue
+		}
+		next := p.Clone()
+		next.Epoch++
+		next.Assign[id] = to
+		fromAddr := nodeAddr(p.Nodes, from)
+		if fromAddr == "" {
+			return moves, p, fmt.Errorf("cluster: rebalance: owner %q of %q has no address", from, id)
+		}
+		mv, err := rb.handoff(ctx, fromAddr, id, next)
+		if err != nil {
+			return moves, p, fmt.Errorf("cluster: rebalance: move %q %s→%s: %w", id, from, to, err)
+		}
+		mv.From = from
+		rb.logf("cluster: moved %q %s→%s at epoch %d (pause %v)", id, from, to, next.Epoch, mv.Pause)
+		moves = append(moves, mv)
+		p = next
+		owners[id] = to
+	}
+
+	// Stage 3: shrink to the target membership if nodes left.
+	if len(union) != len(target) {
+		p = p.Clone()
+		p.Epoch++
+		p.Nodes = append([]service.Node(nil), target...)
+		if err := p.Validate(); err != nil {
+			return moves, p, fmt.Errorf("cluster: rebalance: shrink: %w", err)
+		}
+	}
+	if err := rb.publish(ctx, p); err != nil {
+		return moves, p, err
+	}
+	return moves, p, nil
+}
+
+// MoveCommunity hands one community from its current owner (reached at
+// ownerAddr) to another member — the benchmark's rotation primitive. The
+// published table is the owner's current one, epoch-bumped, with just this
+// community reassigned.
+func (rb *Rebalancer) MoveCommunity(ctx context.Context, ownerAddr, community, to string) (Move, error) {
+	cur, err := rb.FetchPlacement(ctx, ownerAddr)
+	if err != nil {
+		return Move{}, err
+	}
+	p := cur.Clone()
+	p.Epoch++
+	if p.Assign == nil {
+		p.Assign = make(map[string]string)
+	}
+	p.Assign[community] = to
+	mv, err := rb.handoff(ctx, ownerAddr, community, p)
+	if err != nil {
+		return Move{}, err
+	}
+	if rt, rerr := service.RouterFor(cur); rerr == nil {
+		mv.From = rt.Place(community)
+	}
+	// Best-effort fan-out so followers of either side learn without waiting
+	// for gossip; the handoff already installed it on both ends.
+	for _, n := range p.Nodes {
+		if n.Addr != "" {
+			rb.pushTable(ctx, n.Addr, p)
+		}
+	}
+	return mv, nil
+}
+
+// FetchPlacement reads a member's installed table.
+func (rb *Rebalancer) FetchPlacement(ctx context.Context, addr string) (service.Placement, error) {
+	var p service.Placement
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/placement", nil)
+	if err != nil {
+		return p, err
+	}
+	resp, err := rb.client().Do(req)
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("cluster: placement from %s: HTTP %d", addr, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// currentOwners maps every community to the node currently owning it, by
+// asking each member which communities it serves unfenced.
+func (rb *Rebalancer) currentOwners(ctx context.Context, p service.Placement) (map[string]string, error) {
+	owners := make(map[string]string)
+	for _, n := range p.Nodes {
+		if n.Addr == "" {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Addr+"/v1/status", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rb.client().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: status from %s: %w", n.ID, err)
+		}
+		var st peerStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: status from %s: %w", n.ID, err)
+		}
+		for _, cs := range st.Communities {
+			if cs.Role == "owner" {
+				owners[cs.ID] = n.ID
+			}
+		}
+	}
+	return owners, nil
+}
+
+// handoff asks a community's owner to stream it to the node the table
+// assigns it to.
+func (rb *Rebalancer) handoff(ctx context.Context, ownerAddr, community string, table service.Placement) (Move, error) {
+	body, err := json.Marshal(struct {
+		Community string            `json:"community"`
+		Table     service.Placement `json:"table"`
+	}{community, table})
+	if err != nil {
+		return Move{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ownerAddr+"/v1/handoff", bytes.NewReader(body))
+	if err != nil {
+		return Move{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rb.client().Do(req)
+	if err != nil {
+		return Move{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Message string `json:"message"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return Move{}, fmt.Errorf("handoff refused (HTTP %d): %s", resp.StatusCode, e.Message)
+	}
+	var out struct {
+		Node    string `json:"node"`
+		CutSeq  uint64 `json:"cut_seq"`
+		PauseUS int64  `json:"pause_us"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return Move{}, err
+	}
+	return Move{
+		Community: community,
+		To:        out.Node,
+		CutSeq:    out.CutSeq,
+		Pause:     time.Duration(out.PauseUS) * time.Microsecond,
+		PauseUS:   out.PauseUS,
+	}, nil
+}
+
+// publish posts a table to every addressable member; at least one install
+// must succeed (gossip spreads it from there).
+func (rb *Rebalancer) publish(ctx context.Context, p service.Placement) error {
+	okOne := false
+	var lastErr error
+	for _, n := range p.Nodes {
+		if n.Addr == "" {
+			continue
+		}
+		if err := rb.pushTable(ctx, n.Addr, p); err != nil {
+			lastErr = err
+			continue
+		}
+		okOne = true
+	}
+	if !okOne {
+		return fmt.Errorf("cluster: publish epoch %d reached no member: %w", p.Epoch, lastErr)
+	}
+	return nil
+}
+
+func (rb *Rebalancer) pushTable(ctx context.Context, addr string, p service.Placement) error {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/placement", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rb.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: push table to %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// nodeAddr finds a member's API address.
+func nodeAddr(nodes []service.Node, id string) string {
+	for _, n := range nodes {
+		if n.ID == id {
+			return n.Addr
+		}
+	}
+	return ""
+}

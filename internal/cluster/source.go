@@ -69,6 +69,15 @@ type SourceOpts struct {
 	RingSize int
 	// Heartbeat overrides the heartbeat interval; 0 means DefaultHeartbeat.
 	Heartbeat time.Duration
+	// Router, when set, lets this node accept live handoffs on the same
+	// listener: an incoming HandoffOffer installs the offered placement
+	// table and takes ownership of the handed-off community. Nil refuses
+	// offers.
+	Router *service.Router
+	// OnTakeover, when set, runs after this node takes ownership of a
+	// community through a handoff (holidayd persists a snapshot so the
+	// restored-not-logged state survives a crash).
+	OnTakeover func(id string)
 }
 
 // Source is the owner half of the replication stream. It implements
@@ -76,9 +85,11 @@ type SourceOpts struct {
 // in place of the raw WAL and every logged record is both durable and
 // replicated. Safe for concurrent use.
 type Source struct {
-	owner     *service.Owner
-	inner     service.Journal
-	heartbeat time.Duration
+	owner      *service.Owner
+	inner      service.Journal
+	heartbeat  time.Duration
+	router     *service.Router
+	onTakeover func(id string)
 
 	mu    sync.Mutex
 	seq   uint64
@@ -114,12 +125,14 @@ func NewSource(o SourceOpts) (*Source, error) {
 		o.Heartbeat = DefaultHeartbeat
 	}
 	return &Source{
-		owner:     o.Owner,
-		inner:     o.Journal,
-		heartbeat: o.Heartbeat,
-		seq:       o.Start,
-		ring:      make([]repRec, o.RingSize),
-		subs:      make(map[*subscriber]struct{}),
+		owner:      o.Owner,
+		inner:      o.Journal,
+		heartbeat:  o.Heartbeat,
+		router:     o.Router,
+		onTakeover: o.OnTakeover,
+		seq:        o.Start,
+		ring:       make([]repRec, o.RingSize),
+		subs:       make(map[*subscriber]struct{}),
 	}, nil
 }
 
@@ -233,6 +246,32 @@ func (s *Source) backlogLocked(fromSeq uint64) (recs []repRec, covered bool) {
 	return recs, covered
 }
 
+// TailFor copies the ring records for one community with sequences in
+// (after, through]. covered reports whether the ring reaches back far
+// enough that no record in that range can have been evicted — when false
+// the caller must fall back to a fresh snapshot.
+func (s *Source) TailFor(community string, after, through uint64) (recs []wire.RawRecord, covered bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return nil, after >= s.seq
+	}
+	covered = after+1 >= s.ring[s.start].seq
+	for i := 0; i < s.count; i++ {
+		r := s.ring[(s.start+i)%len(s.ring)]
+		if r.seq <= after || r.seq > through {
+			continue
+		}
+		var rec struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(r.data, &rec) == nil && rec.ID == community {
+			recs = append(recs, wire.RawRecord{Seq: r.seq, Data: r.data})
+		}
+	}
+	return recs, covered
+}
+
 // Serve accepts follower subscriptions on l until Close. It blocks; run it
 // in a goroutine.
 func (s *Source) Serve(l net.Listener) error {
@@ -283,14 +322,19 @@ func (s *Source) Close() {
 	s.wg.Wait()
 }
 
-// handle runs one follower connection: read its subscription, catch it up,
-// then stream live records and heartbeats until it disconnects or falls too
-// far behind.
+// handle runs one peer connection. The first frame picks the protocol: a
+// Subscribe opens a replication stream (catch up, then live records and
+// heartbeats until the peer disconnects or falls too far behind); a
+// HandoffOffer runs the receiving half of a live handoff.
 func (s *Source) handle(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	f, _, err := wire.ReadFrame(conn, nil)
+	f, buf0, err := wire.ReadFrame(conn, nil)
 	if err != nil {
+		return
+	}
+	if f.Kind == wire.KindHandoffOffer {
+		s.receiveHandoff(conn, f, buf0)
 		return
 	}
 	fromSeq, _, err := f.Subscribe()

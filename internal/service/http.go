@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -47,6 +48,12 @@ type HandlerOpts struct {
 	// locally applied seq) for communities this node follows; surfaced by
 	// /v1/status.
 	Lag func() map[string]uint64
+
+	// Handoff, when set, serves POST /v1/handoff: stream the named community
+	// to the node the offered table assigns it to, install the table, and
+	// report the cut sequence and write-pause the move cost. Daemons wire it
+	// to cluster.Handoff; without it the endpoint answers 501.
+	Handoff func(community string, table Placement) (cutSeq uint64, pause time.Duration, err error)
 }
 
 // HandlerOptions is the pre-cluster options struct of NewHandlerOpts.
@@ -69,6 +76,13 @@ const DefaultMaxBinBatch = 1024
 // error instead of a forwarding loop.
 const forwardHeader = "X-Holiday-Forwarded"
 
+// epochHeader carries the sender's placement epoch on forwarded requests
+// and on epoch-refusal responses. A node receiving a write stamped with a
+// newer epoch than its own table knows its placement is stale — serving
+// could double-own a community it has already lost — so it answers 421
+// not_owner and lets the placement gossip catch it up.
+const epochHeader = "X-Holiday-Epoch"
+
 // legacyDeprecation is the Deprecation header (RFC 9745) the unversioned
 // route aliases carry: the date the /v1 prefix replaced them.
 const legacyDeprecation = "@1786147200" // 2026-08-08T00:00:00Z
@@ -87,7 +101,10 @@ const legacyDeprecation = "@1786147200" // 2026-08-08T00:00:00Z
 //	POST   /v1/communities/{id}/churn               batched churn [{op, u, v}, ...]
 //	GET    /v1/communities/{id}/window?from=F&to=T  schedule window
 //	GET    /v1/communities/{id}/families/{v}/next?from=F  next happy holiday
-//	GET    /v1/status                               node role, placement, per-community seq
+//	GET    /v1/status                               node role, epoch, per-community seq
+//	GET    /v1/placement                            the installed placement table
+//	POST   /v1/placement                            offer a table; installed iff it supersedes
+//	POST   /v1/handoff                              stream a community to its new owner {community, table}
 //	POST   /v1/promote                              take ownership of a community {community}
 //	POST   /v1/bin/window                           batched binary windows
 //	POST   /v1/bin/next                             batched binary next queries
@@ -116,6 +133,14 @@ func NewHandler(h HandlerOpts) http.Handler {
 		h.Node = h.Router.Self()
 	}
 	a := &apiHandler{HandlerOpts: h, client: &http.Client{}}
+	if h.Router != nil {
+		// Every installed table reconciles local fences: communities the
+		// table moved elsewhere stop taking writes, and explicit assignments
+		// to this node promote their fenced replicas. Ring-derived placement
+		// never auto-promotes — only an explicit assignment (published by a
+		// handoff, failover election, or promote) lifts a fence.
+		h.Router.OnChange(func(Placement) { syncFences(h.Owner, h.Router) })
+	}
 	mux := http.NewServeMux()
 	// route registers fn at its /v1 path and at the legacy unversioned
 	// alias, which answers identically but advertises its deprecation.
@@ -130,6 +155,9 @@ func NewHandler(h HandlerOpts) http.Handler {
 	mux.HandleFunc("POST /v1/bin/next", a.binHandler(wire.KindNextReq))
 	mux.HandleFunc("POST /v1/bin/churn", a.churnBinHandler())
 	mux.HandleFunc("GET /v1/status", a.serveStatus)
+	mux.HandleFunc("GET /v1/placement", a.servePlacementGet)
+	mux.HandleFunc("POST /v1/placement", a.servePlacementSet)
+	mux.HandleFunc("POST /v1/handoff", a.serveHandoff)
 	mux.HandleFunc("POST /v1/promote", a.servePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -205,6 +233,7 @@ func (a *apiHandler) forward(w http.ResponseWriter, r *http.Request, node string
 	}
 	req.Header = r.Header.Clone()
 	req.Header.Set(forwardHeader, a.Node)
+	req.Header.Set(epochHeader, strconv.FormatUint(a.Router.Epoch(), 10))
 	resp, err := a.client.Do(req)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, Errf(CodeUnavailable, "forward to %q: %v", node, err))
@@ -220,11 +249,38 @@ func (a *apiHandler) forward(w http.ResponseWriter, r *http.Request, node string
 	_, _ = io.Copy(w, resp.Body)
 }
 
+// staleEpoch answers a write stamped with a placement epoch newer than
+// this node's table: the sender provably holds a table this node has not
+// seen, so serving could take a write for a community this node already
+// lost. 421 not_owner, carrying the local epoch for diagnostics; the
+// placement gossip closes the gap.
+func (a *apiHandler) staleEpoch(w http.ResponseWriter, r *http.Request) bool {
+	if a.Router == nil {
+		return false
+	}
+	he := r.Header.Get(epochHeader)
+	if he == "" {
+		return false
+	}
+	remote, err := strconv.ParseUint(he, 10, 64)
+	local := a.Router.Epoch()
+	if err != nil || remote <= local {
+		return false
+	}
+	w.Header().Set(epochHeader, strconv.FormatUint(local, 10))
+	writeError(w, http.StatusMisdirectedRequest, Errf(CodeNotOwner,
+		"node %q placement epoch %d is stale; request carries epoch %d", a.Node, local, remote))
+	return true
+}
+
 // write wraps a mutating {id} endpoint with placement routing: misplaced
 // requests are forwarded to the owner, local ones proceed (and fencing
 // inside Owner backstops any disagreement).
 func (a *apiHandler) write(fn http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if a.staleEpoch(w, r) {
+			return
+		}
 		if a.misplaced(w, r, r.PathValue("id"), false) {
 			return
 		}
@@ -273,6 +329,9 @@ func (a *apiHandler) serveCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if a.staleEpoch(w, r) {
 		return
 	}
 	if a.Router != nil && !a.Router.IsLocal(req.ID) {
@@ -485,6 +544,7 @@ type communityStatus struct {
 // statusResponse is the GET /v1/status answer.
 type statusResponse struct {
 	Node        string            `json:"node,omitempty"`
+	Epoch       uint64            `json:"epoch"`
 	Nodes       []Node            `json:"nodes,omitempty"`
 	Overrides   map[string]string `json:"overrides,omitempty"`
 	Communities []communityStatus `json:"communities"`
@@ -493,6 +553,7 @@ type statusResponse struct {
 func (a *apiHandler) serveStatus(w http.ResponseWriter, r *http.Request) {
 	resp := statusResponse{Node: a.Node, Communities: []communityStatus{}}
 	if a.Router != nil {
+		resp.Epoch = a.Router.Epoch()
 		resp.Nodes = a.Router.Nodes()
 		if ov := a.Router.Overrides(); len(ov) > 0 {
 			resp.Overrides = ov
@@ -526,9 +587,11 @@ type promoteRequest struct {
 }
 
 // servePromote takes ownership of a community this node replicates: the
-// fence lifts and the router pins the community here, so writes land
-// locally from the next request on. The failover path after the placed
-// owner dies; holidayctl drives it per the topology.
+// router publishes an epoch-bumped table pinning the community here and
+// the fence lifts (rebasing the replica into the local journal's sequence
+// space), so writes land locally from the next request on. The break-glass
+// failover path for when the automatic election cannot run; normal
+// failovers promote without any operator call.
 func (a *apiHandler) servePromote(w http.ResponseWriter, r *http.Request) {
 	if a.Router == nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("this node is not in a cluster"))
@@ -548,10 +611,112 @@ func (a *apiHandler) servePromote(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	a.Owner.Unfence(req.Community)
+	a.Owner.TakeOwnership(req.Community)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"community": req.Community, "node": a.Node, "seq": c.Seq(),
+		"community": req.Community, "node": a.Node, "seq": c.Seq(), "epoch": a.Router.Epoch(),
 	})
+}
+
+// servePlacementGet answers with the installed placement table.
+func (a *apiHandler) servePlacementGet(w http.ResponseWriter, r *http.Request) {
+	if a.Router == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("this node is not in a cluster"))
+		return
+	}
+	writeJSON(w, http.StatusOK, a.Router.Placement())
+}
+
+// servePlacementSet offers a table to this node: installed iff it
+// supersedes the current one (higher epoch; fingerprint breaks same-epoch
+// ties), so republication and stale gossip are harmless. The response
+// reports the decision and the epoch now in force.
+func (a *apiHandler) servePlacementSet(w http.ResponseWriter, r *http.Request) {
+	if a.Router == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("this node is not in a cluster"))
+		return
+	}
+	var p Placement
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	installed, err := a.Router.SetPlacement(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"installed": installed, "epoch": a.Router.Epoch(),
+	})
+}
+
+// handoffRequest is the POST /v1/handoff body: move community to the node
+// table assigns it to, and install table cluster-wide as the new epoch.
+type handoffRequest struct {
+	Community string    `json:"community"`
+	Table     Placement `json:"table"`
+}
+
+// serveHandoff runs one live handoff from this node (the community's
+// current owner) via the wired Handoff hook and reports what it cost.
+func (a *apiHandler) serveHandoff(w http.ResponseWriter, r *http.Request) {
+	if a.Router == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("this node is not in a cluster"))
+		return
+	}
+	if a.Handoff == nil {
+		writeError(w, http.StatusNotImplemented, Errf(CodeUnavailable, "this node does not serve handoffs"))
+		return
+	}
+	var req handoffRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if req.Community == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("handoff request names no community"))
+		return
+	}
+	cut, pause, err := a.Handoff(req.Community, req.Table)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"community": req.Community,
+		"node":      req.Table.Assign[req.Community],
+		"epoch":     req.Table.Epoch,
+		"cut_seq":   cut,
+		"pause_us":  pause.Microseconds(),
+	})
+}
+
+// syncFences reconciles local ownership with the installed table after
+// every placement change. Communities this node holds unfenced but the
+// table places elsewhere are fenced (fail closed: a node that lost a
+// community must stop taking writes the moment it learns). Fenced replicas
+// the table explicitly assigns to this node are promoted — explicit
+// assignments are only ever published by handoffs, elections, and the
+// promote endpoint, so ring-derived placement alone never lifts a fence.
+func syncFences(o *Owner, rt *Router) {
+	self := rt.Self()
+	if self == "" {
+		return
+	}
+	assign := rt.Overrides()
+	for _, id := range o.List() {
+		c, ok := o.Get(id)
+		if !ok {
+			continue
+		}
+		if assign[id] == self {
+			if c.Fenced() {
+				o.TakeOwnership(id)
+			}
+		} else if !c.Fenced() && rt.Place(id) != self {
+			o.Fence(id)
+		}
+	}
 }
 
 // binHandler serves one binary endpoint: the request body is a batch of

@@ -44,12 +44,18 @@ func LoadTopology(path string) (Topology, error) {
 // small cluster within a few percent while the ring stays tiny.
 const DefaultVNodes = 64
 
-// Router is the placement surface of the cluster: a consistent-hash ring
-// mapping community ids to member nodes, plus explicit per-community
-// overrides for promotions after a node death. Placement is a pure function
-// of the member ids (and overrides) — every process loading the same
-// topology computes the same owner for every community, across restarts,
-// with no coordination.
+// Router is the placement surface of the cluster. It serves an
+// epoch-versioned Placement table: cluster membership (from which the
+// consistent-hash ring is derived) plus explicit per-community assignments
+// that take precedence over the ring. Placement is a pure function of the
+// installed table — every process holding the same table computes the same
+// owner for every community, across restarts, with no coordination.
+//
+// Tables advance through SetPlacement (higher epoch wins; same-epoch ties
+// break on the canonical fingerprint), so concurrent publishers — two
+// replicas self-promoting after an owner death, an operator rebalance
+// racing a failover — converge deterministically. Mutators like Override
+// and AddNode are conveniences that bump the epoch by one.
 //
 // Daemons embed a Router to decide whether to serve, forward, or refuse;
 // clients (holidayctl, the benchmark cluster driver) embed one with an
@@ -58,10 +64,10 @@ type Router struct {
 	self   string
 	vnodes int
 
-	mu        sync.RWMutex
-	nodes     []Node // sorted by ID
-	ring      []ringPoint
-	overrides map[string]string // community id → node id
+	mu       sync.RWMutex
+	p        Placement // current table; p.Nodes sorted by id
+	ring     []ringPoint
+	watchers []func(Placement)
 }
 
 // ringPoint is one virtual node on the hash ring.
@@ -79,42 +85,54 @@ type RouterOpts struct {
 	Nodes []Node
 	// VNodes overrides the virtual nodes per member; 0 means DefaultVNodes.
 	VNodes int
+	// Epoch is the initial table's epoch; 0 for a fresh boot (any published
+	// table supersedes it).
+	Epoch uint64
 }
 
 // NewRouter builds a router over the given members.
 func NewRouter(o RouterOpts) (*Router, error) {
-	if len(o.Nodes) == 0 {
-		return nil, fmt.Errorf("service: router needs at least one node")
-	}
 	if o.VNodes < 1 {
 		o.VNodes = DefaultVNodes
 	}
-	rt := &Router{
-		self:      o.Self,
-		vnodes:    o.VNodes,
-		nodes:     append([]Node(nil), o.Nodes...),
-		overrides: make(map[string]string),
+	p := Placement{
+		Epoch:  o.Epoch,
+		Nodes:  append([]Node(nil), o.Nodes...),
+		Assign: make(map[string]string),
 	}
-	sort.Slice(rt.nodes, func(i, j int) bool { return rt.nodes[i].ID < rt.nodes[j].ID })
-	for i, n := range rt.nodes {
-		if n.ID == "" {
-			return nil, fmt.Errorf("service: router node %d has an empty id", i)
-		}
-		if i > 0 && rt.nodes[i-1].ID == n.ID {
-			return nil, fmt.Errorf("service: router has duplicate node id %q", n.ID)
-		}
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
+	sort.Slice(p.Nodes, func(i, j int) bool { return p.Nodes[i].ID < p.Nodes[j].ID })
+	rt := &Router{self: o.Self, vnodes: o.VNodes, p: p}
 	if o.Self != "" && !rt.isMemberLocked(o.Self) {
 		return nil, fmt.Errorf("service: router self %q is not in the topology", o.Self)
 	}
-	rt.rebuildLocked()
+	rt.ring = buildRing(nil, p.Nodes, o.VNodes)
+	return rt, nil
+}
+
+// RouterFor returns a client-side router (empty Self) serving exactly the
+// given table — how tooling evaluates a table's placement without joining
+// the cluster.
+func RouterFor(p Placement) (*Router, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rt, err := NewRouter(RouterOpts{Nodes: p.Nodes, Epoch: p.Epoch})
+	if err != nil {
+		return nil, err
+	}
+	for c, n := range p.Assign {
+		rt.p.Assign[c] = n
+	}
 	return rt, nil
 }
 
 // isMemberLocked reports whether id names a member; caller holds mu (or the
 // router is still private).
 func (rt *Router) isMemberLocked(id string) bool {
-	for _, n := range rt.nodes {
+	for _, n := range rt.p.Nodes {
 		if n.ID == id {
 			return true
 		}
@@ -122,24 +140,26 @@ func (rt *Router) isMemberLocked(id string) bool {
 	return false
 }
 
-// rebuildLocked recomputes the ring from the member list; caller holds mu.
-func (rt *Router) rebuildLocked() {
-	rt.ring = rt.ring[:0]
-	for _, n := range rt.nodes {
+// buildRing computes the vnode ring for a member list, reusing dst's
+// backing array when possible.
+func buildRing(dst []ringPoint, nodes []Node, vnodes int) []ringPoint {
+	dst = dst[:0]
+	for _, n := range nodes {
 		h := fnvString(fnvOffset64, n.ID)
 		h = fnvByte(h, '#')
-		for i := 0; i < rt.vnodes; i++ {
-			rt.ring = append(rt.ring, ringPoint{hash: mix64(fnvString(h, strconv.Itoa(i))), node: n.ID})
+		for i := 0; i < vnodes; i++ {
+			dst = append(dst, ringPoint{hash: mix64(fnvString(h, strconv.Itoa(i))), node: n.ID})
 		}
 	}
-	sort.Slice(rt.ring, func(i, j int) bool {
-		if rt.ring[i].hash != rt.ring[j].hash {
-			return rt.ring[i].hash < rt.ring[j].hash
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].hash != dst[j].hash {
+			return dst[i].hash < dst[j].hash
 		}
 		// Hash ties (vanishingly rare) break by node id so placement stays
 		// deterministic regardless of member insertion order.
-		return rt.ring[i].node < rt.ring[j].node
+		return dst[i].node < dst[j].node
 	})
+	return dst
 }
 
 // FNV-1a, inlined so ring rebuilds and lookups never allocate a hasher.
@@ -179,16 +199,68 @@ func (rt *Router) Self() string { return rt.self }
 func (rt *Router) Nodes() []Node {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	return append([]Node(nil), rt.nodes...)
+	return append([]Node(nil), rt.p.Nodes...)
 }
 
-// Place returns the node id owning a community: its override if one was
-// promoted, otherwise the first ring point at or after the community's
+// Epoch returns the installed table's epoch.
+func (rt *Router) Epoch() uint64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.p.Epoch
+}
+
+// Placement returns a copy of the installed table.
+func (rt *Router) Placement() Placement {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.p.Clone()
+}
+
+// SetPlacement installs a table if it supersedes the current one (higher
+// epoch, or same epoch with a winning fingerprint). It returns whether the
+// table was installed; an equal table reports false with no error, so
+// republication is idempotent. Watchers registered with OnChange observe
+// every install.
+func (rt *Router) SetPlacement(p Placement) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	p = p.Clone()
+	sort.Slice(p.Nodes, func(i, j int) bool { return p.Nodes[i].ID < p.Nodes[j].ID })
+	if p.Assign == nil {
+		p.Assign = make(map[string]string)
+	}
+	rt.mu.Lock()
+	if !p.Supersedes(rt.p) {
+		rt.mu.Unlock()
+		return false, nil
+	}
+	rt.p = p
+	rt.ring = buildRing(rt.ring, p.Nodes, rt.vnodes)
+	watchers := append([]func(Placement){}, rt.watchers...)
+	snap := p.Clone()
+	rt.mu.Unlock()
+	for _, w := range watchers {
+		w(snap)
+	}
+	return true, nil
+}
+
+// OnChange registers a watcher called (outside the router's lock, with a
+// private copy of the table) after every successful SetPlacement install.
+func (rt *Router) OnChange(fn func(Placement)) {
+	rt.mu.Lock()
+	rt.watchers = append(rt.watchers, fn)
+	rt.mu.Unlock()
+}
+
+// Place returns the node id owning a community: its table assignment if
+// one exists, otherwise the first ring point at or after the community's
 // hash.
 func (rt *Router) Place(community string) string {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	if n, ok := rt.overrides[community]; ok {
+	if n, ok := rt.p.Assign[community]; ok {
 		return n
 	}
 	h := mix64(fnvString(fnvOffset64, community))
@@ -206,7 +278,7 @@ func (rt *Router) IsLocal(community string) bool { return rt.Place(community) ==
 func (rt *Router) Addr(node string) (string, bool) {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	for _, n := range rt.nodes {
+	for _, n := range rt.p.Nodes {
 		if n.ID == node {
 			return n.Addr, true
 		}
@@ -214,32 +286,71 @@ func (rt *Router) Addr(node string) (string, bool) {
 	return "", false
 }
 
-// Override pins a community to a node regardless of the ring — the
-// promotion path after its hash-placed owner dies. The node must be a
-// member.
+// ReplAddr returns the replication listener address of a member node.
+func (rt *Router) ReplAddr(node string) (string, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	for _, n := range rt.p.Nodes {
+		if n.ID == node {
+			return n.Repl, true
+		}
+	}
+	return "", false
+}
+
+// Override pins a community to a node regardless of the ring by publishing
+// a one-epoch bump of the current table — the break-glass promotion path
+// after its hash-placed owner dies. The node must be a member.
 func (rt *Router) Override(community, node string) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if !rt.isMemberLocked(node) {
 		return fmt.Errorf("service: override %q → %q: no such node", community, node)
 	}
-	rt.overrides[community] = node
+	rt.bumpLocked(func(p *Placement) { p.Assign[community] = node })
 	return nil
 }
 
-// Overrides returns a copy of the promotion overrides.
+// bumpLocked installs a mutated copy of the current table at epoch+1;
+// caller holds mu. Watchers run after the caller releases the lock via
+// notifyAsync — mutator-path installs are always strictly newer, so the
+// deferred notification cannot reorder against a competing install.
+func (rt *Router) bumpLocked(mutate func(*Placement)) {
+	p := rt.p.Clone()
+	if p.Assign == nil {
+		p.Assign = make(map[string]string)
+	}
+	p.Epoch++
+	mutate(&p)
+	sort.Slice(p.Nodes, func(i, j int) bool { return p.Nodes[i].ID < p.Nodes[j].ID })
+	rt.p = p
+	rt.ring = buildRing(rt.ring, p.Nodes, rt.vnodes)
+	if len(rt.watchers) > 0 {
+		watchers := append([]func(Placement){}, rt.watchers...)
+		snap := p.Clone()
+		go func() {
+			for _, w := range watchers {
+				w(snap)
+			}
+		}()
+	}
+}
+
+// Overrides returns a copy of the explicit assignments of the current
+// table (the entries that shadow ring placement).
 func (rt *Router) Overrides() map[string]string {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	out := make(map[string]string, len(rt.overrides))
-	for k, v := range rt.overrides {
+	out := make(map[string]string, len(rt.p.Assign))
+	for k, v := range rt.p.Assign {
 		out[k] = v
 	}
 	return out
 }
 
-// AddNode joins a member to the ring; placement of communities hashing to
-// other members is unchanged (the consistent-hash property the tests pin).
+// AddNode joins a member to the ring at a new epoch; placement of
+// communities hashing to other members is unchanged (the consistent-hash
+// property the tests pin).
 func (rt *Router) AddNode(n Node) error {
 	if n.ID == "" {
 		return fmt.Errorf("service: AddNode: empty node id")
@@ -249,28 +360,31 @@ func (rt *Router) AddNode(n Node) error {
 	if rt.isMemberLocked(n.ID) {
 		return fmt.Errorf("service: AddNode: node %q already a member", n.ID)
 	}
-	rt.nodes = append(rt.nodes, n)
-	sort.Slice(rt.nodes, func(i, j int) bool { return rt.nodes[i].ID < rt.nodes[j].ID })
-	rt.rebuildLocked()
+	rt.bumpLocked(func(p *Placement) { p.Nodes = append(p.Nodes, n) })
 	return nil
 }
 
-// RemoveNode drops a member (and any overrides pointing at it), reporting
-// whether it was one. Communities it owned move to their next ring point.
+// RemoveNode drops a member (and any assignments pointing at it) at a new
+// epoch, reporting whether it was one. Communities it owned move to their
+// next ring point.
 func (rt *Router) RemoveNode(id string) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for i, n := range rt.nodes {
-		if n.ID == id {
-			rt.nodes = append(rt.nodes[:i], rt.nodes[i+1:]...)
-			for c, o := range rt.overrides {
-				if o == id {
-					delete(rt.overrides, c)
-				}
-			}
-			rt.rebuildLocked()
-			return true
-		}
+	if !rt.isMemberLocked(id) {
+		return false
 	}
-	return false
+	rt.bumpLocked(func(p *Placement) {
+		for i, n := range p.Nodes {
+			if n.ID == id {
+				p.Nodes = append(p.Nodes[:i], p.Nodes[i+1:]...)
+				break
+			}
+		}
+		for c, o := range p.Assign {
+			if o == id {
+				delete(p.Assign, c)
+			}
+		}
+	})
+	return true
 }

@@ -204,6 +204,34 @@ func (r *Owner) Fence(id string) bool { return r.setFenced(id, true) }
 // ownership. Reports whether the community exists.
 func (r *Owner) Unfence(id string) bool { return r.setFenced(id, false) }
 
+// TakeOwnership promotes a replica this node follows into a locally owned
+// community: it lifts the fence and rebases the community's sequence into
+// the local journal's space. A replica's seq is a position in its old
+// owner's journal; left in place it can exceed every sequence the local
+// journal will ever assign, so post-promotion writes would be skipped on
+// WAL replay (seq <= cut-point) and silently lost across a restart.
+// Already-owned communities are left untouched. Reports whether the
+// community exists.
+func (r *Owner) TakeOwnership(id string) bool {
+	c, ok := r.Get(id)
+	if !ok {
+		return false
+	}
+	var base uint64
+	if j := r.getJournal(); j != nil {
+		if s, ok := j.(interface{ Seq() uint64 }); ok {
+			base = s.Seq()
+		}
+	}
+	c.mu.Lock()
+	if c.fenced {
+		c.fenced = false
+		c.seq = base
+	}
+	c.mu.Unlock()
+	return true
+}
+
 func (r *Owner) setFenced(id string, fenced bool) bool {
 	c, ok := r.Get(id)
 	if !ok {

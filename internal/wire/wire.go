@@ -23,6 +23,9 @@
 //	Snapshot  (10): u64 cutoff | u32 len | bytes
 //	Heartbeat (11): u64 seq
 //
+//	HandoffOffer (12): u64 epoch | u16 idLen | id | u32 tableLen | table | u32 stateLen | state
+//	HandoffAck   (13): u64 seq | u16 idLen | id
+//
 // Kinds 8–11 are the replication stream of internal/cluster: a follower
 // opens a connection with Subscribe naming the last sequence it has applied,
 // and the owner answers with Snapshot frames (one per community, the
@@ -30,6 +33,15 @@
 // objects wal.jsonl stores, framed with their sequence numbers) and
 // Heartbeat frames advertising the owner's current sequence so an idle
 // follower can still measure its lag.
+//
+// Kinds 12–13 are the live-handoff exchange (DESIGN.md §12): the old owner
+// of a community opens a connection to the new owner's replication listener
+// with HandoffOffer — the placement table being flipped to (JSON), the
+// community's exported state, and the epoch — then streams the WAL tail
+// (Records or a re-export Snapshot) accumulated while the offer was in
+// flight, marks the fencing cut with a Heartbeat carrying the cut sequence,
+// and waits for HandoffAck confirming the new owner applied everything and
+// took ownership.
 //
 // A batch is frames concatenated back to back; responses correspond 1:1 and
 // in order with the request frames, per-query failures arriving as Error
@@ -102,6 +114,14 @@ const (
 	// KindHeartbeat advertises the owner's current WAL sequence so idle
 	// followers can measure replication lag.
 	KindHeartbeat
+	// KindHandoffOffer opens a live handoff: the old owner of a community
+	// offers its exported state plus the placement table (JSON) being
+	// flipped to at the named epoch.
+	KindHandoffOffer
+	// KindHandoffAck completes a handoff: the new owner confirms it applied
+	// the offer (and any WAL tail) through the acknowledged sequence and has
+	// taken ownership.
+	KindHandoffAck
 )
 
 // Churn op bytes of a ChurnReq body. The values deliberately match
@@ -139,6 +159,10 @@ func (k Kind) String() string {
 		return "snapshot"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindHandoffOffer:
+		return "handoff-offer"
+	case KindHandoffAck:
+		return "handoff-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -278,7 +302,7 @@ func Split(b []byte) (Frame, []byte, error) {
 		return Frame{}, nil, fmt.Errorf("wire: version %d, this build speaks %d", p[2], Version)
 	}
 	k := Kind(p[3])
-	if k < KindWindowReq || k > KindHeartbeat {
+	if k < KindWindowReq || k > KindHandoffAck {
 		return Frame{}, nil, fmt.Errorf("wire: unknown frame kind %d", p[3])
 	}
 	return Frame{Kind: k, Body: p[headerLen:]}, b[prefixLen+int(n):], nil
@@ -594,6 +618,79 @@ func (f Frame) Heartbeat() (uint64, error) {
 	return binary.LittleEndian.Uint64(f.Body), nil
 }
 
+// AppendHandoffOffer appends a handoff-offer frame: the community being
+// handed off, the serialized placement table (JSON) taking effect at epoch,
+// and the community's exported state (JSON, which carries its own sequence
+// cut).
+func AppendHandoffOffer(dst []byte, epoch uint64, id string, table, state []byte) []byte {
+	dst = appendHeader(dst, KindHandoffOffer, 8+2+len(id)+4+len(table)+4+len(state))
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = appendID(dst, id)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(table)))
+	dst = append(dst, table...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
+	return append(dst, state...)
+}
+
+// HandoffOffer decodes a handoff-offer body. The returned table and state
+// alias the frame body.
+func (f Frame) HandoffOffer() (epoch uint64, id string, table, state []byte, err error) {
+	if f.Kind != KindHandoffOffer {
+		return 0, "", nil, nil, fmt.Errorf("wire: %s frame is not a handoff offer", f.Kind)
+	}
+	if len(f.Body) < 8 {
+		return 0, "", nil, nil, fmt.Errorf("wire: handoff offer body is %d bytes, want ≥ 8", len(f.Body))
+	}
+	epoch = binary.LittleEndian.Uint64(f.Body)
+	id, rest, err := splitID(f.Body[8:])
+	if err != nil {
+		return 0, "", nil, nil, err
+	}
+	if len(rest) < 4 {
+		return 0, "", nil, nil, fmt.Errorf("wire: handoff offer truncated before table length")
+	}
+	n := int(binary.LittleEndian.Uint32(rest))
+	if len(rest)-4 < n {
+		return 0, "", nil, nil, fmt.Errorf("wire: handoff offer declares %d table bytes, %d present", n, len(rest)-4)
+	}
+	table, rest = rest[4:4+n], rest[4+n:]
+	if len(rest) < 4 {
+		return 0, "", nil, nil, fmt.Errorf("wire: handoff offer truncated before state length")
+	}
+	n = int(binary.LittleEndian.Uint32(rest))
+	if len(rest)-4 != n {
+		return 0, "", nil, nil, fmt.Errorf("wire: handoff offer declares %d state bytes, %d present", n, len(rest)-4)
+	}
+	return epoch, id, table, rest[4:], nil
+}
+
+// AppendHandoffAck appends a handoff-ack frame: the new owner has applied
+// the named community through seq and taken ownership.
+func AppendHandoffAck(dst []byte, seq uint64, id string) []byte {
+	dst = appendHeader(dst, KindHandoffAck, 8+2+len(id))
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	return appendID(dst, id)
+}
+
+// HandoffAck decodes a handoff-ack body.
+func (f Frame) HandoffAck() (seq uint64, id string, err error) {
+	if f.Kind != KindHandoffAck {
+		return 0, "", fmt.Errorf("wire: %s frame is not a handoff ack", f.Kind)
+	}
+	if len(f.Body) < 8 {
+		return 0, "", fmt.Errorf("wire: handoff ack body is %d bytes, want ≥ 8", len(f.Body))
+	}
+	seq = binary.LittleEndian.Uint64(f.Body)
+	id, rest, err := splitID(f.Body[8:])
+	if err != nil {
+		return 0, "", err
+	}
+	if len(rest) != 0 {
+		return 0, "", fmt.Errorf("wire: handoff ack has %d trailing bytes", len(rest))
+	}
+	return seq, id, nil
+}
+
 // ReadFrame reads one frame from a stream, reusing buf (grown as needed) for
 // the payload; the returned buffer must be passed back in on the next call,
 // and the frame body aliases it. This is the replication-stream reader —
@@ -624,7 +721,7 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		return Frame{}, buf, fmt.Errorf("wire: version %d, this build speaks %d", buf[2], Version)
 	}
 	k := Kind(buf[3])
-	if k < KindWindowReq || k > KindHeartbeat {
+	if k < KindWindowReq || k > KindHandoffAck {
 		return Frame{}, buf, fmt.Errorf("wire: unknown frame kind %d", buf[3])
 	}
 	return Frame{Kind: k, Body: buf[headerLen:]}, buf, nil

@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# cluster-smoke.sh — boot a 3-node holidayd cluster, replicate, kill the
-# owner of a hot community, promote a survivor per topology, and require
-# byte-for-byte identical window/next answers across the failover.
+# cluster-smoke.sh — three failover legs against real holidayd clusters:
+#
+#   leg 1  break-glass: detector disabled (-failover-after 0), SIGKILL the
+#          owner, operator promotes a survivor, answers byte-identical.
+#   leg 2  no-operator: detector armed, SIGKILL the owner, a survivor
+#          self-promotes the hot community with ZERO holidayctl calls,
+#          answers byte-identical across the automatic failover.
+#   leg 3  join-rebalance: a fourth node joins, holidayctl rebalance
+#          live-moves its communities over epoch-bumped handoffs, every
+#          community answers byte-identically afterwards.
 #
 # Run from the repo root. Builds into a temp dir; cleans up on every exit.
 set -euo pipefail
@@ -18,9 +25,9 @@ cleanup() {
 }
 fail() {
   echo "FAIL: $1" >&2
-  for n in a b c; do
-    echo "--- $n.log ---" >&2
-    cat "$WORK/$n.log" >&2 || true
+  for log in "$WORK"/*.log; do
+    echo "--- $(basename "$log") ---" >&2
+    tail -40 "$log" >&2 || true
   done
   exit 1
 }
@@ -29,29 +36,37 @@ trap cleanup EXIT
 go build -o "$BIN/holidayd" ./cmd/holidayd
 go build -o "$BIN/holidayctl" ./cmd/holidayctl
 
-cat > "$WORK/nodes.json" <<'EOF'
-{
-  "nodes": [
-    {"id": "a", "addr": "http://127.0.0.1:18081", "repl": "127.0.0.1:19091"},
-    {"id": "b", "addr": "http://127.0.0.1:18082", "repl": "127.0.0.1:19092"},
-    {"id": "c", "addr": "http://127.0.0.1:18083", "repl": "127.0.0.1:19093"}
-  ]
-}
-EOF
-
-declare -A ADDR=([a]=http://127.0.0.1:18081 [b]=http://127.0.0.1:18082 [c]=http://127.0.0.1:18083)
+declare -A ADDR=(
+  [a]=http://127.0.0.1:18081 [b]=http://127.0.0.1:18082
+  [c]=http://127.0.0.1:18083 [d]=http://127.0.0.1:18084
+)
+declare -A REPL=(
+  [a]=127.0.0.1:19091 [b]=127.0.0.1:19092
+  [c]=127.0.0.1:19093 [d]=127.0.0.1:19094
+)
 declare -A PID
 
-start_node() {
-  local id=$1
+write_topology() { # write_topology <file> <node>...
+  local file=$1; shift
+  {
+    echo '{"nodes": ['
+    local sep=""
+    for n in "$@"; do
+      printf '%s{"id": "%s", "addr": "%s", "repl": "%s"}' "$sep" "$n" "${ADDR[$n]}" "${REPL[$n]}"
+      sep=$',\n'
+    done
+    echo $'\n]}'
+  } > "$file"
+}
+
+start_node() { # start_node <leg> <id> <topology> <failover-after>
+  local leg=$1 id=$2 topo=$3 fo=$4
   "$BIN/holidayd" -addr "${ADDR[$id]#http://}" -node-id "$id" \
-    -peers "$WORK/nodes.json" -follow all \
-    -data-dir "$WORK/data-$id" >"$WORK/$id.log" 2>&1 &
+    -peers "$topo" -follow all -failover-after "$fo" \
+    -data-dir "$WORK/$leg-data-$id" >"$WORK/$leg-$id.log" 2>&1 &
   PID[$id]=$!
   PIDS+=($!)
 }
-
-for n in a b c; do start_node "$n"; done
 
 await_healthy() {
   for i in $(seq 1 60); do
@@ -60,87 +75,192 @@ await_healthy() {
   done
   fail "node at $1 never became healthy"
 }
-for n in a b c; do await_healthy "${ADDR[$n]}"; done
 
-# Create communities through one node; misplaced creates forward to their
-# placed owner server-side.
-COMMS=(comm-0 comm-1 comm-2 comm-3 comm-4 comm-5)
-for id in "${COMMS[@]}"; do
-  curl -sf -X POST "${ADDR[a]}/v1/communities" -d "{\"id\":\"$id\",\"families\":8}" >/dev/null \
-    || fail "create $id"
-done
-
-# Churn every community so replication carries real records, and remember
-# each owner's acked sequence.
-for id in "${COMMS[@]}"; do
-  for i in 1 2 3; do
-    curl -sf -X POST "${ADDR[b]}/v1/communities/$id/churn" \
-      -d '[{"op":"marry","u":0,"v":'"$i"'},{"op":"marry","u":'"$i"',"v":'"$((i+1))"'}]' >/dev/null \
-      || fail "churn $id"
+stop_cluster() { # stop nodes and wait until their ports are released
+  for n in "$@"; do kill "${PID[$n]}" 2>/dev/null || true; done
+  for n in "$@"; do
+    for i in $(seq 1 40); do
+      curl -sf --max-time 1 "${ADDR[$n]}/healthz" >/dev/null 2>&1 || break
+      sleep 0.25
+    done
   done
-done
+}
 
-# Pick the hot community and find its owner from the topology.
-HOT=comm-0
-OWNER=$("$BIN/holidayctl" -topology "$WORK/nodes.json" place "$HOT" | awk '{print $3}')
-echo "hot community $HOT is owned by node $OWNER"
+COMMS=(comm-0 comm-1 comm-2 comm-3 comm-4 comm-5)
 
-owner_seq() {
+seed_cluster() { # create and churn every community through one node
+  local via=$1
+  for id in "${COMMS[@]}"; do
+    curl -sf -X POST "${ADDR[$via]}/v1/communities" -d "{\"id\":\"$id\",\"families\":8}" >/dev/null \
+      || fail "create $id"
+  done
+  for id in "${COMMS[@]}"; do
+    for i in 1 2 3; do
+      curl -sf -X POST "${ADDR[$via]}/v1/communities/$id/churn" \
+        -d '[{"op":"marry","u":0,"v":'"$i"'},{"op":"marry","u":'"$i"',"v":'"$((i+1))"'}]' >/dev/null \
+        || fail "churn $id"
+    done
+  done
+}
+
+comm_seq() { # comm_seq <node> <community> — seq from a node's status
   curl -sf "${ADDR[$1]}/v1/status" \
     | jq -r --arg id "$2" '.communities[] | select(.id==$id) | .seq'
 }
 
-# Wait until every follower holds HOT at the owner's sequence.
-WANT=$(owner_seq "$OWNER" "$HOT")
-[ -n "$WANT" ] || fail "owner has no sequence for $HOT"
-for n in a b c; do
-  [ "$n" = "$OWNER" ] && continue
-  for i in $(seq 1 120); do
-    got=$(owner_seq "$n" "$HOT" || true)
-    [ "$got" = "$WANT" ] && break
-    sleep 0.25
-    [ "$i" = 120 ] && fail "node $n never replicated $HOT to seq $WANT (at: ${got:-none})"
-  done
-done
-echo "replication caught up: $HOT at seq $WANT on all nodes"
+comm_role() { # comm_role <node> <community>
+  curl -sf "${ADDR[$1]}/v1/status" 2>/dev/null \
+    | jq -r --arg id "$2" '.communities[] | select(.id==$id) | .role' 2>/dev/null || true
+}
 
-# Pre-kill captures — the failover must reproduce these byte-for-byte.
+await_replication() { # await_replication <owner> <community> <node>...
+  local owner=$1 hot=$2; shift 2
+  local want
+  want=$(comm_seq "$owner" "$hot")
+  [ -n "$want" ] || fail "owner has no sequence for $hot"
+  for n in "$@"; do
+    [ "$n" = "$owner" ] && continue
+    for i in $(seq 1 120); do
+      got=$(comm_seq "$n" "$hot" || true)
+      [ "$got" = "$want" ] && break
+      sleep 0.25
+      [ "$i" = 120 ] && fail "node $n never replicated $hot to seq $want (at: ${got:-none})"
+    done
+  done
+}
+
+# ---------------------------------------------------------------- leg 1 ---
+echo "=== leg 1: break-glass promote (detector disabled) ==="
+TOPO1="$WORK/leg1-nodes.json"
+write_topology "$TOPO1" a b c
+for n in a b c; do start_node leg1 "$n" "$TOPO1" 0; done
+for n in a b c; do await_healthy "${ADDR[$n]}"; done
+seed_cluster a
+
+HOT=comm-0
+OWNER=$("$BIN/holidayctl" -topology "$TOPO1" place "$HOT" | awk '{print $3}')
+echo "hot community $HOT is owned by node $OWNER"
+await_replication "$OWNER" "$HOT" a b c
+
 curl -sf "${ADDR[$OWNER]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window.pre" \
   || fail "pre-kill window"
 curl -sf "${ADDR[$OWNER]}/v1/communities/$HOT/families/3/next?from=1" > "$WORK/next.pre" \
   || fail "pre-kill next"
-
-# Followers must already serve identical bytes (replica reads).
 for n in a b c; do
   [ "$n" = "$OWNER" ] && continue
   curl -sf "${ADDR[$n]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window.$n"
   cmp -s "$WORK/window.pre" "$WORK/window.$n" || fail "replica window on $n differs from owner before the kill"
 done
 
-# Kill the owner, hard.
 kill -9 "${PID[$OWNER]}" || fail "kill owner"
 echo "killed owner $OWNER"
 
-# Promote: the first surviving node in topology order takes over.
 for n in a b c; do
   if [ "$n" != "$OWNER" ]; then PROMOTE=$n; break; fi
 done
-"$BIN/holidayctl" -topology "$WORK/nodes.json" promote "$HOT" "$PROMOTE" \
+"$BIN/holidayctl" -topology "$TOPO1" promote "$HOT" "$PROMOTE" \
   || fail "promote $HOT to $PROMOTE"
 echo "promoted $HOT on $PROMOTE"
 
-# Post-failover answers must be byte-identical to the pre-kill captures.
 curl -sf "${ADDR[$PROMOTE]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window.post" \
   || fail "post-failover window"
 curl -sf "${ADDR[$PROMOTE]}/v1/communities/$HOT/families/3/next?from=1" > "$WORK/next.post" \
   || fail "post-failover next"
-cmp -s "$WORK/window.pre" "$WORK/window.post" || fail "window answer changed across failover"
-cmp -s "$WORK/next.pre" "$WORK/next.post" || fail "next answer changed across failover"
-
-# The promoted node now takes writes for the community.
+cmp -s "$WORK/window.pre" "$WORK/window.post" || fail "window answer changed across break-glass failover"
+cmp -s "$WORK/next.pre" "$WORK/next.post" || fail "next answer changed across break-glass failover"
 curl -sf -X POST "${ADDR[$PROMOTE]}/v1/communities/$HOT/churn" \
   -d '[{"op":"divorce","u":0,"v":1}]' >/dev/null \
   || fail "write to promoted node"
+echo "leg 1 OK: break-glass promote, byte-identical answers"
+stop_cluster a b c
 
-"$BIN/holidayctl" -topology "$WORK/nodes.json" status || true
-echo "cluster smoke OK: replication, kill, promote, byte-identical failover"
+# ---------------------------------------------------------------- leg 2 ---
+echo "=== leg 2: no-operator failover (detector armed) ==="
+TOPO2="$WORK/leg2-nodes.json"
+write_topology "$TOPO2" a b c
+for n in a b c; do start_node leg2 "$n" "$TOPO2" 2s; done
+for n in a b c; do await_healthy "${ADDR[$n]}"; done
+seed_cluster b
+
+OWNER=$("$BIN/holidayctl" -topology "$TOPO2" place "$HOT" | awk '{print $3}')
+echo "hot community $HOT is owned by node $OWNER"
+await_replication "$OWNER" "$HOT" a b c
+
+curl -sf "${ADDR[$OWNER]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window2.pre" \
+  || fail "pre-kill window"
+curl -sf "${ADDR[$OWNER]}/v1/communities/$HOT/families/3/next?from=1" > "$WORK/next2.pre" \
+  || fail "pre-kill next"
+
+kill -9 "${PID[$OWNER]}" || fail "kill owner"
+echo "killed owner $OWNER; waiting for automatic promotion (no operator calls)"
+
+SURVIVORS=()
+for n in a b c; do [ "$n" != "$OWNER" ] && SURVIVORS+=("$n"); done
+
+NEWOWNER=""
+for i in $(seq 1 120); do
+  for n in "${SURVIVORS[@]}"; do
+    if [ "$(comm_role "$n" "$HOT")" = "owner" ]; then NEWOWNER=$n; break 2; fi
+  done
+  sleep 0.25
+done
+[ -n "$NEWOWNER" ] || fail "no survivor self-promoted $HOT within 30s"
+echo "node $NEWOWNER self-promoted $HOT"
+
+curl -sf "${ADDR[$NEWOWNER]}/v1/communities/$HOT/window?from=1&to=100" > "$WORK/window2.post" \
+  || fail "post-failover window"
+curl -sf "${ADDR[$NEWOWNER]}/v1/communities/$HOT/families/3/next?from=1" > "$WORK/next2.post" \
+  || fail "post-failover next"
+cmp -s "$WORK/window2.pre" "$WORK/window2.post" || fail "window answer changed across automatic failover"
+cmp -s "$WORK/next2.pre" "$WORK/next2.post" || fail "next answer changed across automatic failover"
+curl -sf -X POST "${ADDR[$NEWOWNER]}/v1/communities/$HOT/churn" \
+  -d '[{"op":"divorce","u":0,"v":1}]' >/dev/null \
+  || fail "write to self-promoted node"
+EPOCH=$(curl -sf "${ADDR[$NEWOWNER]}/v1/status" | jq -r '.epoch')
+[ "$EPOCH" -ge 1 ] || fail "automatic failover did not advance the placement epoch (at $EPOCH)"
+echo "leg 2 OK: automatic failover at epoch $EPOCH, byte-identical answers, zero operator calls"
+stop_cluster "${SURVIVORS[@]}"
+
+# ---------------------------------------------------------------- leg 3 ---
+echo "=== leg 3: join-rebalance over live handoffs ==="
+TOPO3="$WORK/leg3-nodes.json"
+write_topology "$TOPO3" a b c
+for n in a b c; do start_node leg3 "$n" "$TOPO3" 0; done
+for n in a b c; do await_healthy "${ADDR[$n]}"; done
+seed_cluster c
+
+for id in "${COMMS[@]}"; do
+  curl -sf "${ADDR[a]}/v1/communities/$id/window?from=1&to=100" > "$WORK/prejoin.$id" \
+    || fail "pre-join window for $id"
+done
+
+# Join updates the topology file; the live rebalance inside can't reach the
+# new node yet, so it degrades to the file edit (by design).
+"$BIN/holidayctl" -topology "$TOPO3" join d "${ADDR[d]}" "${REPL[d]}" || fail "join d"
+start_node leg3 d "$TOPO3" 0
+await_healthy "${ADDR[d]}"
+
+"$BIN/holidayctl" -topology "$TOPO3" rebalance || fail "rebalance onto d"
+
+MOVED=$(curl -sf "${ADDR[d]}/v1/status" | jq -r '[.communities[] | select(.role=="owner")] | length')
+echo "node d owns $MOVED communities after the rebalance"
+
+# Every community answers byte-identically after the moves, wherever it
+# now lives (reads forward to wherever the window can be served).
+for id in "${COMMS[@]}"; do
+  curl -sf "${ADDR[d]}/v1/communities/$id/window?from=1&to=100" > "$WORK/postjoin.$id" \
+    || fail "post-join window for $id"
+  cmp -s "$WORK/prejoin.$id" "$WORK/postjoin.$id" || fail "window for $id changed across the join-rebalance"
+done
+
+# Moved communities take writes at their new owner.
+if [ "$MOVED" -gt 0 ]; then
+  MOVED_ID=$(curl -sf "${ADDR[d]}/v1/status" | jq -r '[.communities[] | select(.role=="owner")][0].id')
+  curl -sf -X POST "${ADDR[d]}/v1/communities/$MOVED_ID/churn" \
+    -d '[{"op":"divorce","u":0,"v":1}]' >/dev/null \
+    || fail "write to moved community $MOVED_ID on d"
+fi
+echo "leg 3 OK: join-rebalance moved $MOVED communities, byte-identical answers"
+
+"$BIN/holidayctl" -topology "$TOPO3" status || true
+echo "cluster smoke OK: break-glass, operator-free failover, join-rebalance"
