@@ -98,6 +98,7 @@ type nodeStatus struct {
 	Overrides   map[string]string `json:"overrides"`
 	Communities []struct {
 		ID     string `json:"id"`
+		Kind   string `json:"kind"`
 		Role   string `json:"role"`
 		Placed string `json:"placed"`
 		Seq    uint64 `json:"seq"`
@@ -153,7 +154,12 @@ func status(client *http.Client, topo service.Topology) error {
 			if c.Role != "owner" {
 				lag = fmt.Sprintf("  lag %d", c.Lag)
 			}
-			fmt.Printf("%-8s %-16s %-8s seq %-8d placed on %s%s\n", r.node.ID, c.ID, c.Role, c.Seq, c.Placed, lag)
+			kind := c.Kind
+			if kind == "" {
+				// Pre-poly daemons omit the field; they only serve classic.
+				kind = service.KindClassic
+			}
+			fmt.Printf("%-8s %-16s %-8s %-8s seq %-8d placed on %s%s\n", r.node.ID, c.ID, kind, c.Role, c.Seq, c.Placed, lag)
 		}
 		if len(r.st.Overrides) > 0 {
 			keys := make([]string, 0, len(r.st.Overrides))

@@ -55,8 +55,11 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		demoSpec  = flag.String("demo", "", "create a community 'demo' from a graph spec at startup, e.g. gnp:n=100,p=0.05")
+		addr       = flag.String("addr", ":8080", "listen address")
+		demoSpec   = flag.String("demo", "", "create a community 'demo' from a graph spec at startup, e.g. gnp:n=100,p=0.05")
+		demoKind   = flag.String("demo-kind", "", "scheduling kind for the -demo community: 'classic' (default) or 'poly' edge scheduling")
+		demoDemand = flag.Int64("demo-demand", 64,
+			"with -demo-kind poly, the default per-edge frequency demand (a marriage must gather at least once every this many slots)")
 		seed      = flag.Uint64("seed", 1, "random seed for the -demo graph generator")
 		dataDir   = flag.String("data-dir", "", "durability directory (snapshot + churn WAL); empty serves from memory only")
 		snapEvery = flag.Duration("snapshot-every", 5*time.Minute,
@@ -117,6 +120,18 @@ func main() {
 	}
 	if (*nodeID == "") != (*peersFile == "") {
 		fmt.Fprintln(os.Stderr, "holidayd: -node-id and -peers must be set together")
+		flag.Usage()
+		os.Exit(1)
+	}
+	switch *demoKind {
+	case "", service.KindClassic, service.KindPoly:
+	default:
+		fmt.Fprintf(os.Stderr, "holidayd: -demo-kind %q: want %q or %q\n", *demoKind, service.KindClassic, service.KindPoly)
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *demoDemand < 1 {
+		fmt.Fprintln(os.Stderr, "holidayd: -demo-demand must be ≥ 1")
 		flag.Usage()
 		os.Exit(1)
 	}
@@ -213,10 +228,28 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if _, err := reg.CreateFromGraph("demo", g, ""); err != nil {
-				fatal(err)
+			if *demoKind == service.KindPoly {
+				edges := make([][2]int, 0, g.M())
+				for _, e := range g.Edges() {
+					edges = append(edges, [2]int{e.U, e.V})
+				}
+				if _, err := reg.CreateSpec(service.CreateSpec{
+					ID:            "demo",
+					Families:      g.N(),
+					Edges:         edges,
+					Kind:          service.KindPoly,
+					DefaultDemand: *demoDemand,
+				}); err != nil {
+					fatal(err)
+				}
+				log.Printf("created poly community %q: %d holidays, %d marriages, default demand %d",
+					"demo", g.N(), g.M(), *demoDemand)
+			} else {
+				if _, err := reg.CreateFromGraph("demo", g, ""); err != nil {
+					fatal(err)
+				}
+				log.Printf("created community %q: %d families, %d marriages", "demo", g.N(), g.M())
 			}
-			log.Printf("created community %q: %d families, %d marriages", "demo", g.N(), g.M())
 		}
 	}
 

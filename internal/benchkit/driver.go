@@ -132,7 +132,19 @@ func (d *InProcDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
 			d.Close() // the runner only closes after a successful Setup
 			return nil, fmt.Errorf("benchkit: community %q: %w", cs.ID, err)
 		}
-		c, err := d.reg.CreateFromGraph(cs.ID, g, "")
+		var c *service.Community
+		if cs.Kind == service.KindPoly {
+			edges := make([][2]int, 0, g.M())
+			for _, e := range g.Edges() {
+				edges = append(edges, [2]int{e.U, e.V})
+			}
+			c, err = d.reg.CreateSpec(service.CreateSpec{
+				ID: cs.ID, Families: g.N(), Edges: edges,
+				Kind: service.KindPoly, Code: cs.Code, DefaultDemand: cs.DefaultDemand,
+			})
+		} else {
+			c, err = d.reg.CreateFromGraph(cs.ID, g, cs.Code)
+		}
 		if err != nil {
 			d.Close()
 			return nil, err
@@ -267,6 +279,21 @@ func (d *InProcDriver) Recolorings() (int64, error) {
 	return n, nil
 }
 
+// PolyStats sums live edges and takes the worst max-gap ratio across the
+// scenario's poly communities (see Snapshot edges and max_gap_ratio); edges
+// is 0 when the scenario has no poly communities.
+func (d *InProcDriver) PolyStats() (edges int64, maxGap float64, err error) {
+	for _, c := range d.comms {
+		if ps, ok := c.PolyStats(); ok {
+			edges += int64(ps.Edges)
+			if ps.MaxGapRatio > maxGap {
+				maxGap = ps.MaxGapRatio
+			}
+		}
+	}
+	return edges, maxGap, nil
+}
+
 // Close implements Driver: the scenario's communities are unregistered so a
 // registry can be reused across runs, and a persistence-enabled run's
 // journal is detached, closed, and its temporary data directory removed.
@@ -381,9 +408,19 @@ func (d *HTTPDriver) Setup(sc *Scenario, seed uint64) ([]int, error) {
 		for _, e := range g.Edges() {
 			edges = append(edges, [2]int{e.U, e.V})
 		}
-		body, err := json.Marshal(map[string]any{
+		create := map[string]any{
 			"id": cs.ID, "families": g.N(), "edges": edges,
-		})
+		}
+		if cs.Kind != "" {
+			create["kind"] = cs.Kind
+		}
+		if cs.Code != "" {
+			create["code"] = cs.Code
+		}
+		if cs.DefaultDemand != 0 {
+			create["default_demand"] = cs.DefaultDemand
+		}
+		body, err := json.Marshal(create)
 		if err != nil {
 			return nil, err
 		}
@@ -617,6 +654,25 @@ func (d *HTTPDriver) Recolorings() (int64, error) {
 		n += st.Recolorings
 	}
 	return n, nil
+}
+
+// PolyStats sums live edges and takes the worst max-gap ratio across the
+// scenario's poly communities via the stats endpoint; edges is 0 when the
+// scenario has no poly communities.
+func (d *HTTPDriver) PolyStats() (edges int64, maxGap float64, err error) {
+	for _, id := range d.ids {
+		st, err := d.statsOf(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		if st.Poly != nil {
+			edges += int64(st.Poly.Edges)
+			if st.Poly.MaxGapRatio > maxGap {
+				maxGap = st.Poly.MaxGapRatio
+			}
+		}
+	}
+	return edges, maxGap, nil
 }
 
 // Close implements Driver: the scenario's communities are deleted from the

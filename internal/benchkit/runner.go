@@ -249,6 +249,10 @@ func Run(sc *Scenario, d Driver, opt Options) (*Snapshot, error) {
 	if churnOps := perKind[OpMarry].Count() + perKind[OpDivorce].Count(); haveRecolor && churnOps > 0 && recolor1 >= recolor0 {
 		s.Totals.RecoloringsPerChurnOp = float64(recolor1-recolor0) / float64(churnOps)
 	}
+	if edges, maxGap, ok := polyStatsOf(d); ok && edges > 0 {
+		s.Totals.Edges = edges
+		s.Totals.MaxGapRatio = maxGap
+	}
 	if batchHist.Count() > 0 {
 		// The raw whole-batch round trips of a batched run, under the
 		// reserved "batch" key (no OpKind ever renders this name): the
@@ -355,6 +359,29 @@ func recoloringsOf(d Driver) (int64, bool) {
 		return 0, false
 	}
 	return n, true
+}
+
+// polyStatsReporter is the optional Driver interface summing live edges and
+// the worst max-gap ratio across a scenario's poly communities; drivers that
+// implement it let poly-scenario snapshots record totals.edges and
+// totals.max_gap_ratio.
+type polyStatsReporter interface {
+	PolyStats() (edges int64, maxGap float64, err error)
+}
+
+// polyStatsOf probes a driver for its poly totals. Probe errors read as "not
+// reported" — the metrics are informational and must not fail a completed
+// run.
+func polyStatsOf(d Driver) (int64, float64, bool) {
+	r, ok := d.(polyStatsReporter)
+	if !ok {
+		return 0, 0, false
+	}
+	edges, maxGap, err := r.PolyStats()
+	if err != nil {
+		return 0, 0, false
+	}
+	return edges, maxGap, true
 }
 
 // settledHeap reads the live-heap size after forcing a collection, so two

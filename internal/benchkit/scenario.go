@@ -71,10 +71,21 @@ func (m OpMix) weights() [numOpKinds]int {
 func (m OpMix) total() int { return m.Window + m.Next + m.Marry + m.Divorce }
 
 // CommunitySpec names one community of a scenario and the graph it starts
-// from (a graph.ParseSpec string, e.g. "gnp:n=256,p=0.03").
+// from (a graph.ParseSpec string, e.g. "gnp:n=256,p=0.03"). Kind selects the
+// scheduling problem ("" or "classic" for the paper's vertex scheduling,
+// "poly" for Polyamorous edge scheduling); Code picks the scheduler within
+// the kind and DefaultDemand the poly community's default per-edge demand.
+//
+// Poly scenarios must start from graphs with at least as many edges as
+// families: next-happy queries index edge slots, the slot space starts at
+// the initial edge count and never shrinks, so m ≥ n keeps every generated
+// OpNext in range.
 type CommunitySpec struct {
-	ID   string `json:"id"`
-	Spec string `json:"spec"`
+	ID            string `json:"id"`
+	Spec          string `json:"spec"`
+	Kind          string `json:"kind,omitempty"`
+	Code          string `json:"code,omitempty"`
+	DefaultDemand int64  `json:"default_demand,omitempty"`
 }
 
 // Scenario is a named synthetic workload: a set of communities at chosen
@@ -220,6 +231,38 @@ func Scenarios() []*Scenario {
 			WindowSpan: 365,
 			Horizon:    1 << 40,
 			Duration:   15 * time.Second,
+		},
+		{
+			Name: "poly",
+			Desc: "polyamorous edge-scheduling communities (kind=poly) under mixed read/churn traffic",
+			// Default demands are sized ≥ n: sustained marry churn drives a
+			// community toward the complete graph, whose edge-chromatic
+			// number (= layers needed) is n-1, so demand ≥ n keeps the
+			// instance feasible — and max_gap_ratio ≤ 1 — for the whole run.
+			Communities: []CommunitySpec{
+				{ID: "poly-gnp-m", Spec: "gnp:n=512,p=0.02", Kind: "poly", DefaultDemand: 1024},
+				{ID: "poly-ring-m", Spec: "cycle:n=256", Kind: "poly", Code: "bucketed", DefaultDemand: 512},
+				{ID: "poly-clique-s", Spec: "clique:n=24", Kind: "poly", DefaultDemand: 512},
+			},
+			Mix:        OpMix{Window: 55, Next: 25, Marry: 12, Divorce: 8},
+			WindowSpan: 52,
+			Horizon:    1 << 30,
+			Duration:   10 * time.Second,
+		},
+		{
+			Name: "poly-ci",
+			Desc: "the poly workload at CI sizes (regression gate for the edge-scheduling path)",
+			// Demands ≥ n for the same churn-saturation feasibility reason
+			// as the full-size poly scenario above.
+			Communities: []CommunitySpec{
+				{ID: "poly-gnp-s", Spec: "gnp:n=128,p=0.05", Kind: "poly", DefaultDemand: 256},
+				{ID: "poly-ring-s", Spec: "cycle:n=64", Kind: "poly", Code: "bucketed", DefaultDemand: 128},
+				{ID: "poly-clique-s", Spec: "clique:n=16", Kind: "poly", DefaultDemand: 256},
+			},
+			Mix:        OpMix{Window: 55, Next: 25, Marry: 12, Divorce: 8},
+			WindowSpan: 52,
+			Horizon:    1 << 20,
+			Duration:   2 * time.Second,
 		},
 		megaScenario("mega",
 			"million-node power-law communities under sustained zipf-skewed write traffic",

@@ -23,7 +23,11 @@ import (
 //	   rotation run (-rotate-every) and the p99 write-unavailability window
 //	   a moved community saw. Additive, omitted when placement stayed
 //	   static; Compare refuses to mix rotation and static runs.
-const SchemaVersion = 4
+//	5: adds totals.edges and totals.max_gap_ratio of poly (edge-scheduling)
+//	   scenarios — the live relationship count at run end and the worst
+//	   period/demand ratio across poly communities (≤ 1 iff every demand
+//	   was met). Additive, omitted for classic scenarios.
+const SchemaVersion = 5
 
 // minSchemaVersion is the oldest snapshot layout this build still reads.
 const minSchemaVersion = 1
@@ -121,6 +125,13 @@ type Metrics struct {
 	// Recorded when the driver reports recoloring counters and the mix
 	// includes churn; 0 otherwise (schema ≥ 2).
 	RecoloringsPerChurnOp float64 `json:"recolorings_per_churn_op,omitempty"`
+	// Edges is the total live edge count across the scenario's poly
+	// communities at run end; 0 for classic scenarios (schema ≥ 5).
+	Edges int64 `json:"edges,omitempty"`
+	// MaxGapRatio is the worst period/demand ratio across the scenario's
+	// poly communities at run end: ≤ 1 iff every per-edge demand was still
+	// met after the run's churn. 0 for classic scenarios (schema ≥ 5).
+	MaxGapRatio float64 `json:"max_gap_ratio,omitempty"`
 }
 
 // OpStats is the per-op-kind latency breakdown.
@@ -262,6 +273,10 @@ func Compare(old, new *Snapshot, threshold float64) *Comparison {
 	add("allocs_per_op", old.Totals.AllocsPerOp, new.Totals.AllocsPerOp, false, true)
 	add("bytes_per_op", old.Totals.BytesPerOp, new.Totals.BytesPerOp, false, true)
 	add("errors", float64(old.Totals.Errors), float64(new.Totals.Errors), false, true)
+	if old.Totals.Edges != 0 || new.Totals.Edges != 0 {
+		add("edges", float64(old.Totals.Edges), float64(new.Totals.Edges), false, false)
+		add("max_gap_ratio", old.Totals.MaxGapRatio, new.Totals.MaxGapRatio, false, true)
+	}
 	return cmp
 }
 

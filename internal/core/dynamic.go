@@ -156,6 +156,10 @@ const (
 type Edit struct {
 	Op   EditOp
 	U, V int
+	// Demand is the per-edge frequency demand of poly communities
+	// (meet at least once every Demand slots); 0 means the community
+	// default. The classic gathering kind ignores it.
+	Demand int64
 }
 
 // EditResult reports what one edit of a batch did: whether it changed the

@@ -66,6 +66,9 @@ func Registry() []Experiment {
 		{"E16", "§4 ablation: coloring quality drives color-bound periods", E16ColoringQuality},
 		{"E17", "§1.3 LOCAL model: deterministic Cole–Vishkin ring pipeline in O(log* n) rounds", E17ColeVishkin},
 		{"E18", "§6 open problem: dynamic degree-bound maintenance under churn", E18DynamicDegreeBound},
+		{"E19", "arXiv 2411.06292: poly approximation schedulers meet every edge demand", E19PolySchedulers},
+		{"E20", "node- vs edge-scheduling: pair gaps and attendance cost on uniform demands", E20NodeVsEdge},
+		{"E21", "poly incremental repair under marry/divorce churn", E21PolyChurn},
 	}
 }
 

@@ -26,8 +26,8 @@ func requireNoFailCell(t *testing.T, tb *stats.Table) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("registry has %d experiments, want 18 (E1–E18)", len(reg))
+	if len(reg) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (E1–E21)", len(reg))
 	}
 	seen := make(map[string]bool)
 	for _, e := range reg {
@@ -192,8 +192,8 @@ func TestE16(t *testing.T) {
 
 func TestAllRunsConcurrently(t *testing.T) {
 	tables := All(quickCfg)
-	if len(tables) != 18 {
-		t.Fatalf("All returned %d tables, want 18", len(tables))
+	if len(tables) != 21 {
+		t.Fatalf("All returned %d tables, want 21", len(tables))
 	}
 	for i, tb := range tables {
 		if tb == nil || len(tb.Rows) == 0 {
@@ -222,5 +222,35 @@ func TestE18(t *testing.T) {
 	requireNoFailCell(t, tb)
 	if len(tb.Rows) != 3 {
 		t.Fatalf("expected 3 density rows, got %d", len(tb.Rows))
+	}
+}
+
+func TestE19(t *testing.T) {
+	tb := E19PolySchedulers(quickCfg)
+	requireNoFailCell(t, tb)
+	if len(tb.Rows) != 10 {
+		t.Fatalf("expected 5 families × 2 codes = 10 rows, got %d", len(tb.Rows))
+	}
+}
+
+func TestE20(t *testing.T) {
+	tb := E20NodeVsEdge(quickCfg)
+	requireNoFailCell(t, tb)
+	star := tb.Rows[0]
+	if star[0] != "star" {
+		t.Fatalf("row 0 is %q, want the star family", star[0])
+	}
+	// The headline claim: on hub-heavy families edge-scheduling meets the
+	// same demand at a fraction of the attendance cost.
+	if winner := star[6]; winner != "edge" {
+		t.Errorf("star cost winner = %q, want edge (leaf gatherings bill the hub)", winner)
+	}
+}
+
+func TestE21(t *testing.T) {
+	tb := E21PolyChurn(quickCfg)
+	requireNoFailCell(t, tb)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("expected one row per scheduler code, got %d", len(tb.Rows))
 	}
 }

@@ -1,0 +1,16 @@
+package experiments
+
+import "testing"
+
+// TestPolyExperimentsFullSize runs E19–E21 at full (non-quick) workload
+// sizes: the bench and report paths use the full configuration, so a
+// panic or bound violation that only appears at scale must fail here.
+func TestPolyExperimentsFullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment run")
+	}
+	cfg := Config{Seed: 7}
+	requireNoFailCell(t, E19PolySchedulers(cfg))
+	requireNoFailCell(t, E20NodeVsEdge(cfg))
+	requireNoFailCell(t, E21PolyChurn(cfg))
+}

@@ -33,7 +33,13 @@ import (
 
 // SnapshotSchemaVersion identifies the snapshot.json layout; Load refuses
 // snapshots written by an incompatible layout instead of misreading them.
-const SnapshotSchemaVersion = 1
+// Version 2 added the poly-kind community fields (kind, default_demand,
+// poly) — purely additive, so schema-1 snapshots (all-classic by
+// construction) still read correctly.
+const SnapshotSchemaVersion = 2
+
+// minSnapshotSchema is the oldest snapshot layout this build still reads.
+const minSnapshotSchema = 1
 
 // DefaultSyncInterval is the group-commit window of the SyncBatch policy.
 const DefaultSyncInterval = 5 * time.Millisecond
@@ -219,8 +225,9 @@ func readSnapshot(path string) (*Snapshot, error) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("persist: %s: %w", path, err)
 	}
-	if snap.Schema != SnapshotSchemaVersion {
-		return nil, fmt.Errorf("persist: %s has schema %d, this build reads %d", path, snap.Schema, SnapshotSchemaVersion)
+	if snap.Schema < minSnapshotSchema || snap.Schema > SnapshotSchemaVersion {
+		return nil, fmt.Errorf("persist: %s has schema %d, this build reads %d through %d",
+			path, snap.Schema, minSnapshotSchema, SnapshotSchemaVersion)
 	}
 	return &snap, nil
 }

@@ -43,7 +43,7 @@ func (c *Community) ChurnBatch(edits []core.Edit, out []core.EditResult) (recolo
 	if err := c.fencedErrLocked(); err != nil {
 		return 0, err
 	}
-	n := c.dyn.N()
+	n := c.be.N()
 	for i, e := range edits {
 		if e.Op != core.EditInsert && e.Op != core.EditDelete {
 			return 0, fmt.Errorf("service: community %q: batch edit %d has unknown op %d", c.id, i, e.Op)
@@ -65,7 +65,7 @@ func (c *Community) ChurnBatch(edits []core.Edit, out []core.EditResult) (recolo
 	if res == nil {
 		res = make([]core.EditResult, len(edits))
 	}
-	recolorings, err = c.dyn.ApplyBatchResults(edits, res)
+	recolorings, err = c.be.ApplyBatch(edits, res)
 	if err != nil {
 		// Unreachable: the batch was validated above. Surface rather than
 		// swallow if core's rules ever drift.
@@ -73,20 +73,22 @@ func (c *Community) ChurnBatch(edits []core.Edit, out []core.EditResult) (recolo
 	}
 	// The cache is dropped at most once per flush, but version must advance
 	// exactly as one-at-a-time churn would have advanced it — one tick per
-	// recoloring edit — because version is persisted and WAL replay (which
-	// applies the flush's records individually) must land on the same value.
-	if events := countRecolored(res); events > 0 {
+	// invalidating edit (recolorings for classic, applied edits for poly) —
+	// because version is persisted and WAL replay (which applies the
+	// flush's records individually) must land on the same value.
+	if events := countInvalidating(c.be, res); events > 0 {
 		c.cached = nil
 		c.version += int64(events)
 	}
 	return recolorings, nil
 }
 
-// countRecolored counts the edits of a batch that triggered a recoloring.
-func countRecolored(res []core.EditResult) int {
+// countInvalidating counts the edits of a batch whose outcome invalidates
+// the kind's cached schedule.
+func countInvalidating(be backend, res []core.EditResult) int {
 	n := 0
 	for _, r := range res {
-		if r.Recolored {
+		if be.Invalidates(r) {
 			n++
 		}
 	}
@@ -105,11 +107,11 @@ func (c *Community) effectiveRecords(edits []core.Edit) []Record {
 		k := [2]int{min(e.U, e.V), max(e.U, e.V)}
 		present, seen := overlay[k]
 		if !seen {
-			present = c.dyn.HasEdge(e.U, e.V)
+			present = c.be.HasEdge(e.U, e.V)
 		}
 		switch {
 		case e.Op == core.EditInsert && !present:
-			recs = append(recs, Record{Op: OpMarry, ID: c.id, U: e.U, V: e.V})
+			recs = append(recs, Record{Op: OpMarry, ID: c.id, U: e.U, V: e.V, Demand: e.Demand})
 			overlay[k] = true
 		case e.Op == core.EditDelete && present:
 			recs = append(recs, Record{Op: OpDivorce, ID: c.id, U: e.U, V: e.V})

@@ -344,7 +344,10 @@ func (a *apiHandler) serveCreate(w http.ResponseWriter, r *http.Request) {
 		a.forward(w, r, node, body)
 		return
 	}
-	c, err := a.Owner.Create(req.ID, req.Families, req.Edges, req.Code)
+	c, err := a.Owner.CreateSpec(CreateSpec{
+		ID: req.ID, Families: req.Families, Edges: req.Edges, Code: req.Code,
+		Kind: req.Kind, Demands: req.Demands, DefaultDemand: req.DefaultDemand,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -386,10 +389,10 @@ func (a *apiHandler) serveMarry(w http.ResponseWriter, r *http.Request, c *Commu
 	var err error
 	if a.Churn != nil {
 		var res core.EditResult
-		res, err = a.Churn.Churn(c, core.Edit{Op: core.EditInsert, U: req.U, V: req.V})
+		res, err = a.Churn.Churn(c, core.Edit{Op: core.EditInsert, U: req.U, V: req.V, Demand: req.Demand})
 		recolored = res.Recolored
 	} else {
-		recolored, err = c.Marry(req.U, req.V)
+		recolored, err = c.MarryDemand(req.U, req.V, req.Demand)
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -439,7 +442,7 @@ func (a *apiHandler) serveChurn(w http.ResponseWriter, r *http.Request, c *Commu
 	for i, q := range reqs {
 		switch q.Op {
 		case "marry":
-			edits[i] = core.Edit{Op: core.EditInsert, U: q.U, V: q.V}
+			edits[i] = core.Edit{Op: core.EditInsert, U: q.U, V: q.V, Demand: q.Demand}
 		case "divorce":
 			edits[i] = core.Edit{Op: core.EditDelete, U: q.U, V: q.V}
 		default:
@@ -529,6 +532,8 @@ func (a *apiHandler) serveNext(w http.ResponseWriter, r *http.Request, c *Commun
 // communityStatus is one community's row in the /v1/status answer.
 type communityStatus struct {
 	ID string `json:"id"`
+	// Kind is the community's scheduling kind ("classic" or "poly").
+	Kind string `json:"kind,omitempty"`
 	// Role is "owner" for communities this node takes writes for and
 	// "follower" for fenced replicas.
 	Role string `json:"role"`
@@ -568,7 +573,7 @@ func (a *apiHandler) serveStatus(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		cs := communityStatus{ID: id, Role: "owner", Seq: c.Seq()}
+		cs := communityStatus{ID: id, Kind: c.Kind(), Role: "owner", Seq: c.Seq()}
 		if c.Fenced() {
 			cs.Role = "follower"
 			cs.Lag = lag[id]
@@ -984,25 +989,34 @@ func putBinBuf(bp *[]byte, buf []byte) {
 // pool.
 func retainBinBuf(buf []byte) bool { return cap(buf) <= binBufMax }
 
-// createRequest is the POST /v1/communities body.
+// createRequest is the POST /v1/communities body. Kind selects the
+// scheduling problem ("" or "classic" = gathering, "poly" = polyamorous
+// edge scheduling); demands and default_demand apply to poly only.
 type createRequest struct {
-	ID       string   `json:"id"`
-	Families int      `json:"families"`
-	Edges    [][2]int `json:"edges"`
-	Code     string   `json:"code"`
+	ID            string   `json:"id"`
+	Families      int      `json:"families"`
+	Edges         [][2]int `json:"edges"`
+	Code          string   `json:"code"`
+	Kind          string   `json:"kind"`
+	Demands       []int64  `json:"demands"`
+	DefaultDemand int64    `json:"default_demand"`
 }
 
-// edgeRequest is the POST /v1/communities/{id}/edges body.
+// edgeRequest is the POST /v1/communities/{id}/edges body. Demand is the
+// poly per-edge demand (0 = community default); classic ignores it.
 type edgeRequest struct {
-	U int `json:"u"`
-	V int `json:"v"`
+	U      int   `json:"u"`
+	V      int   `json:"v"`
+	Demand int64 `json:"demand"`
 }
 
-// churnOpRequest is one element of the POST /v1/communities/{id}/churn array.
+// churnOpRequest is one element of the POST /v1/communities/{id}/churn
+// array. Demand applies to poly marries only (0 = community default).
 type churnOpRequest struct {
-	Op string `json:"op"` // "marry" or "divorce"
-	U  int    `json:"u"`
-	V  int    `json:"v"`
+	Op     string `json:"op"` // "marry" or "divorce"
+	U      int    `json:"u"`
+	V      int    `json:"v"`
+	Demand int64  `json:"demand"`
 }
 
 // churnOpResult is one element of the churn response's results array.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/poly"
 	"repro/internal/prefixcode"
 )
 
@@ -28,6 +29,9 @@ const (
 
 // Record is one journaled mutation. Only the fields relevant to the op are
 // set: Families/Edges/Code for OpCreate, U/V for OpMarry and OpDivorce.
+// The poly-kind fields (Kind, Demands, DefaultDemand, Demand) are all
+// omitempty and zero for classic communities, so classic WAL bytes are
+// unchanged from every earlier schema.
 type Record struct {
 	Op    Op       `json:"op"`
 	ID    string   `json:"id"`
@@ -36,6 +40,18 @@ type Record struct {
 	Code  string   `json:"code,omitempty"`
 	U     int      `json:"u"`
 	V     int      `json:"v"`
+	// Kind marks a poly-kind create; empty means classic.
+	Kind string `json:"kind,omitempty"`
+	// Demands are the resolved per-edge demands of a poly create, aligned
+	// with Edges.
+	Demands []int64 `json:"demands,omitempty"`
+	// DefaultDemand is the poly community's resolved default demand,
+	// stamped on the create so replay resolves demand-less edits
+	// identically.
+	DefaultDemand int64 `json:"default_demand,omitempty"`
+	// Demand is the per-edge demand of a poly marry; 0 means the community
+	// default.
+	Demand int64 `json:"demand,omitempty"`
 }
 
 // Journal is the durability hook of the registry. When attached (see
@@ -100,6 +116,14 @@ type CommunityState struct {
 	Version     int64    `json:"version"`
 	Recolorings int64    `json:"recolorings"`
 	Seq         uint64   `json:"seq"`
+	// Kind marks a poly-kind community; empty means classic, keeping
+	// classic snapshot bytes unchanged.
+	Kind string `json:"kind,omitempty"`
+	// DefaultDemand is the poly community's default edge demand.
+	DefaultDemand int64 `json:"default_demand,omitempty"`
+	// Poly is the poly instance's exact state (slots, layers, demands);
+	// nil for classic communities.
+	Poly *poly.State `json:"poly,omitempty"`
 }
 
 // Export snapshots the community's persistent state under its read lock,
@@ -108,21 +132,13 @@ type CommunityState struct {
 func (c *Community) Export() CommunityState {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	g := c.dyn.Graph()
-	edges := make([][2]int, 0, g.M())
-	for _, e := range g.Edges() {
-		edges = append(edges, [2]int{e.U, e.V})
+	st := CommunityState{
+		ID:      c.id,
+		Version: c.version,
+		Seq:     c.seq,
 	}
-	return CommunityState{
-		ID:          c.id,
-		Families:    g.N(),
-		Edges:       edges,
-		Code:        c.dyn.Code().Name(),
-		Coloring:    c.dyn.Coloring(),
-		Version:     c.version,
-		Recolorings: c.dyn.Recolorings,
-		Seq:         c.seq,
-	}
+	c.be.exportInto(&st)
+	return st
 }
 
 // Restore registers a community reconstructed from exported state, adopting
@@ -135,6 +151,13 @@ func (r *Owner) Restore(st CommunityState) (*Community, error) {
 	}
 	if st.Families < 1 {
 		return nil, fmt.Errorf("service: restore %q: %d families", st.ID, st.Families)
+	}
+	switch st.Kind {
+	case "", KindClassic:
+	case KindPoly:
+		return r.restorePoly(st)
+	default:
+		return nil, fmt.Errorf("service: restore %q: unknown kind %q", st.ID, st.Kind)
 	}
 	codeName := st.Code
 	if codeName == "" {
@@ -157,13 +180,35 @@ func (r *Owner) Restore(st CommunityState) (*Community, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: restore %q: %w", st.ID, err)
 	}
-	c := &Community{id: st.ID, reg: r, dyn: dyn, version: st.Version, seq: st.Seq}
+	return r.register(&Community{id: st.ID, reg: r, be: &classicBackend{dyn: dyn}, version: st.Version, seq: st.Seq})
+}
+
+// restorePoly reconstructs a poly-kind community from its exact exported
+// instance state. poly.Restore validates every structural invariant (slot
+// references, layer classes, matching-ness) before the community exists.
+func (r *Owner) restorePoly(st CommunityState) (*Community, error) {
+	if st.Poly == nil {
+		return nil, fmt.Errorf("service: restore %q: poly kind with no poly state", st.ID)
+	}
+	if st.Poly.N != st.Families {
+		return nil, fmt.Errorf("service: restore %q: %d families but poly state has %d nodes", st.ID, st.Families, st.Poly.N)
+	}
+	dyn, err := poly.Restore(*st.Poly)
+	if err != nil {
+		return nil, fmt.Errorf("service: restore %q: %w", st.ID, err)
+	}
+	be := &polyBackend{dyn: dyn, defaultDemand: poly.ClampDemand(st.DefaultDemand)}
+	return r.register(&Community{id: st.ID, reg: r, be: be, version: st.Version, seq: st.Seq})
+}
+
+// register inserts a restored community, rejecting duplicates.
+func (r *Owner) register(c *Community) (*Community, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.communities[st.ID]; dup {
-		return nil, fmt.Errorf("service: restore %q: community already exists", st.ID)
+	if _, dup := r.communities[c.id]; dup {
+		return nil, fmt.Errorf("service: restore %q: community already exists", c.id)
 	}
-	r.communities[st.ID] = c
+	r.communities[c.id] = c
 	return c, nil
 }
 
@@ -188,7 +233,7 @@ func (r *Owner) Apply(seq uint64, rec Record) error {
 			}
 			return fmt.Errorf("service: replay create %q at seq %d: community already exists at seq %d", rec.ID, seq, c.journalSeq())
 		}
-		c, err := r.createUnlogged(rec.ID, rec.N, rec.Edges, rec.Code)
+		c, err := r.createUnlogged(rec)
 		if err != nil {
 			return fmt.Errorf("service: replay seq %d: %w", seq, err)
 		}
@@ -213,26 +258,24 @@ func (r *Owner) Apply(seq uint64, rec Record) error {
 		}
 		switch rec.Op {
 		case OpAddFamily:
-			c.dyn.AddNode()
+			c.be.AddNode()
 			c.invalidateLocked()
 		case OpMarry:
-			if err := validEdge(c.dyn.N(), rec.U, rec.V); err != nil {
+			if err := validEdge(c.be.N(), rec.U, rec.V); err != nil {
 				return fmt.Errorf("service: replay marry in %q at seq %d: %w", rec.ID, seq, err)
 			}
-			recolored, err := c.dyn.AddEdge(rec.U, rec.V)
+			res, err := c.be.AddEdge(rec.U, rec.V, rec.Demand)
 			if err != nil {
 				return fmt.Errorf("service: replay marry in %q at seq %d: %w", rec.ID, seq, err)
 			}
-			if recolored {
+			if c.be.Invalidates(res) {
 				c.invalidateLocked()
 			}
 		case OpDivorce:
-			if err := validEdge(c.dyn.N(), rec.U, rec.V); err != nil {
+			if err := validEdge(c.be.N(), rec.U, rec.V); err != nil {
 				return fmt.Errorf("service: replay divorce in %q at seq %d: %w", rec.ID, seq, err)
 			}
-			before := c.dyn.Recolorings
-			c.dyn.RemoveEdge(rec.U, rec.V)
-			if c.dyn.Recolorings > before {
+			if res := c.be.RemoveEdge(rec.U, rec.V); c.be.Invalidates(res) {
 				c.invalidateLocked()
 			}
 		}

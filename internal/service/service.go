@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/poly"
 	"repro/internal/prefixcode"
 )
 
@@ -99,6 +100,101 @@ func (r *Owner) Create(id string, n int, edges [][2]int, codeName string) (*Comm
 	return r.CreateFromGraph(id, b.Graph(), codeName)
 }
 
+// CreateSpec is the kind-dispatching create request: everything POST
+// /v1/communities accepts. The zero Kind means KindClassic, keeping every
+// pre-poly caller and record byte-compatible.
+type CreateSpec struct {
+	ID       string
+	Families int
+	Edges    [][2]int
+	// Code selects the scheduler within the kind: a prefix code name for
+	// classic ("" = omega), a poly scheduler code for poly ("" = layering).
+	Code string
+	Kind string
+	// Demands are per-edge demands for poly creates, aligned with Edges;
+	// nil (or a 0 entry) takes DefaultDemand. Classic creates must leave
+	// them empty.
+	Demands []int64
+	// DefaultDemand is the demand substituted for poly edits that do not
+	// name one; 0 means poly.DefaultDemand. Fixed at creation.
+	DefaultDemand int64
+}
+
+// CreateSpec registers a new community of the requested kind. Unknown kinds
+// are rejected with the bad_request envelope — the error a client can
+// branch on across both transports.
+func (r *Owner) CreateSpec(spec CreateSpec) (*Community, error) {
+	switch spec.Kind {
+	case "", KindClassic:
+		if len(spec.Demands) > 0 {
+			return nil, Errf(CodeBadRequest, "community %q: classic communities take no edge demands", spec.ID)
+		}
+		if spec.DefaultDemand != 0 {
+			return nil, Errf(CodeBadRequest, "community %q: classic communities take no default demand", spec.ID)
+		}
+		return r.Create(spec.ID, spec.Families, spec.Edges, spec.Code)
+	case KindPoly:
+		return r.createPoly(spec, true)
+	default:
+		return nil, Errf(CodeBadRequest, "community %q: unknown kind %q (want %q or %q)",
+			spec.ID, spec.Kind, KindClassic, KindPoly)
+	}
+}
+
+// createPoly builds and registers a poly community, journaling the create
+// (with its resolved code, default demand, and per-edge demands, so replay
+// reconstructs it byte-identically) unless logged is false.
+func (r *Owner) createPoly(spec CreateSpec, logged bool) (*Community, error) {
+	if spec.ID == "" {
+		return nil, fmt.Errorf("service: empty community id")
+	}
+	if spec.Families < 1 {
+		return nil, fmt.Errorf("service: community %q needs at least one family, got %d", spec.ID, spec.Families)
+	}
+	if len(spec.Demands) != 0 && len(spec.Demands) != len(spec.Edges) {
+		return nil, Errf(CodeBadRequest, "community %q: %d demands for %d edges",
+			spec.ID, len(spec.Demands), len(spec.Edges))
+	}
+	dyn, err := poly.New(spec.Families, spec.Code)
+	if err != nil {
+		return nil, fmt.Errorf("service: community %q: %w", spec.ID, err)
+	}
+	be := &polyBackend{dyn: dyn, defaultDemand: poly.ClampDemand(spec.DefaultDemand)}
+	demands := make([]int64, len(spec.Edges))
+	for i, e := range spec.Edges {
+		if err := validEdge(spec.Families, e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("service: community %q: %w", spec.ID, err)
+		}
+		if dyn.HasEdge(e[0], e[1]) {
+			return nil, fmt.Errorf("service: community %q: duplicate edge (%d,%d)", spec.ID, e[0], e[1])
+		}
+		var d int64
+		if i < len(spec.Demands) {
+			d = spec.Demands[i]
+		}
+		demands[i] = be.demand(d)
+		dyn.AddEdge(e[0], e[1], demands[i])
+	}
+	c := &Community{id: spec.ID, reg: r, be: be}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.communities[spec.ID]; dup {
+		return nil, fmt.Errorf("service: community %q already exists", spec.ID)
+	}
+	if logged {
+		if j := r.getJournal(); j != nil {
+			seq, err := j.Log(Record{Op: OpCreate, ID: spec.ID, N: spec.Families, Edges: spec.Edges,
+				Code: dyn.Code(), Kind: KindPoly, Demands: demands, DefaultDemand: be.defaultDemand})
+			if err != nil {
+				return nil, fmt.Errorf("service: community %q: journal: %w", spec.ID, err)
+			}
+			c.seq = seq
+		}
+	}
+	r.communities[spec.ID] = c
+	return c, nil
+}
+
 // CreateFromGraph registers a new community over an existing conflict
 // graph, avoiding the edge-list round trip of Create. The graph is not
 // retained; the community evolves its own dynamic copy. With a journal
@@ -124,7 +220,7 @@ func (r *Owner) CreateFromGraph(id string, g *graph.Graph, codeName string) (*Co
 		for _, e := range g.Edges() {
 			edges = append(edges, [2]int{e.U, e.V})
 		}
-		seq, err := j.Log(Record{Op: OpCreate, ID: id, N: g.N(), Edges: edges, Code: c.dyn.Code().Name()})
+		seq, err := j.Log(Record{Op: OpCreate, ID: id, N: g.N(), Edges: edges, Code: c.be.CodeName()})
 		if err != nil {
 			return nil, fmt.Errorf("service: community %q: journal: %w", id, err)
 		}
@@ -153,12 +249,19 @@ func (r *Owner) newCommunity(id string, g *graph.Graph, codeName string) (*Commu
 	if err != nil {
 		return nil, fmt.Errorf("service: community %q: %w", id, err)
 	}
-	return &Community{id: id, reg: r, dyn: dyn}, nil
+	return &Community{id: id, reg: r, be: &classicBackend{dyn: dyn}}, nil
 }
 
-// createUnlogged registers a community from an edge list without touching
-// the journal — the replay path for OpCreate records.
-func (r *Owner) createUnlogged(id string, n int, edges [][2]int, codeName string) (*Community, error) {
+// createUnlogged registers a community from a create record without
+// touching the journal — the replay path for OpCreate records of any kind.
+func (r *Owner) createUnlogged(rec Record) (*Community, error) {
+	if rec.Kind == KindPoly {
+		return r.createPoly(CreateSpec{
+			ID: rec.ID, Families: rec.N, Edges: rec.Edges, Code: rec.Code,
+			Kind: KindPoly, Demands: rec.Demands, DefaultDemand: rec.DefaultDemand,
+		}, false)
+	}
+	id, n, edges := rec.ID, rec.N, rec.Edges
 	if n < 1 {
 		return nil, fmt.Errorf("service: community %q needs at least one family, got %d", id, n)
 	}
@@ -171,7 +274,7 @@ func (r *Owner) createUnlogged(id string, n int, edges [][2]int, codeName string
 			return nil, fmt.Errorf("service: community %q: %w", id, err)
 		}
 	}
-	c, err := r.newCommunity(id, b.Graph(), codeName)
+	c, err := r.newCommunity(id, b.Graph(), rec.Code)
 	if err != nil {
 		return nil, err
 	}
@@ -298,8 +401,10 @@ type Community struct {
 	id  string
 	reg *Registry // for the journal; nil only in zero values
 
-	mu     sync.RWMutex
-	dyn    *core.DynamicColorBound
+	mu sync.RWMutex
+	// be is the kind-specific scheduler (classic color-bound or poly
+	// edge-layering); everything above it is kind-agnostic.
+	be     backend
 	cached core.Schedule // nil when invalidated; rebuilt lazily
 	// version counts cache invalidations (recolorings or family-set
 	// changes) — a cheap staleness signal for clients.
@@ -345,37 +450,51 @@ func (c *Community) fencedErrLocked() error {
 
 // Stats is a point-in-time summary of a community.
 type Stats struct {
-	ID          string `json:"id"`
-	Families    int    `json:"families"`
-	Marriages   int    `json:"marriages"`
-	Scheduler   string `json:"scheduler"`
-	Version     int64  `json:"version"`
-	Recolorings int64  `json:"recolorings"`
-	CacheHits   int64  `json:"cache_hits"`
-	CacheMisses int64  `json:"cache_misses"`
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Families int    `json:"families"`
+	// Marriages counts edges: in-law conflicts for classic, scheduled
+	// relationships for poly.
+	Marriages int    `json:"marriages"`
+	Scheduler string `json:"scheduler"`
+	Version   int64  `json:"version"`
+	// Recolorings counts repair events: §6 recolorings for classic, full
+	// relayering rebuilds for poly.
+	Recolorings int64 `json:"recolorings"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Poly carries the poly-kind instance summary (density, max gap ratio,
+	// fairness); nil for classic communities.
+	Poly *poly.Stats `json:"poly,omitempty"`
 }
 
 // Stats snapshots the community's counters.
 func (c *Community) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		ID:          c.id,
-		Families:    c.dyn.N(),
-		Marriages:   c.dyn.M(),
-		Scheduler:   c.dyn.Name(),
+		Kind:        c.be.Kind(),
+		Families:    c.be.N(),
+		Marriages:   c.be.M(),
+		Scheduler:   c.be.SchedulerName(),
 		Version:     c.version,
-		Recolorings: c.dyn.Recolorings,
+		Recolorings: c.be.Repairs(),
 		CacheHits:   c.hits.Load(),
 		CacheMisses: c.misses.Load(),
 	}
+	if pb, ok := c.be.(*polyBackend); ok {
+		ps := pb.dyn.Stats()
+		st.Poly = &ps
+	}
+	return st
 }
 
 // Families returns the current number of families.
 func (c *Community) Families() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.dyn.N()
+	return c.be.N()
 }
 
 // AddFamily appends a new isolated family and returns its id. The schedule
@@ -390,71 +509,76 @@ func (c *Community) AddFamily() (int, error) {
 	if err := c.logLocked(Record{Op: OpAddFamily, ID: c.id}); err != nil {
 		return 0, err
 	}
-	id := c.dyn.AddNode()
+	id := c.be.AddNode()
 	c.invalidateLocked()
 	return id, nil
 }
 
-// Marry inserts an in-law edge, routed through the §6 dynamic recoloring.
-// The cached schedule survives unless the insertion forced a recoloring.
-// With a journal attached the record is logged (write-ahead) after
-// validation but before the insertion; on journal failure nothing is
-// applied.
+// Marry inserts an edge, routed through the kind's repair rule (§6 dynamic
+// recoloring for classic, incremental layering for poly). The cached
+// schedule survives unless the backend says the insertion changed it. With
+// a journal attached the record is logged (write-ahead) after validation
+// but before the insertion; on journal failure nothing is applied.
 func (c *Community) Marry(u, v int) (recolored bool, err error) {
+	return c.MarryDemand(u, v, 0)
+}
+
+// MarryDemand is Marry with an explicit per-edge demand for poly
+// communities (0 means the community default; classic ignores it).
+func (c *Community) MarryDemand(u, v int, demand int64) (recolored bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.fencedErrLocked(); err != nil {
 		return false, err
 	}
-	if err := validEdge(c.dyn.N(), u, v); err != nil {
+	if err := validEdge(c.be.N(), u, v); err != nil {
 		return false, fmt.Errorf("service: community %q: %w", c.id, err)
 	}
 	// Re-marrying an existing couple changes nothing: answer without
 	// journaling, so replay never carries records that did no work.
-	if c.dyn.HasEdge(u, v) {
+	if c.be.HasEdge(u, v) {
 		return false, nil
 	}
-	if err := c.logLocked(Record{Op: OpMarry, ID: c.id, U: u, V: v}); err != nil {
+	if err := c.logLocked(Record{Op: OpMarry, ID: c.id, U: u, V: v, Demand: demand}); err != nil {
 		return false, err
 	}
-	recolored, err = c.dyn.AddEdge(u, v)
+	res, err := c.be.AddEdge(u, v, demand)
 	if err != nil {
 		return false, fmt.Errorf("service: community %q: %w", c.id, err)
 	}
-	if recolored {
+	if c.be.Invalidates(res) {
 		c.invalidateLocked()
 	}
-	return recolored, nil
+	return res.Recolored, nil
 }
 
-// Divorce removes an in-law edge (§6 deletion path), reporting whether the
-// edge existed and whether a family was recolored. The cache survives
-// deletions that recolor nobody. Journaling mirrors Marry.
+// Divorce removes an edge (the kind's deletion path), reporting whether the
+// edge existed and whether a repair (recoloring/relayering) ran. The cache
+// survives deletions the backend says changed nothing it serves.
+// Journaling mirrors Marry.
 func (c *Community) Divorce(u, v int) (removed, recolored bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.fencedErrLocked(); err != nil {
 		return false, false, err
 	}
-	if err := validEdge(c.dyn.N(), u, v); err != nil {
+	if err := validEdge(c.be.N(), u, v); err != nil {
 		return false, false, fmt.Errorf("service: community %q: %w", c.id, err)
 	}
 	// Divorcing a couple that never married is a no-op: don't journal it.
 	// The WAL used to carry a divorce record for these, bloating replay
 	// with records that change nothing.
-	if !c.dyn.HasEdge(u, v) {
+	if !c.be.HasEdge(u, v) {
 		return false, false, nil
 	}
 	if err := c.logLocked(Record{Op: OpDivorce, ID: c.id, U: u, V: v}); err != nil {
 		return false, false, err
 	}
-	before := c.dyn.Recolorings
-	removed = c.dyn.RemoveEdge(u, v)
-	recolored = c.dyn.Recolorings > before
-	if recolored {
+	res := c.be.RemoveEdge(u, v)
+	if c.be.Invalidates(res) {
 		c.invalidateLocked()
 	}
-	return removed, recolored, nil
+	return res.Applied, res.Recolored, nil
 }
 
 // logLocked write-ahead logs one of this community's mutation records and
@@ -501,7 +625,7 @@ func (c *Community) Schedule() (core.Schedule, error) {
 		c.hits.Add(1)
 		return c.cached, nil
 	}
-	s, err := c.dyn.FrozenSchedule()
+	s, err := c.be.FrozenSchedule()
 	if err != nil {
 		return nil, fmt.Errorf("service: community %q: %w", c.id, err)
 	}

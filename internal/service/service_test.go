@@ -294,5 +294,5 @@ func mustGraph(t *testing.T, c *Community) *graph.Graph {
 	t.Helper()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.dyn.Graph()
+	return c.be.(*classicBackend).dyn.Graph()
 }
